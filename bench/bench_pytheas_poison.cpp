@@ -1,0 +1,103 @@
+// PYTH-QOE — §4.1: "if multiple clients within a group report
+// manipulated QoE measurements, this can drive decisions for other
+// clients ... such that the system lowers video quality for all clients
+// in the group."
+//
+// Sweeps botnet size x report amplification and reports the legitimate
+// clients' QoE before/after, plus the ablations DESIGN.md calls out
+// (UCB discount, group size).
+#include "bench_util.hpp"
+#include "pytheas/experiment.hpp"
+
+using namespace intox;
+using namespace intox::pytheas;
+
+int main() {
+  bench::header("PYTH-QOE", "group QoE poisoning by lying clients");
+
+  bench::row("%6s %6s %8s | %10s %10s %8s", "bots", "amp", "rep-share",
+             "qoe-before", "qoe-after", "flipped");
+  double qoe_drop_at_40 = 0.0;
+  double flipped_at_12_amp12 = 0.0;
+  for (std::size_t bots : {0u, 10u, 20u, 40u, 60u}) {
+    for (std::size_t amp : {1u, 3u, 12u}) {
+      if (bots == 0 && amp != 1) continue;
+      PoisonConfig cfg;
+      cfg.bot_sessions = bots;
+      cfg.bot_amplification = amp;
+      const auto r = run_poisoning_experiment(cfg);
+      const double share =
+          static_cast<double>(bots * amp) /
+          static_cast<double>(bots * amp + cfg.legit_sessions);
+      bench::row("%6zu %6zu %7.1f%% | %10.2f %10.2f %7.0f%%", bots, amp,
+                 share * 100.0, r.mean_qoe_before, r.mean_qoe_after,
+                 r.flipped_fraction * 100.0);
+      if (bots == 40 && amp == 3) {
+        qoe_drop_at_40 = r.mean_qoe_before - r.mean_qoe_after;
+      }
+      if (bots == 12 && amp == 12) flipped_at_12_amp12 = r.flipped_fraction;
+    }
+  }
+  {
+    PoisonConfig cfg;
+    cfg.bot_sessions = 12;
+    cfg.bot_amplification = 12;
+    flipped_at_12_amp12 =
+        run_poisoning_experiment(cfg).flipped_fraction;
+  }
+
+  bench::claim(qoe_drop_at_40 > 1.0,
+               "17% lying clients (3x reports) cost the whole group >1.0 QoE");
+  bench::claim(flipped_at_12_amp12 > 0.8,
+               "amplification substitutes for bots: 5.7% of clients with 12x "
+               "reports still flip the group");
+
+  // Ablation: UCB discount factor (how fast honest history decays).
+  bench::row("");
+  bench::row("ablation: UCB discount (bots=40, amp=3)");
+  for (double discount : {0.90, 0.98, 0.999}) {
+    PoisonConfig cfg;
+    cfg.bot_sessions = 40;
+    cfg.engine.ucb.discount = discount;
+    const auto r = run_poisoning_experiment(cfg);
+    bench::row("  discount %.3f -> qoe-after %.2f, flipped %3.0f%%", discount,
+               r.mean_qoe_after, r.flipped_fraction * 100.0);
+  }
+  bench::note("slower forgetting (discount -> 1) makes poisoning slower but "
+              "also makes the system sluggish to genuine QoE shifts.");
+
+  // Ablation: group size at a fixed bot *count* (is the damage about
+  // fractions or absolutes?).
+  bench::row("ablation: group size with a fixed 40-bot botnet");
+  for (std::size_t legit : {100u, 200u, 400u, 800u}) {
+    PoisonConfig cfg;
+    cfg.legit_sessions = legit;
+    cfg.bot_sessions = 40;
+    const auto r = run_poisoning_experiment(cfg);
+    bench::row("  %4zu legit -> qoe-after %.2f, flipped %3.0f%%", legit,
+               r.mean_qoe_after, r.flipped_fraction * 100.0);
+  }
+  bench::note("bigger groups dilute a fixed botnet — but group membership is "
+              "public (§4.1), so attackers simply target smaller groups.");
+
+  // §4.1 MitM variant: no lying at all — the attacker genuinely degrades
+  // a subset of members' traffic and the group decision does the rest.
+  bench::row("");
+  bench::row("MitM variant (honest reports, real drops on a member subset):");
+  bench::row("%10s | %12s %12s %8s %10s", "victims", "qoe-before",
+             "qoe-after", "flipped", "touched");
+  double collateral = 0.0;
+  for (double f : {0.1, 0.3, 0.45, 0.6}) {
+    MitmQoeConfig mcfg;
+    mcfg.victim_fraction = f;
+    const auto r = run_mitm_qoe_experiment(mcfg);
+    bench::row("%9.0f%% | %12.2f %12.2f %7.0f%% %9.1f%%", f * 100.0,
+               r.untouched_before, r.untouched_after,
+               r.flipped_fraction * 100.0, r.touched_share * 100.0);
+    if (f == 0.45) collateral = r.untouched_before - r.untouched_after;
+  }
+  bench::claim(collateral > 1.0,
+               "members whose traffic was never touched lose >1.0 QoE — the "
+               "group decision is the damage amplifier");
+  return 0;
+}

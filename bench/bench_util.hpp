@@ -1,0 +1,34 @@
+// Shared console-table helpers for the reproduction benches. Each bench
+// prints (a) the paper artifact it regenerates, (b) the series/rows, and
+// (c) a PASS/CHECK verdict on the qualitative claim, so `for b in
+// build/bench/*; do $b; done` reads as an experiment report.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace intox::bench {
+
+inline void header(const char* exp_id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", exp_id, what);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void claim(bool ok, const char* text) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "CHECK", text);
+}
+
+inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+}  // namespace intox::bench

@@ -1,0 +1,138 @@
+// Microbenchmarks of the hot data-plane paths: flow hashing, LPM lookup,
+// event-queue throughput, and packet (de)serialization. These are not
+// paper experiments; they document that the substrate is fast enough for
+// the packet-level reproductions to run at the scale the paper used.
+#include <benchmark/benchmark.h>
+
+#include "blink/flow_selector.hpp"
+#include "innet/classifier.hpp"
+#include "net/lpm.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sketch/flowradar.hpp"
+#include "sppifo/sppifo.hpp"
+
+namespace {
+
+using namespace intox;
+
+void BM_FlowHash(benchmark::State& state) {
+  net::FiveTuple t{net::Ipv4Addr{10, 0, 0, 1}, net::Ipv4Addr{10, 0, 0, 2},
+                   1234, 80, net::IpProto::kTcp};
+  std::uint32_t sink = 0;
+  for (auto _ : state) {
+    t.src_port = static_cast<std::uint16_t>(t.src_port + 1);
+    sink ^= net::flow_hash(t);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_LpmLookup(benchmark::State& state) {
+  net::LpmTable<std::uint32_t> table;
+  sim::Rng rng{1};
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+    table.insert(net::Prefix{net::Ipv4Addr{addr}, 24},
+                 static_cast<std::uint32_t>(i % 16));
+  }
+  std::uint64_t sink = 0;
+  sim::Rng probe{2};
+  for (auto _ : state) {
+    const net::Ipv4Addr a{static_cast<std::uint32_t>(probe.uniform_int(0, UINT32_MAX))};
+    auto m = table.lookup(a);
+    sink += m ? m->value : 0;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_LpmLookup)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(i, [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_BlinkObserve(benchmark::State& state) {
+  // Blink's per-packet pipeline work (hash, cell access, retransmission
+  // check) — the cost a switch pays per monitored-prefix packet.
+  blink::FlowSelector selector{blink::BlinkConfig{}};
+  sim::Rng rng{1};
+  std::vector<net::FiveTuple> flows;
+  for (int i = 0; i < 256; ++i) {
+    flows.push_back({net::Ipv4Addr{static_cast<std::uint32_t>(
+                         rng.uniform_int(1, UINT32_MAX))},
+                     net::Ipv4Addr{10, 0, 0, 1},
+                     static_cast<std::uint16_t>(rng.uniform_int(1024, 65535)),
+                     80, net::IpProto::kTcp});
+  }
+  sim::Time now = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    now += sim::millis(1);
+    auto v = selector.observe(flows[i++ & 255], 0,
+                              static_cast<std::uint32_t>(i & 7), false, now);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BlinkObserve);
+
+void BM_SpPifoEnqueueDequeue(benchmark::State& state) {
+  sppifo::SpPifo sp{sppifo::SpPifoConfig{}};
+  sim::Rng rng{2};
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    sp.enqueue({static_cast<std::uint32_t>(rng.uniform_int(0, 99)), id++});
+    auto p = sp.dequeue();
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SpPifoEnqueueDequeue);
+
+void BM_FlowRadarAddPacket(benchmark::State& state) {
+  sketch::FlowRadar radar{sketch::FlowRadarConfig{}};
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    radar.add_packet(net::mix64(key++ & 1023));
+  }
+}
+BENCHMARK(BM_FlowRadarAddPacket);
+
+void BM_InNetMlpInference(benchmark::State& state) {
+  // The quantized forward pass a switch would execute per packet.
+  const auto clf = innet::train_classifier(1, 500, 3);
+  const auto data = innet::make_dataset(64, 9);
+  std::size_t i = 0, sink = 0;
+  for (auto _ : state) {
+    sink += clf.deployed.predict(data[i++ & 127].x);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_InNetMlpInference);
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+  net::Packet p;
+  p.src = net::Ipv4Addr{10, 0, 0, 1};
+  p.dst = net::Ipv4Addr{10, 0, 0, 2};
+  p.l4 = net::TcpHeader{1234, 80, 42, 0};
+  p.payload_bytes = 512;
+  for (auto _ : state) {
+    auto wire = net::serialize(p);
+    auto back = net::parse(wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

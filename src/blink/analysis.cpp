@@ -1,0 +1,92 @@
+#include "blink/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace intox::blink {
+
+double cell_malicious_probability(double qm, double t_seconds,
+                                  double tr_seconds) {
+  if (qm <= 0.0 || t_seconds <= 0.0) return 0.0;
+  if (qm >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - qm, t_seconds / tr_seconds);
+}
+
+double expected_malicious_cells(std::size_t n, double qm, double t_seconds,
+                                double tr_seconds) {
+  return static_cast<double>(n) *
+         cell_malicious_probability(qm, t_seconds, tr_seconds);
+}
+
+namespace {
+
+// log C(n, k) via lgamma.
+double log_binom(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::size_t n, double p, std::size_t k) {
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_binom(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+}  // namespace
+
+double binomial_cdf(std::size_t n, double p, std::size_t k) {
+  if (k >= n) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= k; ++i) sum += binomial_pmf(n, p, i);
+  return std::min(sum, 1.0);
+}
+
+std::size_t binomial_quantile(std::size_t n, double p, double q) {
+  double cum = 0.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    cum += binomial_pmf(n, p, k);
+    if (cum >= q) return k;
+  }
+  return n;
+}
+
+double attack_success_probability(std::size_t n, double qm, double t_seconds,
+                                  double tr_seconds, std::size_t needed) {
+  if (needed == 0) return 1.0;
+  const double p = cell_malicious_probability(qm, t_seconds, tr_seconds);
+  return 1.0 - binomial_cdf(n, p, needed - 1);
+}
+
+double time_to_expected_count(std::size_t n, double qm, double tr_seconds,
+                              double target) {
+  const double frac = target / static_cast<double>(n);
+  if (frac >= 1.0 || qm <= 0.0 || qm >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (frac <= 0.0) return 0.0;
+  // Solve 1 - (1-qm)^(t/tR) = frac.
+  return tr_seconds * std::log1p(-frac) / std::log1p(-qm);
+}
+
+double min_qm_for_success(std::size_t n, double t_budget_seconds,
+                          double tr_seconds, std::size_t needed,
+                          double confidence) {
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double s = attack_success_probability(n, mid, t_budget_seconds,
+                                                tr_seconds, needed);
+    if (s >= confidence) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace intox::blink

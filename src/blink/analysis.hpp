@@ -1,0 +1,52 @@
+// Closed-form analysis of the Blink sampling attack (§3.1 of the paper).
+//
+// Model: each of the n cells turns over independently; a legitimate
+// occupant stays for t_R on average, and at each turnover the new
+// occupant is malicious with probability q_m. A malicious occupant never
+// leaves until the global sample reset. Hence the probability a given
+// cell is malicious at time t after a reset is
+//
+//     p(t) = 1 - (1 - q_m)^(t / t_R)
+//
+// and the number of malicious cells X(t) ~ Binomial(n, p(t)). These are
+// exactly the formulas in the paper; Fig. 2 plots the mean and the
+// 5th/95th percentiles of this distribution over time.
+#pragma once
+
+#include <cstddef>
+
+namespace intox::blink {
+
+/// p(t): probability one cell holds a malicious flow at time t (seconds)
+/// after a sample reset.
+double cell_malicious_probability(double qm, double t_seconds,
+                                  double tr_seconds);
+
+/// Expected number of malicious cells at time t.
+double expected_malicious_cells(std::size_t n, double qm, double t_seconds,
+                                double tr_seconds);
+
+/// Binomial CDF P[X <= k] for X ~ Bin(n, p), numerically stable for the
+/// n <= few-hundred range used here.
+double binomial_cdf(std::size_t n, double p, std::size_t k);
+
+/// Smallest k with P[X <= k] >= q (the q-quantile of Bin(n, p)).
+std::size_t binomial_quantile(std::size_t n, double p, double q);
+
+/// P[X(t) >= needed]: probability the attack controls at least `needed`
+/// cells at time t.
+double attack_success_probability(std::size_t n, double qm, double t_seconds,
+                                  double tr_seconds, std::size_t needed);
+
+/// Time at which the *expected* malicious count reaches `target`
+/// (infinity if target >= n, returned as a large sentinel).
+double time_to_expected_count(std::size_t n, double qm, double tr_seconds,
+                              double target);
+
+/// Smallest q_m such that P[X(t_budget) >= needed] >= confidence.
+/// Bisection over q_m in (0, 1).
+double min_qm_for_success(std::size_t n, double t_budget_seconds,
+                          double tr_seconds, std::size_t needed,
+                          double confidence);
+
+}  // namespace intox::blink

@@ -1,0 +1,65 @@
+// The §3.1 attacker and the packet-level Fig. 2 experiment harness.
+//
+// The attacker compromises a set of hosts and has each open one fake
+// "flow" towards the victim prefix (no TCP handshake — Blink never checks
+// for one). Each flow stays permanently active and emits duplicate-
+// sequence segments, so once it is sampled it is (a) never evicted and
+// (b) always counted as retransmitting. `plan_attack` applies the
+// closed-form model to size the botnet; `run_fig2_experiment` replays the
+// full packet-level attack against a real BlinkNode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blink/analysis.hpp"
+#include "blink/blink_node.hpp"
+#include "sim/stats.hpp"
+#include "trafficgen/driver.hpp"
+#include "trafficgen/synth.hpp"
+
+namespace intox::blink {
+
+/// Ground-truth tag space for malicious flows in these experiments.
+inline constexpr std::uint64_t kMaliciousTagBase = std::uint64_t{1} << 40;
+
+inline bool is_malicious_tag(std::uint64_t tag) {
+  return tag >= kMaliciousTagBase;
+}
+
+struct AttackPlan {
+  std::size_t malicious_flows = 0;   // botnet size
+  double qm = 0.0;                   // resulting traffic fraction
+  double expected_majority_time_s = 0.0;
+  double success_probability = 0.0;  // within the reset budget t_B
+};
+
+/// Sizes the attack: find the smallest botnet whose q_m captures
+/// >= half the cells within one reset period with the given confidence.
+AttackPlan plan_attack(const BlinkConfig& config, std::size_t legit_flows,
+                       double tr_seconds, double confidence);
+
+struct Fig2Config {
+  BlinkConfig blink{};
+  trafficgen::TraceConfig trace{};   // defaults: 2000 flows, t_R = 8.37 s
+  std::size_t malicious_flows = 105; // q_m = 105/2000 = 0.0525
+  sim::Duration sample_interval = sim::seconds(1);
+  std::uint64_t seed = 1;
+};
+
+struct Fig2Result {
+  /// #malicious flows in Blink's sample, sampled once per second.
+  sim::TimeSeries malicious_sampled;
+  /// Empirical mean residency of flows that left the sample (t_R check).
+  double measured_tr_seconds = 0.0;
+  /// First time the sample became majority-malicious; negative if never.
+  double time_to_majority_seconds = -1.0;
+  /// Reroutes Blink committed during the run (attack successes).
+  std::vector<RerouteEvent> reroutes;
+};
+
+/// Runs one packet-level experiment: synthetic legitimate trace plus the
+/// malicious population, fed through a real BlinkNode pipeline.
+Fig2Result run_fig2_experiment(const Fig2Config& config);
+
+}  // namespace intox::blink

@@ -1,0 +1,93 @@
+#include "blink/blink_node.hpp"
+
+namespace intox::blink {
+
+void BlinkNode::monitor_prefix(const net::Prefix& prefix, int primary_port,
+                               int backup_port) {
+  auto entry = std::make_unique<Entry>();
+  entry->prefix = prefix;
+  entry->selector = std::make_unique<FlowSelector>(config_);
+  entry->primary_port = primary_port;
+  entry->backup_port = backup_port;
+  entry->next_reset = config_.sample_reset_period;
+  index_.insert(prefix, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+BlinkNode::Entry* BlinkNode::find(const net::Prefix& prefix) {
+  const std::size_t* idx = index_.find(prefix);
+  return idx ? entries_[*idx].get() : nullptr;
+}
+
+const BlinkNode::Entry* BlinkNode::find(const net::Prefix& prefix) const {
+  const std::size_t* idx = index_.find(prefix);
+  return idx ? entries_[*idx].get() : nullptr;
+}
+
+void BlinkNode::process(const net::Packet& pkt,
+                        dataplane::PipelineMetadata& meta, sim::Time now) {
+  auto match = index_.lookup(pkt.dst);
+  if (!match) return;
+  Entry& e = *entries_[match->value];
+
+  // Packet-driven sample reset (Blink has no control-plane timer: state
+  // ages are checked as packets flow through the pipeline).
+  if (now >= e.next_reset) {
+    e.selector->reset(now);
+    e.next_reset = now + config_.sample_reset_period;
+  }
+
+  // Steering decision applies to *all* packets of the prefix.
+  const int steer = e.rerouted ? e.backup_port : e.primary_port;
+  meta.egress_port = steer;
+
+  const auto* tcp = pkt.tcp();
+  if (!tcp) return;  // Blink monitors TCP only
+
+  const bool fin_or_rst = tcp->fin || tcp->rst;
+  const PacketVerdict v =
+      e.selector->observe(pkt.five_tuple(), pkt.flow_tag, tcp->seq,
+                          fin_or_rst, now);
+
+  if (!v.retransmission) return;
+  const std::size_t retx = e.selector->retransmitting_count(now);
+  if (retx > max_retransmitting_) max_retransmitting_ = retx;
+  if (e.rerouted || now < e.holddown_until) return;
+  const auto needed = static_cast<std::size_t>(
+      config_.failure_threshold * static_cast<double>(config_.cells));
+  if (retx < needed) return;
+
+  // Failure inferred. Consult the supervisor (if any) before committing.
+  if (guard_ && !guard_(e.prefix, *e.selector, now)) {
+    ++vetoed_;
+    e.holddown_until = now + config_.failure_holddown;
+    return;
+  }
+
+  e.rerouted = true;
+  e.holddown_until = now + config_.failure_holddown;
+  RerouteEvent event{e.prefix, now, retx};
+  reroutes_.push_back(event);
+  if (on_reroute_) on_reroute_(event);
+}
+
+void BlinkNode::restore(const net::Prefix& prefix) {
+  if (Entry* e = find(prefix)) e->rerouted = false;
+}
+
+bool BlinkNode::is_rerouted(const net::Prefix& prefix) const {
+  const Entry* e = find(prefix);
+  return e && e->rerouted;
+}
+
+const FlowSelector* BlinkNode::selector(const net::Prefix& prefix) const {
+  const Entry* e = find(prefix);
+  return e ? e->selector.get() : nullptr;
+}
+
+FlowSelector* BlinkNode::selector(const net::Prefix& prefix) {
+  Entry* e = find(prefix);
+  return e ? e->selector.get() : nullptr;
+}
+
+}  // namespace intox::blink

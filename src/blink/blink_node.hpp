@@ -1,0 +1,94 @@
+// BlinkNode: the full Blink data-plane pipeline as a switch stage.
+//
+// Monitors a configured set of destination prefixes. For each, it runs a
+// FlowSelector, infers failures ("half the monitored flows retransmitted
+// within the sliding window"), and fast-reroutes the prefix from its
+// primary to its backup next hop. Everything is driven by packet
+// arrivals — including sample resets and hold-downs — mirroring how the
+// P4 implementation works without control-plane timers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blink/flow_selector.hpp"
+#include "dataplane/pipeline.hpp"
+#include "net/lpm.hpp"
+
+namespace intox::blink {
+
+struct RerouteEvent {
+  net::Prefix prefix;
+  sim::Time when = 0;
+  std::size_t retransmitting_cells = 0;
+};
+
+/// An optional veto hook consulted before committing a reroute — the
+/// attachment point for the §5 supervisor countermeasures. Return false
+/// to suppress the reroute.
+using RerouteGuard =
+    std::function<bool(const net::Prefix&, const FlowSelector&, sim::Time)>;
+
+class BlinkNode : public dataplane::PacketProcessor {
+ public:
+  explicit BlinkNode(const BlinkConfig& config) : config_(config) {}
+
+  /// Registers a prefix to protect. While healthy the pipeline leaves the
+  /// routing decision alone; after an inferred failure it steers the
+  /// prefix to `backup_port`.
+  void monitor_prefix(const net::Prefix& prefix, int primary_port,
+                      int backup_port);
+
+  void process(const net::Packet& pkt, dataplane::PipelineMetadata& meta,
+               sim::Time now) override;
+
+  void set_reroute_guard(RerouteGuard guard) { guard_ = std::move(guard); }
+  void set_on_reroute(std::function<void(const RerouteEvent&)> cb) {
+    on_reroute_ = std::move(cb);
+  }
+
+  /// Restores a prefix to its primary path (control-plane action, e.g.
+  /// after BGP converges).
+  void restore(const net::Prefix& prefix);
+
+  [[nodiscard]] const std::vector<RerouteEvent>& reroutes() const {
+    return reroutes_;
+  }
+  [[nodiscard]] bool is_rerouted(const net::Prefix& prefix) const;
+  [[nodiscard]] const FlowSelector* selector(const net::Prefix& prefix) const;
+  [[nodiscard]] FlowSelector* selector(const net::Prefix& prefix);
+  /// Count of vetoed reroutes (supervisor interventions).
+  [[nodiscard]] std::uint64_t vetoed() const { return vetoed_; }
+  /// High-water mark of simultaneously-retransmitting cells observed on
+  /// any monitored prefix (diagnostic; also the fuzzer's progress signal).
+  [[nodiscard]] std::size_t max_retransmitting() const {
+    return max_retransmitting_;
+  }
+
+ private:
+  struct Entry {
+    net::Prefix prefix;
+    std::unique_ptr<FlowSelector> selector;
+    int primary_port;
+    int backup_port;
+    bool rerouted = false;
+    sim::Time next_reset = 0;
+    sim::Time holddown_until = kNever;
+  };
+
+  Entry* find(const net::Prefix& prefix);
+  const Entry* find(const net::Prefix& prefix) const;
+
+  BlinkConfig config_;
+  net::LpmTable<std::size_t> index_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  RerouteGuard guard_;
+  std::function<void(const RerouteEvent&)> on_reroute_;
+  std::vector<RerouteEvent> reroutes_;
+  std::uint64_t vetoed_ = 0;
+  std::size_t max_retransmitting_ = 0;
+};
+
+}  // namespace intox::blink

@@ -1,0 +1,74 @@
+#include "blink/cell_process.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace intox::blink {
+
+namespace {
+
+// Per-cell turnover times until one goes malicious (or horizon).
+// Returns the time at which the cell becomes malicious, or +inf.
+double cell_capture_time(const CellProcessConfig& config, sim::Rng& rng) {
+  double t = 0.0;
+  while (t < config.horizon_seconds) {
+    // Current occupant is legitimate; it leaves after ~Exp(t_R).
+    t += rng.exponential(config.tr_seconds);
+    if (t >= config.horizon_seconds) break;
+    if (rng.bernoulli(config.qm)) return t;  // malicious takeover: permanent
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+sim::TimeSeries simulate_cell_process(const CellProcessConfig& config,
+                                      sim::Rng& rng) {
+  std::vector<double> capture_times;
+  capture_times.reserve(config.cells);
+  for (std::size_t i = 0; i < config.cells; ++i) {
+    capture_times.push_back(cell_capture_time(config, rng));
+  }
+  std::sort(capture_times.begin(), capture_times.end());
+
+  sim::TimeSeries out;
+  std::size_t captured = 0;
+  for (double t = 0.0; t <= config.horizon_seconds;
+       t += config.sample_step_seconds) {
+    while (captured < capture_times.size() && capture_times[captured] <= t) {
+      ++captured;
+    }
+    out.record(sim::seconds(t), static_cast<double>(captured));
+  }
+  return out;
+}
+
+double time_to_majority(const CellProcessConfig& config, std::size_t target,
+                        sim::Rng& rng) {
+  std::vector<double> capture_times;
+  capture_times.reserve(config.cells);
+  for (std::size_t i = 0; i < config.cells; ++i) {
+    capture_times.push_back(cell_capture_time(config, rng));
+  }
+  if (target == 0) return 0.0;
+  if (target > capture_times.size()) return -1.0;
+  std::nth_element(capture_times.begin(),
+                   capture_times.begin() + static_cast<std::ptrdiff_t>(target - 1),
+                   capture_times.end());
+  const double t = capture_times[target - 1];
+  return t <= config.horizon_seconds ? t : -1.0;
+}
+
+double empirical_success_rate(const CellProcessConfig& config,
+                              std::size_t target, std::size_t runs,
+                              sim::Rng& rng) {
+  std::size_t ok = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::Rng sub = rng.fork(r);
+    ok += time_to_majority(config, target, sub) >= 0.0;
+  }
+  return static_cast<double>(ok) / static_cast<double>(runs);
+}
+
+}  // namespace intox::blink

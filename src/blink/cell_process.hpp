@@ -1,0 +1,42 @@
+// Flow-level Monte-Carlo of the cell-occupancy process.
+//
+// Sits between the closed form (analysis.hpp) and the full packet-level
+// simulation (blink_node over the trafficgen drivers): each cell is
+// simulated directly as an alternating renewal process — legitimate
+// occupants hold the cell for ~Exp(t_R); on each turnover the new
+// occupant is malicious with probability q_m and, if so, holds the cell
+// until the sample reset. Thousands of runs per second, so the parameter
+// sweeps (BLINK-TR) use this level.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace intox::blink {
+
+struct CellProcessConfig {
+  std::size_t cells = 64;
+  double qm = 0.0525;        // malicious fraction
+  double tr_seconds = 8.37;  // mean legitimate residency
+  double horizon_seconds = 510.0;
+  double sample_step_seconds = 1.0;  // output grid
+};
+
+/// One run: returns the (time, #malicious cells) series on the grid.
+sim::TimeSeries simulate_cell_process(const CellProcessConfig& config,
+                                      sim::Rng& rng);
+
+/// First time the malicious count reaches `target`, or a negative value
+/// if it never does within the horizon.
+double time_to_majority(const CellProcessConfig& config, std::size_t target,
+                        sim::Rng& rng);
+
+/// Fraction of `runs` in which the count reaches `target` within the
+/// horizon (empirical attack success rate).
+double empirical_success_rate(const CellProcessConfig& config,
+                              std::size_t target, std::size_t runs,
+                              sim::Rng& rng);
+
+}  // namespace intox::blink

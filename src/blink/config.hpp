@@ -1,0 +1,34 @@
+// Blink configuration (defaults follow Holterbach et al., NSDI'19, and
+// the values quoted in §3.1 of the HotNets paper).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace intox::blink {
+
+struct BlinkConfig {
+  /// Monitored flows per destination prefix ("64 cells").
+  std::size_t cells = 64;
+  /// A monitored flow inactive for this long is evicted on the next
+  /// colliding packet ("2 s or more").
+  sim::Duration eviction_timeout = sim::seconds(2);
+  /// The whole sample is reset at this period ("every 8.5 min"), so every
+  /// monitored flow is eventually evicted even if continuously active.
+  sim::Duration sample_reset_period = sim::seconds(510);
+  /// Sliding window over which per-flow retransmissions count towards
+  /// failure inference (Blink uses ~800 ms).
+  sim::Duration retransmit_window = sim::millis(800);
+  /// Failure inferred when this fraction of cells saw a retransmission
+  /// within the window ("if half of these monitored flows retransmit").
+  double failure_threshold = 0.5;
+  /// After inferring a failure, suppress further inferences for this long
+  /// (the prefix has already been rerouted).
+  sim::Duration failure_holddown = sim::seconds(10);
+  /// Seed for the flow-selector hash (a real switch would use its CRC
+  /// polynomial; attackers are assumed to know it — Kerckhoff).
+  std::uint32_t hash_seed = 0;
+};
+
+}  // namespace intox::blink

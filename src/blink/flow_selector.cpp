@@ -1,0 +1,95 @@
+#include "blink/flow_selector.hpp"
+
+namespace intox::blink {
+
+FlowSelector::FlowSelector(const BlinkConfig& config)
+    : config_(config), cells_(config.cells) {}
+
+void FlowSelector::release(Cell& cell, sim::Time now) {
+  residency_.add(sim::to_seconds(now - cell.sampled_at));
+  cell = Cell{};
+}
+
+PacketVerdict FlowSelector::observe(const net::FiveTuple& flow,
+                                    std::uint64_t tag, std::uint32_t seq,
+                                    bool fin_or_rst, sim::Time now) {
+  PacketVerdict v;
+  const std::size_t idx = net::flow_hash(flow, config_.hash_seed) % cells_.size();
+  Cell& cell = cells_[idx];
+
+  if (cell.occupied && cell.flow == flow) {
+    v.monitored = true;
+    if (fin_or_rst) {
+      // Flow completed: free the cell for the next flow.
+      release(cell, now);
+      v.evicted_occupant = true;
+      return v;
+    }
+    v.retransmission = cell.has_seq && seq == cell.last_seq;
+    if (v.retransmission) {
+      if (now - cell.last_retransmit > kEpisodeGap) {
+        cell.episode_start = now;
+        cell.episode_retransmits = 0;
+      }
+      ++cell.episode_retransmits;
+      cell.last_retransmit = now;
+    }
+    cell.last_seq = seq;
+    cell.has_seq = true;
+    cell.last_seen = now;
+    return v;
+  }
+
+  if (cell.occupied) {
+    // Collision with a different flow: only take over if the occupant has
+    // gone quiet for the eviction timeout.
+    if (now - cell.last_seen < config_.eviction_timeout) return v;
+    release(cell, now);
+    v.evicted_occupant = true;
+  }
+
+  if (fin_or_rst) return v;  // don't sample a flow on its final segment
+
+  cell.occupied = true;
+  cell.flow = flow;
+  cell.tag = tag;
+  cell.sampled_at = now;
+  cell.last_seen = now;
+  cell.last_seq = seq;
+  cell.has_seq = true;
+  cell.last_retransmit = kNever;
+  v.monitored = true;
+  v.newly_sampled = true;
+  return v;
+}
+
+void FlowSelector::reset(sim::Time now) {
+  for (Cell& cell : cells_) {
+    if (cell.occupied) release(cell, now);
+  }
+}
+
+std::size_t FlowSelector::occupied_count() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.occupied;
+  return n;
+}
+
+std::size_t FlowSelector::retransmitting_count(sim::Time now) const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (c.occupied && now - c.last_retransmit <= config_.retransmit_window) ++n;
+  }
+  return n;
+}
+
+std::size_t FlowSelector::count_tagged(
+    const std::function<bool(std::uint64_t)>& pred) const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (c.occupied && pred(c.tag)) ++n;
+  }
+  return n;
+}
+
+}  // namespace intox::blink

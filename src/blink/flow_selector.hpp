@@ -1,0 +1,100 @@
+// Blink's per-prefix flow selector and retransmission detector.
+//
+// A fixed array of cells, indexed by a hash of the packet's 5-tuple.
+// Each cell monitors at most one flow at a time:
+//   * an empty cell is taken by the first flow hashing into it;
+//   * a monitored flow keeps its cell while it stays active;
+//   * FIN/RST frees the cell immediately;
+//   * a colliding flow takes over the cell if the occupant has been
+//     inactive for the eviction timeout;
+//   * the whole array is reset periodically (control-plane timer).
+//
+// Retransmissions are detected exactly as in Blink's P4 pipeline: the
+// cell remembers the occupant's last sequence number, and a data packet
+// carrying the same sequence number again is counted as a retransmission.
+//
+// This is the structure the §3.1 attack poisons: an always-active
+// malicious flow, once sampled, is never evicted until the global reset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "blink/config.hpp"
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace intox::blink {
+
+inline constexpr sim::Time kNever = INT64_MIN / 4;
+
+struct Cell {
+  bool occupied = false;
+  net::FiveTuple flow{};
+  std::uint64_t tag = 0;         // ground-truth flow tag (evaluation only)
+  sim::Time sampled_at = 0;
+  sim::Time last_seen = 0;
+  std::uint32_t last_seq = 0;
+  bool has_seq = false;
+  sim::Time last_retransmit = kNever;
+  /// Start of the current retransmission *episode* (a run of
+  /// retransmissions with gaps below kEpisodeGap). A genuine failure
+  /// starts a fresh episode on every affected flow at roughly the same
+  /// moment; the §3.1 attacker's flows have been retransmitting for
+  /// minutes — the discriminator the §5 supervisor uses.
+  sim::Time episode_start = kNever;
+  /// Retransmissions seen within the current episode.
+  std::uint32_t episode_retransmits = 0;
+};
+
+/// Gap above which a new retransmission starts a new episode.
+inline constexpr sim::Duration kEpisodeGap = sim::seconds(4);
+
+struct PacketVerdict {
+  bool monitored = false;      // packet belongs to the cell's occupant
+  bool newly_sampled = false;  // this packet's flow just took the cell
+  bool retransmission = false; // duplicate sequence number observed
+  bool evicted_occupant = false;
+};
+
+class FlowSelector {
+ public:
+  explicit FlowSelector(const BlinkConfig& config);
+
+  /// Feeds one TCP packet of this prefix through the selector.
+  PacketVerdict observe(const net::FiveTuple& flow, std::uint64_t tag,
+                        std::uint32_t seq, bool fin_or_rst, sim::Time now);
+
+  /// Control-plane sample reset: frees every cell.
+  void reset(sim::Time now);
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t occupied_count() const;
+
+  /// Number of cells whose occupant retransmitted within the sliding
+  /// window ending at `now` — the failure-inference signal.
+  [[nodiscard]] std::size_t retransmitting_count(sim::Time now) const;
+
+  /// Evaluation hook: counts occupied cells whose ground-truth tag
+  /// satisfies `pred` (e.g. "is a malicious flow").
+  [[nodiscard]] std::size_t count_tagged(
+      const std::function<bool(std::uint64_t)>& pred) const;
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Residency times of flows that left the sample (eviction, FIN, or
+  /// reset) — the empirical t_R of §3.1.
+  [[nodiscard]] const sim::RunningStats& residency_stats() const {
+    return residency_;
+  }
+
+ private:
+  void release(Cell& cell, sim::Time now);
+
+  BlinkConfig config_;
+  std::vector<Cell> cells_;
+  sim::RunningStats residency_;
+};
+
+}  // namespace intox::blink

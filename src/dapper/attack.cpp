@@ -1,0 +1,100 @@
+#include "dapper/attack.hpp"
+
+namespace intox::dapper {
+
+const char* to_string(Implicate i) {
+  switch (i) {
+    case Implicate::kNone: return "none";
+    case Implicate::kSender: return "sender";
+    case Implicate::kNetwork: return "network";
+    case Implicate::kReceiver: return "receiver";
+  }
+  return "?";
+}
+
+DiagnosisOutcome run_diagnosis_experiment(const ConversationConfig& config,
+                                          Implicate target,
+                                          const DapperConfig& dapper_cfg) {
+  TcpDiagnoser diagnoser{dapper_cfg};
+  sim::Rng rng{config.seed};
+  DiagnosisOutcome out;
+
+  const auto flight = static_cast<std::uint32_t>(
+      config.utilization * static_cast<double>(config.rwnd));
+  std::uint32_t seq = 100000;
+
+  for (sim::Time now = 0; now < config.duration; now += config.tick) {
+    // --- data direction -------------------------------------------------
+    net::TcpHeader data;
+    data.src_port = 45000;
+    data.dst_port = 443;
+    seq += config.mss;
+    data.seq = seq;
+    data.ack_flag = true;
+
+    bool genuine_retx = rng.bernoulli(config.genuine_retx_prob);
+    diagnoser.on_data(data, config.mss, now);
+    ++out.packets_total;
+    if (genuine_retx) {
+      diagnoser.on_data(data, config.mss, now + sim::millis(1));
+      ++out.packets_total;
+    }
+
+    // MitM network-implication: replay ~8% of data segments (safely
+    // above the 2% loss threshold in every 1 s window).
+    if (target == Implicate::kNetwork && rng.bernoulli(0.08)) {
+      diagnoser.on_data(data, config.mss, now + sim::millis(2));
+      ++out.packets_total;
+      ++out.packets_touched;
+    }
+
+    // --- ack direction ----------------------------------------------------
+    net::TcpHeader ack;
+    ack.src_port = 443;
+    ack.dst_port = 45000;
+    ack.ack_flag = true;
+    ack.ack = seq - flight;  // honest cumulative ack: flight outstanding
+    ack.window = static_cast<std::uint16_t>(config.rwnd);
+
+    switch (target) {
+      case Implicate::kReceiver:
+        // Advertised window shrunk to barely above the flight.
+        ack.window = static_cast<std::uint16_t>(flight + config.mss / 2);
+        ++out.packets_touched;
+        break;
+      case Implicate::kSender:
+        // Optimistic-ack forgery: everything looks acknowledged.
+        ack.ack = seq;
+        ++out.packets_touched;
+        break;
+      default:
+        break;
+    }
+    diagnoser.on_ack(ack, now + config.tick / 2);
+    ++out.packets_total;
+  }
+
+  out.healthy_fraction = diagnoser.verdict_fraction(Verdict::kHealthy);
+  out.sender_fraction = diagnoser.verdict_fraction(Verdict::kSenderLimited);
+  out.network_fraction = diagnoser.verdict_fraction(Verdict::kNetworkLimited);
+  out.receiver_fraction =
+      diagnoser.verdict_fraction(Verdict::kReceiverLimited);
+
+  double best = out.healthy_fraction;
+  out.dominant = Verdict::kHealthy;
+  if (out.sender_fraction > best) {
+    best = out.sender_fraction;
+    out.dominant = Verdict::kSenderLimited;
+  }
+  if (out.network_fraction > best) {
+    best = out.network_fraction;
+    out.dominant = Verdict::kNetworkLimited;
+  }
+  if (out.receiver_fraction > best) {
+    best = out.receiver_fraction;
+    out.dominant = Verdict::kReceiverLimited;
+  }
+  return out;
+}
+
+}  // namespace intox::dapper

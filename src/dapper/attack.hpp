@@ -1,0 +1,57 @@
+// §3.2 DAPPER attack: implicating an innocent party.
+//
+// A healthy TCP conversation (moderate window utilization, no loss)
+// passes a DAPPER vantage point. A MitM rewrites a small fraction of
+// unauthenticated header fields to pin the blame wherever she wants:
+//
+//   * implicate the NETWORK  — replay data segments (duplicate seq):
+//     the diagnoser counts retransmissions and reports congestion;
+//   * implicate the RECEIVER — shrink the advertised window in ACKs to
+//     just above the current flight: the connection now looks pinned
+//     against the receiver window;
+//   * implicate the SENDER   — optimistically bump the ACK number (ack
+//     data never received): flight collapses and the sender looks idle.
+//
+// Each false verdict "falsely trigger[s] the recourses suggested by the
+// authors" (upgrade the receiver, reroute the network, fix the app...).
+#pragma once
+
+#include "dapper/diagnoser.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::dapper {
+
+enum class Implicate { kNone, kSender, kNetwork, kReceiver };
+
+const char* to_string(Implicate i);
+
+struct ConversationConfig {
+  sim::Duration duration = sim::seconds(30);
+  sim::Duration tick = sim::millis(10);  // one data pkt + one ack per tick
+  std::uint32_t mss = 1448;
+  std::uint32_t rwnd = 65535;
+  /// Healthy steady-state window utilization (between the sender-idle
+  /// and receiver-pressure thresholds).
+  double utilization = 0.7;
+  /// Genuine sporadic retransmissions (kept below the loss threshold).
+  double genuine_retx_prob = 0.002;
+  std::uint64_t seed = 1;
+};
+
+struct DiagnosisOutcome {
+  Verdict dominant = Verdict::kHealthy;
+  double healthy_fraction = 0.0;
+  double sender_fraction = 0.0;
+  double network_fraction = 0.0;
+  double receiver_fraction = 0.0;
+  std::uint64_t packets_total = 0;
+  std::uint64_t packets_touched = 0;  // mutated or injected by the MitM
+};
+
+/// Streams the synthetic conversation through a TcpDiagnoser, with the
+/// MitM policy applied in-path. kNone gives the healthy baseline.
+DiagnosisOutcome run_diagnosis_experiment(const ConversationConfig& config,
+                                          Implicate target,
+                                          const DapperConfig& dapper = DapperConfig{});
+
+}  // namespace intox::dapper

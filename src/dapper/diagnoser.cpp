@@ -1,0 +1,105 @@
+#include "dapper/diagnoser.hpp"
+
+#include <algorithm>
+
+namespace intox::dapper {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kHealthy: return "healthy";
+    case Verdict::kSenderLimited: return "sender-limited";
+    case Verdict::kNetworkLimited: return "network-limited";
+    case Verdict::kReceiverLimited: return "receiver-limited";
+  }
+  return "?";
+}
+
+void TcpDiagnoser::roll_window(sim::Time now) {
+  if (!window_open_) {
+    current_ = WindowStats{};
+    current_.start = now;
+    current_.min_rwnd = last_rwnd_;
+    flight_samples_ = sim::RunningStats{};
+    utilization_samples_ = sim::RunningStats{};
+    window_open_ = true;
+    return;
+  }
+  if (now - current_.start < config_.window) return;
+
+  current_.mean_flight_bytes = flight_samples_.mean();
+  current_.rwnd_utilization = utilization_samples_.mean();
+  classify(current_);
+  windows_.push_back(current_);
+
+  current_ = WindowStats{};
+  current_.start = now;
+  current_.min_rwnd = last_rwnd_;
+  flight_samples_ = sim::RunningStats{};
+  utilization_samples_ = sim::RunningStats{};
+}
+
+void TcpDiagnoser::classify(WindowStats& w) const {
+  const double loss =
+      w.data_packets == 0
+          ? 0.0
+          : static_cast<double>(w.retransmissions) /
+                static_cast<double>(w.data_packets);
+  // Priority order mirrors DAPPER: network problems trump window
+  // pressure (retransmissions dominate everything), then receiver, then
+  // sender.
+  if (loss > config_.loss_threshold) {
+    w.verdict = Verdict::kNetworkLimited;
+  } else if (w.rwnd_utilization > config_.rwnd_pressure_threshold) {
+    w.verdict = Verdict::kReceiverLimited;
+  } else if (w.rwnd_utilization < config_.sender_idle_threshold &&
+             w.data_packets > 0) {
+    w.verdict = Verdict::kSenderLimited;
+  } else {
+    w.verdict = Verdict::kHealthy;
+  }
+}
+
+void TcpDiagnoser::on_data(const net::TcpHeader& tcp,
+                           std::uint32_t payload_bytes, sim::Time now) {
+  roll_window(now);
+  ++current_.data_packets;
+
+  // highest_seq_sent_ tracks the *end* of the highest segment; a data
+  // segment starting below it revisits already-sent bytes: retransmission.
+  if (seq_seen_ && tcp.seq < highest_seq_sent_ && payload_bytes > 0) {
+    ++current_.retransmissions;
+  }
+  const std::uint32_t seg_end = tcp.seq + payload_bytes;
+  if (!seq_seen_ || seg_end > highest_seq_sent_) {
+    highest_seq_sent_ = seg_end;
+    seq_seen_ = true;
+  }
+
+  // Flight size = data sent beyond the last cumulative ack; utilization
+  // is flight relative to the receiver's advertised window.
+  const double flight = highest_seq_sent_ > highest_ack_
+                            ? static_cast<double>(highest_seq_sent_ - highest_ack_)
+                            : 0.0;
+  flight_samples_.add(flight);
+  if (last_rwnd_ > 0) {
+    utilization_samples_.add(
+        std::min(1.0, flight / static_cast<double>(last_rwnd_)));
+  }
+}
+
+void TcpDiagnoser::on_ack(const net::TcpHeader& tcp, sim::Time now) {
+  roll_window(now);
+  highest_ack_ = std::max(highest_ack_, tcp.ack);
+  last_rwnd_ = tcp.window;
+  current_.min_rwnd =
+      std::min(current_.min_rwnd, static_cast<std::uint32_t>(tcp.window));
+}
+
+double TcpDiagnoser::verdict_fraction(Verdict v) const {
+  if (windows_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& w : windows_) n += (w.verdict == v);
+  return static_cast<double>(n) / static_cast<double>(windows_.size());
+}
+
+}  // namespace intox::dapper

@@ -1,0 +1,32 @@
+// Exact-match match-action table with a default action.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+namespace intox::dataplane {
+
+template <typename Key, typename Action, typename Hash = std::hash<Key>>
+class MatchActionTable {
+ public:
+  explicit MatchActionTable(Action default_action = Action{})
+      : default_(std::move(default_action)) {}
+
+  void insert(const Key& key, Action action) { table_[key] = std::move(action); }
+  bool erase(const Key& key) { return table_.erase(key) > 0; }
+  void set_default(Action action) { default_ = std::move(action); }
+
+  /// Returns the matching action, or the default.
+  [[nodiscard]] const Action& lookup(const Key& key) const {
+    auto it = table_.find(key);
+    return it != table_.end() ? it->second : default_;
+  }
+  [[nodiscard]] bool contains(const Key& key) const { return table_.count(key) > 0; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  Action default_;
+  std::unordered_map<Key, Action, Hash> table_;
+};
+
+}  // namespace intox::dataplane

@@ -1,0 +1,28 @@
+// Packet-processing pipeline interface.
+//
+// A PacketProcessor is a stage a switch runs on every packet after the
+// routing lookup; it can observe headers, update its register state, and
+// override the forwarding decision — exactly the power a P4 program has.
+// Blink's data-plane pipeline and SP-PIFO's scheduler both implement it.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace intox::dataplane {
+
+struct PipelineMetadata {
+  int ingress_port = -1;
+  /// Egress chosen by the routing lookup; a processor may override it.
+  int egress_port = -1;
+  bool drop = false;
+};
+
+class PacketProcessor {
+ public:
+  virtual ~PacketProcessor() = default;
+  virtual void process(const net::Packet& pkt, PipelineMetadata& meta,
+                       sim::Time now) = 0;
+};
+
+}  // namespace intox::dataplane

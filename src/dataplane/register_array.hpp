@@ -1,0 +1,59 @@
+// P4-style stateful register array.
+//
+// Programmable switches expose state as fixed-size register arrays with
+// read-modify-write access from the packet pipeline. Modeling state this
+// way (instead of unbounded maps) keeps ports of data-plane algorithms
+// honest about their memory footprint — the very constraint §3.2 points
+// to when discussing state-exhaustion attacks.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace intox::dataplane {
+
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size, T initial = T{})
+      : initial_(initial), cells_(size, initial) {}
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  [[nodiscard]] const T& read(std::size_t index) const {
+    check(index);
+    return cells_[index];
+  }
+
+  void write(std::size_t index, T value) {
+    check(index);
+    cells_[index] = std::move(value);
+  }
+
+  /// Atomic-in-the-pipeline read-modify-write: `f` receives a mutable
+  /// reference and its return value is forwarded to the caller.
+  template <typename F>
+  auto apply(std::size_t index, F&& f) -> decltype(f(std::declval<T&>())) {
+    check(index);
+    return f(cells_[index]);
+  }
+
+  /// Resets every cell to the initial value (control-plane reset).
+  void reset() { cells_.assign(cells_.size(), initial_); }
+
+  [[nodiscard]] const std::vector<T>& cells() const { return cells_; }
+
+ private:
+  void check(std::size_t index) const {
+    if (index >= cells_.size()) {
+      throw std::out_of_range("RegisterArray index " + std::to_string(index) +
+                              " >= size " + std::to_string(cells_.size()));
+    }
+  }
+
+  T initial_;
+  std::vector<T> cells_;
+};
+
+}  // namespace intox::dataplane

@@ -1,0 +1,59 @@
+#include "dataplane/switch.hpp"
+
+namespace intox::dataplane {
+
+void RoutedSwitch::receive(net::Packet pkt, int ingress_port) {
+  // TTL handling first, as in a real router.
+  if (pkt.ttl <= 1) {
+    ++counters_.ttl_expired;
+    send_time_exceeded(pkt);
+    return;
+  }
+  --pkt.ttl;
+
+  PipelineMetadata meta;
+  meta.ingress_port = ingress_port;
+  if (auto match = routes_.lookup(pkt.dst)) {
+    meta.egress_port = static_cast<int>(match->value);
+  }
+
+  for (PacketProcessor* stage : pipeline_) {
+    stage->process(pkt, meta, sched_.now());
+    if (meta.drop) {
+      ++counters_.dropped_pipeline;
+      return;
+    }
+  }
+
+  if (meta.egress_port < 0) {
+    ++counters_.dropped_no_route;
+    return;
+  }
+  ++counters_.forwarded;
+  send(meta.egress_port, std::move(pkt));
+}
+
+void RoutedSwitch::send_time_exceeded(const net::Packet& expired) {
+  net::Packet reply;
+  reply.src = reply_addr();
+  reply.dst = expired.src;
+  reply.ttl = 64;
+  net::IcmpHeader icmp;
+  icmp.type = net::IcmpType::kTimeExceeded;
+  icmp.code = 0;  // TTL exceeded in transit
+  if (const auto* u = expired.udp()) {
+    icmp.id = u->dst_port;  // echo the probe's port so the prober can match
+  } else if (const auto* ic = expired.icmp()) {
+    icmp.id = ic->id;
+    icmp.seq = ic->seq;
+  }
+  reply.l4 = icmp;
+  reply.payload_bytes = 28;  // embedded original IP header + 8 bytes
+  reply.flow_tag = expired.flow_tag;
+
+  if (auto match = routes_.lookup(reply.dst)) {
+    send(static_cast<int>(match->value), std::move(reply));
+  }
+}
+
+}  // namespace intox::dataplane

@@ -1,0 +1,120 @@
+#include "egress/attack.hpp"
+
+#include <memory>
+
+namespace intox::egress {
+
+EgressExperimentResult run_egress_attack_experiment(
+    const EgressExperimentConfig& config) {
+  sim::Scheduler sched;
+  sim::Rng rng{config.seed};
+  const std::size_t n_paths = config.path_delay.size();
+
+  EgressExperimentResult result;
+  sim::TimeSeries rtt_ms;
+
+  // Peering paths: each a link to the destination; the destination
+  // "acks" every packet back to the edge instantly (the passive delivery
+  // confirmation the selector consumes), so measured RTT = 2 * one-way.
+  EgressSelector* selector_ptr = nullptr;
+  std::vector<std::unique_ptr<sim::Link>> paths;
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    sim::LinkConfig cfg;
+    cfg.rate_bps = 1e9;
+    cfg.prop_delay = config.path_delay[p];
+    paths.push_back(std::make_unique<sim::Link>(
+        sched, cfg, [&, p](net::Packet pkt) {
+          // Arrival at destination: confirmation travels back with the
+          // same path delay.
+          sched.schedule_after(config.path_delay[p], [&, p, pkt] {
+            const auto rtt = static_cast<sim::Duration>(
+                2 * config.path_delay[p]);
+            selector_ptr->on_delivery(p, rtt);
+            rtt_ms.record(sched.now(), sim::to_seconds(rtt) * 1000.0);
+            (void)pkt;
+          });
+        }));
+  }
+
+  EgressConfig ecfg;
+  ecfg.paths = n_paths;
+  EgressSelector selector{sched, ecfg, [&](std::size_t p, net::Packet pkt) {
+                            paths[p]->transmit(std::move(pkt));
+                          }};
+  selector_ptr = &selector;
+  selector.start();
+
+  // Attacker: MitM on the peering fabric who degrades every path except
+  // the one she controls. Once traffic has fled to her path, only the
+  // ~5% exploration flows still transit the degraded paths, so the
+  // sustained tampering volume is tiny. A dropped packet yields a loss
+  // signal at the edge (a missing delivery confirmation /
+  // retransmission).
+  std::uint64_t dropped = 0;
+  bool attacking = false;
+  sim::Rng atk_rng{config.attacker.seed};
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    paths[p]->set_tap([&, p](net::Packet&) {
+      if (!attacking || p == config.attacker.attacker_path) {
+        return sim::TapAction::kForward;
+      }
+      if (atk_rng.bernoulli(config.attacker.drop_prob)) {
+        ++dropped;
+        selector.on_loss(p);  // the edge registers the loss passively
+        return sim::TapAction::kDrop;
+      }
+      return sim::TapAction::kForward;
+    });
+  }
+
+  // Production workload: short flows arriving continuously.
+  std::uint64_t packets = 0;
+  std::function<void()> arrivals = [&] {
+    net::Packet pkt;
+    pkt.src = net::Ipv4Addr{
+        static_cast<std::uint32_t>(rng.uniform_int(1, UINT32_MAX))};
+    pkt.dst = net::Ipv4Addr{198, 51, 100, 1};
+    net::TcpHeader t;
+    t.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    t.dst_port = 443;
+    pkt.l4 = t;
+    pkt.payload_bytes = 800;
+    ++packets;
+    selector.forward(std::move(pkt));
+    sched.schedule_after(
+        static_cast<sim::Duration>(
+            rng.exponential(static_cast<double>(sim::kSecond) /
+                            config.flows_per_second)),
+        arrivals);
+  };
+  sched.schedule_at(0, arrivals);
+
+  sched.run_until(config.warmup);
+  result.preferred_before = selector.preferred_path();
+  result.mean_rtt_before_ms = rtt_ms.mean_over(config.warmup / 2, config.warmup);
+
+  attacking = config.attack;
+  const sim::Time end = config.warmup + config.attack_duration;
+  sched.run_until(end);
+  selector.stop();
+
+  result.preferred_after = selector.preferred_path();
+  result.mean_rtt_after_ms =
+      rtt_ms.mean_over(end - config.attack_duration / 2, end);
+  result.attacker_dropped = dropped;
+  result.packets_total = packets;
+  result.switches = selector.switches();
+  const auto grid = selector.preference_series().resample(
+      config.warmup, end, sim::seconds(1));
+  std::size_t on_attacker = 0;
+  for (double v : grid) {
+    on_attacker += static_cast<std::size_t>(v) == config.attacker.attacker_path;
+  }
+  result.attacker_path_fraction =
+      grid.empty() ? 0.0
+                   : static_cast<double>(on_attacker) /
+                         static_cast<double>(grid.size());
+  return result;
+}
+
+}  // namespace intox::egress

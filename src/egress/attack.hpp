@@ -1,0 +1,65 @@
+// §3.2 egress-selection attack:
+//
+//   "An attacker could lower the performance (e.g., increase the delay)
+//    of the flows destined to these networks so that they use another
+//    path."
+//
+// The attacker is a MitM on the currently-best peering path. She drops a
+// small fraction of the *production* flows transiting it (there are no
+// probes to target — the measurements are passive), which poisons that
+// path's passive quality estimate and pushes the edge onto the path the
+// attacker prefers (e.g. one she can eavesdrop).
+//
+// The experiment builds an edge with three peering paths of different
+// genuine quality, runs a flow workload through the selector, and lets
+// the attacker degrade whichever path the selector currently prefers —
+// except the attacker-controlled one.
+#pragma once
+
+#include "egress/selector.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::egress {
+
+struct EgressAttackConfig {
+  /// Drop probability the attacker applies to targeted-path packets.
+  /// Must push the victim paths' loss-penalized score decisively past
+  /// the hysteresis band around the attacker path's honest score; after
+  /// the flip only exploration traffic transits the degraded paths, so
+  /// the absolute tampering volume stays ~2% of all packets.
+  double drop_prob = 0.3;
+  /// The path the attacker wants traffic on (she taps it elsewhere).
+  std::size_t attacker_path = 2;
+  std::uint64_t seed = 99;
+};
+
+struct EgressExperimentConfig {
+  /// Genuine one-way delays per path (path 0 is the honest best).
+  std::vector<sim::Duration> path_delay{sim::millis(10), sim::millis(14),
+                                        sim::millis(25)};
+  sim::Duration warmup = sim::seconds(10);
+  sim::Duration attack_duration = sim::seconds(30);
+  /// Production workload: flows per second through the edge.
+  double flows_per_second = 200.0;
+  bool attack = true;
+  EgressAttackConfig attacker{};
+  std::uint64_t seed = 1;
+};
+
+struct EgressExperimentResult {
+  std::size_t preferred_before = 0;
+  std::size_t preferred_after = 0;
+  double mean_rtt_before_ms = 0.0;
+  double mean_rtt_after_ms = 0.0;
+  std::uint64_t attacker_dropped = 0;
+  std::uint64_t packets_total = 0;
+  std::uint64_t switches = 0;
+  /// Fraction of post-warmup decision epochs spent preferring the
+  /// attacker's path.
+  double attacker_path_fraction = 0.0;
+};
+
+EgressExperimentResult run_egress_attack_experiment(
+    const EgressExperimentConfig& config);
+
+}  // namespace intox::egress

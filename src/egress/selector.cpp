@@ -1,0 +1,79 @@
+#include "egress/selector.hpp"
+
+namespace intox::egress {
+
+EgressSelector::EgressSelector(sim::Scheduler& sched,
+                               const EgressConfig& config, PathSend send)
+    : sched_(sched), config_(config), send_(std::move(send)),
+      rng_(config.seed), stats_(config.paths) {}
+
+void EgressSelector::start() {
+  running_ = true;
+  timer_ = sched_.schedule_after(config_.decision_interval,
+                                 [this] { decide(); });
+}
+
+void EgressSelector::stop() {
+  running_ = false;
+  sched_.cancel(timer_);
+}
+
+std::size_t EgressSelector::pick_path(const net::Packet& pkt) {
+  // Sticky per flow: hash decides whether this flow is exploration
+  // traffic and, if so, which alternative it measures.
+  const std::uint32_t h = net::flow_hash(pkt.five_tuple(), 0x0e9e55u);
+  const double u = static_cast<double>(h) / 4294967296.0;
+  const double explore_total =
+      config_.exploration_share * static_cast<double>(config_.paths - 1);
+  if (u >= explore_total || config_.paths <= 1) return preferred_;
+  // Spread exploration flows uniformly over the non-preferred paths.
+  auto slot = static_cast<std::size_t>(u / config_.exploration_share);
+  if (slot >= config_.paths - 1) slot = config_.paths - 2;
+  return slot >= preferred_ ? slot + 1 : slot;
+}
+
+void EgressSelector::forward(net::Packet pkt) {
+  const std::size_t path = pick_path(pkt);
+  ++stats_[path].packets;
+  send_(path, std::move(pkt));
+}
+
+void EgressSelector::on_delivery(std::size_t path, sim::Duration rtt) {
+  PathStats& s = stats_[path];
+  ++s.acked;
+  const double sample = sim::to_seconds(rtt);
+  s.rtt_s = s.valid ? (1.0 - config_.ewma_gain) * s.rtt_s +
+                          config_.ewma_gain * sample
+                    : sample;
+  s.loss = (1.0 - config_.ewma_gain) * s.loss;
+  s.valid = true;
+}
+
+void EgressSelector::on_loss(std::size_t path) {
+  PathStats& s = stats_[path];
+  s.loss = (1.0 - config_.ewma_gain) * s.loss + config_.ewma_gain;
+  s.valid = true;
+}
+
+void EgressSelector::decide() {
+  if (!running_) return;
+  std::size_t best = preferred_;
+  double best_score = stats_[preferred_].score(config_);
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
+    if (p == preferred_) continue;
+    const double s = stats_[p].score(config_);
+    if (s < best_score * config_.switch_threshold) {
+      best = p;
+      best_score = s;
+    }
+  }
+  if (best != preferred_) {
+    preferred_ = best;
+    ++switches_;
+  }
+  preference_series_.record(sched_.now(), static_cast<double>(preferred_));
+  timer_ = sched_.schedule_after(config_.decision_interval,
+                                 [this] { decide(); });
+}
+
+}  // namespace intox::egress

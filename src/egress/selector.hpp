@@ -1,0 +1,108 @@
+// Espresso / Edge Fabric-style egress selection (§3.2 of the paper):
+//
+//   "Google Espresso and Facebook EdgeConnect use passive measurements
+//    to extract information and send traffic on the best-performing
+//    path. An attacker could lower the performance (e.g., increase the
+//    delay) of the flows destined to these networks so that they use
+//    another path."
+//
+// An edge point-of-presence reaches a destination prefix over several
+// peering paths. Production flows are hashed onto the currently-preferred
+// path; a small exploration share stays on the alternatives so their
+// quality keeps being measured *passively* — from the transiting
+// traffic's delivery confirmations, never from active probes. Every
+// decision epoch the controller shifts the prefix to the path with the
+// best smoothed performance score.
+//
+// The passive design is the attack surface: whoever degrades the flows
+// on a path controls that path's measured quality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/link.hpp"
+#include "sim/stats.hpp"
+
+namespace intox::egress {
+
+struct EgressConfig {
+  std::size_t paths = 3;
+  /// Fraction of flows kept on each non-preferred path for measurement.
+  double exploration_share = 0.05;
+  sim::Duration decision_interval = sim::seconds(1);
+  /// EWMA gain for per-path loss / RTT estimates.
+  double ewma_gain = 0.15;
+  /// Latency penalty per unit loss when scoring (lower score = better).
+  double loss_penalty = 20.0;
+  /// Hysteresis: a challenger must beat the incumbent by this factor.
+  double switch_threshold = 0.85;
+  std::uint64_t seed = 1;
+};
+
+struct PathStats {
+  double rtt_s = 0.0;
+  double loss = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t acked = 0;
+  bool valid = false;
+  [[nodiscard]] double score(const EgressConfig& cfg) const {
+    if (!valid) return 1e9;
+    return rtt_s * (1.0 + cfg.loss_penalty * loss);
+  }
+};
+
+/// One edge PoP steering traffic for one destination prefix across
+/// several peering paths (each a sim::Link pair provided by the caller
+/// via transmit/ack plumbing).
+class EgressSelector {
+ public:
+  /// `send(path, packet)` forwards a packet over the given peering path.
+  using PathSend = std::function<void(std::size_t, net::Packet)>;
+
+  EgressSelector(sim::Scheduler& sched, const EgressConfig& config,
+                 PathSend send);
+
+  void start();
+  void stop();
+
+  /// Routes one production packet: picks the path by flow hash (sticky
+  /// per flow) honouring the current preference + exploration split.
+  void forward(net::Packet pkt);
+
+  /// Delivery confirmation for a packet previously forwarded (the
+  /// passive signal; e.g. TCP ACK observed at the edge). `rtt` is the
+  /// measured round trip.
+  void on_delivery(std::size_t path, sim::Duration rtt);
+  /// Loss indication for a packet on `path` (e.g. retransmission seen).
+  void on_loss(std::size_t path);
+
+  [[nodiscard]] std::size_t preferred_path() const { return preferred_; }
+  [[nodiscard]] const PathStats& stats(std::size_t path) const {
+    return stats_[path];
+  }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] const sim::TimeSeries& preference_series() const {
+    return preference_series_;
+  }
+
+ private:
+  void decide();
+  std::size_t pick_path(const net::Packet& pkt);
+
+  sim::Scheduler& sched_;
+  EgressConfig config_;
+  PathSend send_;
+  sim::Rng rng_;
+  std::vector<PathStats> stats_;
+  std::size_t preferred_ = 0;
+  std::uint64_t switches_ = 0;
+  bool running_ = false;
+  sim::Scheduler::EventId timer_;
+  sim::TimeSeries preference_series_;
+};
+
+}  // namespace intox::egress

@@ -1,0 +1,98 @@
+#include "innet/attack.hpp"
+
+#include <cmath>
+
+namespace intox::innet {
+
+Features craft_adversarial(const QuantizedMlp& model, const Features& x,
+                           std::size_t target_class,
+                           const EvasionConfig& config) {
+  Features adv = x;
+  // Margin m = logit1 - logit0. Target benign (0): minimize m; target
+  // attack (1): maximize m.
+  const double sign = target_class == 0 ? -1.0 : 1.0;
+  auto objective = [&](const Features& f) {
+    return sign * static_cast<double>(model.margin(f));
+  };
+
+  for (int pass = 0; pass < config.passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      double best = objective(adv);
+      std::int32_t best_value = adv[i];
+      for (std::int32_t step : config.steps) {
+        for (int dir : {-1, +1}) {
+          const std::int32_t candidate = adv[i] + dir * step;
+          if (std::abs(candidate - x[i]) > config.budget || candidate < 0) {
+            continue;
+          }
+          Features trial = adv;
+          trial[i] = candidate;
+          const double o = objective(trial);
+          if (o > best) {
+            best = o;
+            best_value = candidate;
+          }
+        }
+      }
+      if (best_value != adv[i]) {
+        adv[i] = best_value;
+        improved = true;
+      }
+    }
+    if (model.predict(adv) == target_class) return adv;
+    if (!improved) break;
+  }
+  return model.predict(adv) == target_class ? adv : x;
+}
+
+EvasionOutcome run_evasion_experiment(std::uint64_t seed,
+                                      const EvasionConfig& config) {
+  const TrainedClassifier clf = train_classifier(seed);
+  const auto eval = make_dataset(800, seed + 10);
+
+  EvasionOutcome out;
+  sim::Rng rng{seed + 20};
+  std::size_t attacks = 0, detected = 0, evaded = 0, random_flipped = 0;
+  double l1 = 0.0;
+
+  for (const auto& s : eval) {
+    if (s.label != 1) continue;
+    ++attacks;
+    if (clf.deployed.predict(s.x) != 1) continue;  // already missed
+    ++detected;
+
+    // Adversarial perturbation.
+    const Features adv = craft_adversarial(clf.deployed, s.x, 0, config);
+    if (clf.deployed.predict(adv) == 0) {
+      ++evaded;
+      for (std::size_t i = 0; i < kFeatures; ++i) {
+        l1 += std::abs(adv[i] - s.x[i]);
+      }
+    }
+
+    // Random control with the same per-feature budget.
+    Features rnd = s.x;
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      const auto delta = static_cast<std::int32_t>(
+          rng.uniform_int(0, 2 * static_cast<std::uint64_t>(config.budget)));
+      rnd[i] = std::max(0, s.x[i] + delta - config.budget);
+    }
+    random_flipped += clf.deployed.predict(rnd) == 0;
+  }
+
+  out.clean_detection_rate =
+      attacks ? static_cast<double>(detected) / static_cast<double>(attacks)
+              : 0.0;
+  out.evasion_rate =
+      detected ? static_cast<double>(evaded) / static_cast<double>(detected)
+               : 0.0;
+  out.random_flip_rate =
+      detected
+          ? static_cast<double>(random_flipped) / static_cast<double>(detected)
+          : 0.0;
+  out.mean_l1_change = evaded ? l1 / static_cast<double>(evaded) : 0.0;
+  return out;
+}
+
+}  // namespace intox::innet

@@ -1,0 +1,56 @@
+// Adversarial examples against the in-network classifier (§3.2):
+//
+//   "neural networks are vulnerable to adversarial examples, and thus
+//    are particularly exposed in a setting where anyone can inject
+//    inputs over the Internet."
+//
+// All eight features come straight from header fields the sender
+// controls, so "perturbation" here is not a float epsilon — it is simply
+// choosing slightly different header values. The attack is a greedy
+// coordinate descent on the deployed model's integer logit margin
+// (white-box per Kerckhoff; a black-box variant queries predictions
+// only), bounded per-feature so the attack traffic stays functionally an
+// attack (e.g. a scanner cannot grow its probes into full-size packets
+// without losing its scan rate).
+#pragma once
+
+#include "innet/classifier.hpp"
+
+namespace intox::innet {
+
+struct EvasionConfig {
+  /// Max absolute change per feature. Header fields are fully
+  /// attacker-controllable, so this budget is a *conservative* model of
+  /// functional constraints (a scanner that grows its probes too much
+  /// stops being an effective scanner). The bench sweeps it.
+  std::int32_t budget = 64;
+  /// Greedy passes over the feature vector.
+  int passes = 6;
+  /// Step sizes tried per coordinate.
+  std::array<std::int32_t, 5> steps{1, 4, 8, 16, 32};
+};
+
+struct EvasionOutcome {
+  /// Fraction of attack samples reclassified as benign after perturbation.
+  double evasion_rate = 0.0;
+  /// Same budget spent on *random* perturbation (control).
+  double random_flip_rate = 0.0;
+  /// Mean L1 feature change among successful evasions.
+  double mean_l1_change = 0.0;
+  double clean_detection_rate = 0.0;
+};
+
+/// Perturbs one sample to flip the deployed model's verdict towards
+/// `target_class`; returns the adversarial features (unchanged copy if
+/// the search failed).
+Features craft_adversarial(const QuantizedMlp& model, const Features& x,
+                           std::size_t target_class,
+                           const EvasionConfig& config);
+
+/// Full experiment: train, measure clean detection, run the evasion on
+/// every detected attack sample, compare with a random-perturbation
+/// control of the same budget.
+EvasionOutcome run_evasion_experiment(std::uint64_t seed,
+                                      const EvasionConfig& config = EvasionConfig{});
+
+}  // namespace intox::innet

@@ -1,0 +1,42 @@
+// In-network traffic classifier: feature extraction + synthetic labelled
+// workload + train/quantize/deploy pipeline.
+//
+// The deployed model classifies packets as benign (0) or attack (1) from
+// eight header-derived integer features — everything an attacker can set
+// arbitrarily from any Internet host, which is the whole point of §3.2's
+// warning.
+#pragma once
+
+#include <vector>
+
+#include "innet/mlp.hpp"
+#include "net/packet.hpp"
+
+namespace intox::innet {
+
+/// Header-derived feature vector (all attacker-controllable).
+Features extract_features(const net::Packet& pkt);
+
+struct Sample {
+  Features x{};
+  std::size_t label = 0;
+};
+
+/// Synthetic labelled workload: benign web-like traffic vs a scanning /
+/// flooding attack-class mixture. Distributions overlap (realistic), so
+/// perfect accuracy is impossible but >90% is reachable.
+std::vector<Sample> make_dataset(std::size_t per_class, std::uint64_t seed);
+
+struct TrainedClassifier {
+  Mlp model;
+  QuantizedMlp deployed;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double quantized_test_accuracy = 0.0;
+};
+
+/// Trains on one dataset, evaluates on a held-out one, quantizes.
+TrainedClassifier train_classifier(std::uint64_t seed, std::size_t per_class = 2000,
+                                   int epochs = 12, double lr = 1e-4);
+
+}  // namespace intox::innet

@@ -1,0 +1,135 @@
+#include "innet/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intox::innet {
+
+Mlp::Mlp(std::uint64_t seed)
+    : w1_(kHidden * kFeatures), b1_(kHidden), w2_(kClasses * kHidden),
+      b2_(kClasses) {
+  sim::Rng rng{seed};
+  const double s1 = 1.0 / std::sqrt(static_cast<double>(kFeatures));
+  const double s2 = 1.0 / std::sqrt(static_cast<double>(kHidden));
+  for (auto& w : w1_) w = rng.normal(0.0, s1);
+  for (auto& w : w2_) w = rng.normal(0.0, s2);
+}
+
+std::array<double, kClasses> Mlp::forward(const Features& x) const {
+  std::array<double, kHidden> h{};
+  for (std::size_t j = 0; j < kHidden; ++j) {
+    double a = b1_[j];
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      a += w1_[j * kFeatures + i] * static_cast<double>(x[i]);
+    }
+    h[j] = std::max(0.0, a);  // ReLU
+  }
+  std::array<double, kClasses> out{};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    double a = b2_[c];
+    for (std::size_t j = 0; j < kHidden; ++j) a += w2_[c * kHidden + j] * h[j];
+    out[c] = a;
+  }
+  return out;
+}
+
+std::size_t Mlp::predict(const Features& x) const {
+  const auto logits = forward(x);
+  return logits[1] > logits[0] ? 1 : 0;
+}
+
+double Mlp::train_step(const Features& x, std::size_t label, double lr) {
+  // Forward with cached activations.
+  std::array<double, kHidden> h{}, pre{};
+  for (std::size_t j = 0; j < kHidden; ++j) {
+    double a = b1_[j];
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      a += w1_[j * kFeatures + i] * static_cast<double>(x[i]);
+    }
+    pre[j] = a;
+    h[j] = std::max(0.0, a);
+  }
+  std::array<double, kClasses> logits{};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    double a = b2_[c];
+    for (std::size_t j = 0; j < kHidden; ++j) a += w2_[c * kHidden + j] * h[j];
+    logits[c] = a;
+  }
+
+  // Softmax cross-entropy.
+  const double m = std::max(logits[0], logits[1]);
+  const double z = std::exp(logits[0] - m) + std::exp(logits[1] - m);
+  std::array<double, kClasses> p{std::exp(logits[0] - m) / z,
+                                 std::exp(logits[1] - m) / z};
+  const double loss = -std::log(std::max(p[label], 1e-12));
+
+  // Backward.
+  std::array<double, kClasses> dlogit = p;
+  dlogit[label] -= 1.0;
+  std::array<double, kHidden> dh{};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (std::size_t j = 0; j < kHidden; ++j) {
+      dh[j] += dlogit[c] * w2_[c * kHidden + j];
+      w2_[c * kHidden + j] -= lr * dlogit[c] * h[j];
+    }
+    b2_[c] -= lr * dlogit[c];
+  }
+  for (std::size_t j = 0; j < kHidden; ++j) {
+    if (pre[j] <= 0.0) continue;  // ReLU gate
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      w1_[j * kFeatures + i] -= lr * dh[j] * static_cast<double>(x[i]);
+    }
+    b1_[j] -= lr * dh[j];
+  }
+  return loss;
+}
+
+QuantizedMlp QuantizedMlp::quantize(const Mlp& model) {
+  QuantizedMlp q;
+  const double scale = static_cast<double>(1 << kShift);
+  auto quantize_vec = [&](const std::vector<double>& in) {
+    std::vector<std::int32_t> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = static_cast<std::int32_t>(std::lround(in[i] * scale));
+    }
+    return out;
+  };
+  q.w1_ = quantize_vec(model.w1());
+  q.b1_ = quantize_vec(model.b1());
+  q.w2_ = quantize_vec(model.w2());
+  q.b2_ = quantize_vec(model.b2());
+  return q;
+}
+
+std::array<std::int64_t, kClasses> QuantizedMlp::forward(
+    const Features& x) const {
+  std::array<std::int64_t, kHidden> h{};
+  for (std::size_t j = 0; j < kHidden; ++j) {
+    std::int64_t a = b1_[j];
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      a += static_cast<std::int64_t>(w1_[j * kFeatures + i]) * x[i];
+    }
+    h[j] = std::max<std::int64_t>(0, a);
+  }
+  std::array<std::int64_t, kClasses> out{};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    std::int64_t a = static_cast<std::int64_t>(b2_[c]) << kShift;
+    for (std::size_t j = 0; j < kHidden; ++j) {
+      a += static_cast<std::int64_t>(w2_[c * kHidden + j]) * h[j];
+    }
+    out[c] = a >> kShift;  // rescale back to one weight-scale factor
+  }
+  return out;
+}
+
+std::size_t QuantizedMlp::predict(const Features& x) const {
+  const auto logits = forward(x);
+  return logits[1] > logits[0] ? 1 : 0;
+}
+
+std::int64_t QuantizedMlp::margin(const Features& x) const {
+  const auto logits = forward(x);
+  return logits[1] - logits[0];
+}
+
+}  // namespace intox::innet

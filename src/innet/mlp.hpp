@@ -1,0 +1,72 @@
+// A small fixed-point MLP deployable "in the data plane".
+//
+// §3.2 of the paper: "Siracusano et al. have shown how to run the
+// forward pass of a binary neural network in the data plane. While
+// promising, neural networks are vulnerable to adversarial examples,
+// and thus are particularly exposed in a setting where anyone can inject
+// inputs over the Internet."
+//
+// This module provides that substrate: a one-hidden-layer MLP trained in
+// floating point (plain SGD) and then quantized to integer weights, so
+// the deployed forward pass uses only the add/multiply/shift/ReLU
+// vocabulary a programmable switch offers. Inputs are integer header
+// features; outputs are class logits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace intox::innet {
+
+inline constexpr std::size_t kFeatures = 8;
+inline constexpr std::size_t kHidden = 16;
+inline constexpr std::size_t kClasses = 2;
+
+using Features = std::array<std::int32_t, kFeatures>;
+
+/// Float training model (host side).
+class Mlp {
+ public:
+  explicit Mlp(std::uint64_t seed);
+
+  /// One SGD step on a single example; returns the pre-step loss.
+  double train_step(const Features& x, std::size_t label, double lr);
+
+  /// Forward pass; returns class logits.
+  std::array<double, kClasses> forward(const Features& x) const;
+  [[nodiscard]] std::size_t predict(const Features& x) const;
+
+  // Weight access for quantization.
+  [[nodiscard]] const std::vector<double>& w1() const { return w1_; }
+  [[nodiscard]] const std::vector<double>& b1() const { return b1_; }
+  [[nodiscard]] const std::vector<double>& w2() const { return w2_; }
+  [[nodiscard]] const std::vector<double>& b2() const { return b2_; }
+
+ private:
+  // w1: kHidden x kFeatures, w2: kClasses x kHidden.
+  std::vector<double> w1_, b1_, w2_, b2_;
+};
+
+/// The quantized, switch-deployable forward pass: int32 weights scaled by
+/// 1 << kShift, ReLU hidden activations, integer logits.
+class QuantizedMlp {
+ public:
+  static constexpr int kShift = 8;  // weight scale 256
+
+  /// Quantizes a trained float model.
+  static QuantizedMlp quantize(const Mlp& model);
+
+  [[nodiscard]] std::array<std::int64_t, kClasses> forward(
+      const Features& x) const;
+  [[nodiscard]] std::size_t predict(const Features& x) const;
+  /// Logit margin of class 1 over class 0 (the attack's loss surface).
+  [[nodiscard]] std::int64_t margin(const Features& x) const;
+
+ private:
+  std::vector<std::int32_t> w1_, b1_, w2_, b2_;
+};
+
+}  // namespace intox::innet

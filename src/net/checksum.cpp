@@ -1,0 +1,26 @@
+#include "net/checksum.hpp"
+
+namespace intox::net {
+
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8) |
+           static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + 1]));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data,
+                                std::uint32_t initial) {
+  std::uint32_t sum = checksum_partial(data, initial);
+  while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffffu);
+}
+
+}  // namespace intox::net

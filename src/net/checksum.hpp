@@ -1,0 +1,21 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace intox::net {
+
+/// One's-complement sum of 16-bit words (odd trailing byte padded with
+/// zero), folded and complemented per RFC 1071. `initial` lets callers
+/// chain partial sums (e.g. a pseudo-header); pass the *unfolded* partial
+/// sum returned by `checksum_partial`.
+std::uint16_t internet_checksum(std::span<const std::byte> data,
+                                std::uint32_t initial = 0);
+
+/// Unfolded partial sum for chaining.
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t initial = 0);
+
+}  // namespace intox::net

@@ -1,0 +1,42 @@
+#include "net/hash.hpp"
+
+#include <array>
+
+namespace intox::net {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
+  std::uint32_t c = 0xffffffffu ^ seed;
+  for (std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint64_t fnv1a64(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace intox::net

@@ -1,0 +1,63 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace intox::net {
+
+namespace {
+
+// Parses a decimal integer in [lo, hi] from the front of `text`, advancing
+// it past the digits. Returns nullopt on malformed input or out-of-range.
+std::optional<int> parse_int(std::string_view& text, int lo, int hi) {
+  int v = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr == first || v < lo || v > hi) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - first));
+  return v;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_int(text, 0, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string to_string(Ipv4Addr addr) {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(addr.octet(i));
+  }
+  return out;
+}
+
+std::optional<Prefix> parse_prefix(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = parse_ipv4(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = parse_int(rest, 0, 32);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Prefix{*addr, *len};
+}
+
+std::string to_string(const Prefix& prefix) {
+  return to_string(prefix.addr()) + "/" + std::to_string(prefix.length());
+}
+
+}  // namespace intox::net

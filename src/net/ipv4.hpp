@@ -1,0 +1,81 @@
+// IPv4 addresses and prefixes.
+//
+// Strongly-typed wrappers around the host-order 32-bit representation so
+// that addresses, prefix lengths, and plain integers cannot be mixed up at
+// call sites. All operations are constexpr-friendly and allocation-free
+// except the formatting helpers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace intox::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Parses "a.b.c.d"; returns nullopt on malformed input.
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text);
+
+/// Formats as dotted quad.
+std::string to_string(Ipv4Addr addr);
+
+/// An IPv4 prefix (address + mask length). The address is canonicalized so
+/// that host bits below the mask are zero; this is a class invariant.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Addr addr, int len)
+      : addr_(Ipv4Addr{mask_off(addr.value(), len)}), len_(len) {}
+
+  [[nodiscard]] constexpr Ipv4Addr addr() const { return addr_; }
+  [[nodiscard]] constexpr int length() const { return len_; }
+
+  /// True iff `a` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Addr a) const {
+    return mask_off(a.value(), len_) == addr_.value();
+  }
+  /// True iff `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const {
+    return other.len_ >= len_ && contains(other.addr_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_off(std::uint32_t v, int len) {
+    return len <= 0 ? 0u : v & (~std::uint32_t{0} << (32 - len));
+  }
+  Ipv4Addr addr_;
+  int len_ = 0;
+};
+
+/// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+std::optional<Prefix> parse_prefix(std::string_view text);
+
+/// Formats as "a.b.c.d/len".
+std::string to_string(const Prefix& prefix);
+
+}  // namespace intox::net

@@ -1,0 +1,10 @@
+// LpmTable is header-only (class template); this TU anchors the library
+// and provides an explicit instantiation for the common next-hop type so
+// that most users pay the template cost once.
+#include "net/lpm.hpp"
+
+namespace intox::net {
+
+template class LpmTable<std::uint32_t>;
+
+}  // namespace intox::net

@@ -1,0 +1,103 @@
+// Longest-prefix-match routing table (binary trie).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace intox::net {
+
+/// A binary trie mapping IPv4 prefixes to values of type T (typically a
+/// next-hop / egress-port id). Lookup returns the value of the most
+/// specific matching prefix.
+template <typename T>
+class LpmTable {
+ public:
+  struct Match {
+    Prefix prefix;
+    T value;
+  };
+
+  /// Inserts or replaces the entry for `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.addr().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    if (!node->entry) ++size_;
+    node->entry = Match{prefix, std::move(value)};
+  }
+
+  /// Removes the entry for `prefix` if present; returns whether it existed.
+  bool erase(const Prefix& prefix) {
+    Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.addr().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) return false;
+      node = node->child[bit].get();
+    }
+    if (!node->entry) return false;
+    node->entry.reset();
+    --size_;
+    return true;
+  }
+
+  /// Longest-prefix match for `addr`.
+  [[nodiscard]] std::optional<Match> lookup(Ipv4Addr addr) const {
+    std::optional<Match> best;
+    const Node* node = &root_;
+    int depth = 0;
+    while (node) {
+      if (node->entry) best = *node->entry;
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup of a specific prefix.
+  [[nodiscard]] const T* find(const Prefix& prefix) const {
+    const Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.addr().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) return nullptr;
+      node = node->child[bit].get();
+    }
+    return node->entry ? &node->entry->value : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// All entries, in trie order (shorter prefixes first along each path).
+  [[nodiscard]] std::vector<Match> entries() const {
+    std::vector<Match> out;
+    collect(&root_, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<Match> entry;
+    std::unique_ptr<Node> child[2];
+  };
+
+  static void collect(const Node* node, std::vector<Match>& out) {
+    if (node->entry) out.push_back(*node->entry);
+    for (const auto& c : node->child) {
+      if (c) collect(c.get(), out);
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace intox::net

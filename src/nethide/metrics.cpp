@@ -1,0 +1,89 @@
+#include "nethide/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace intox::nethide {
+
+std::map<Edge, std::size_t> flow_density(const PathTable& paths) {
+  std::map<Edge, std::size_t> density;
+  for (NodeId s = 0; s < paths.nodes(); ++s) {
+    for (NodeId d = 0; d < paths.nodes(); ++d) {
+      const Path& p = paths.get(s, d);
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        ++density[Edge{p[i - 1], p[i]}];
+      }
+    }
+  }
+  return density;
+}
+
+std::size_t max_flow_density(const PathTable& paths) {
+  std::size_t best = 0;
+  for (const auto& [edge, count] : flow_density(paths)) {
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+std::size_t levenshtein(const Path& a, const Path& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+namespace {
+
+double path_similarity(const Path& phys, const Path& pres) {
+  const std::size_t longest = std::max(phys.size(), pres.size());
+  if (longest == 0) return 1.0;
+  const std::size_t dist = levenshtein(phys, pres);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+double link_jaccard(const Path& phys, const Path& pres) {
+  std::set<Edge> a, b;
+  for (std::size_t i = 1; i < phys.size(); ++i) a.insert(Edge{phys[i - 1], phys[i]});
+  for (std::size_t i = 1; i < pres.size(); ++i) b.insert(Edge{pres[i - 1], pres[i]});
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t common = 0;
+  for (const Edge& e : a) common += b.count(e);
+  return static_cast<double>(common) /
+         static_cast<double>(a.size() + b.size() - common);
+}
+
+template <typename F>
+double mean_over_pairs(const PathTable& physical, const PathTable& presented,
+                       F&& f) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (NodeId s = 0; s < physical.nodes(); ++s) {
+    for (NodeId d = 0; d < physical.nodes(); ++d) {
+      if (s == d) continue;
+      sum += f(physical.get(s, d), presented.get(s, d));
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 1.0;
+}
+
+}  // namespace
+
+double accuracy(const PathTable& physical, const PathTable& presented) {
+  return mean_over_pairs(physical, presented, path_similarity);
+}
+
+double utility(const PathTable& physical, const PathTable& presented) {
+  return mean_over_pairs(physical, presented, link_jaccard);
+}
+
+}  // namespace intox::nethide

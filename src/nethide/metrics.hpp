@@ -1,0 +1,35 @@
+// NetHide's security / accuracy / utility metrics (Meier et al., USENIX
+// Security'18), over (physical paths, presented paths) pairs.
+#pragma once
+
+#include <map>
+
+#include "nethide/traceroute.hpp"
+
+namespace intox::nethide {
+
+/// Flow density: number of (src, dst) pairs whose *physical* path
+/// crosses each link — the signal a link-flooding (Crossfire-style)
+/// attacker uses to pick targets. NetHide's security goal is to cap the
+/// *apparent* flow density of the presented topology.
+std::map<Edge, std::size_t> flow_density(const PathTable& paths);
+
+/// Maximum flow density over all links (0 for an empty table).
+std::size_t max_flow_density(const PathTable& paths);
+
+/// Accuracy: mean path similarity between physical and presented paths
+/// over all pairs. Similarity of two paths is 1 - Levenshtein distance /
+/// max length (1.0 = identical paths everywhere).
+double accuracy(const PathTable& physical, const PathTable& presented);
+
+/// Utility: mean Jaccard similarity of the *link sets* of physical and
+/// presented paths — how much of real debugging signal survives (a
+/// failed physical link is discoverable iff presented paths still cross
+/// it).
+double utility(const PathTable& physical, const PathTable& presented);
+
+/// Levenshtein distance between node sequences (helper, exposed for
+/// tests).
+std::size_t levenshtein(const Path& a, const Path& b);
+
+}  // namespace intox::nethide

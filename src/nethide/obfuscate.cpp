@@ -1,0 +1,87 @@
+#include "nethide/obfuscate.hpp"
+
+#include <algorithm>
+
+namespace intox::nethide {
+
+ObfuscationResult obfuscate(const Topology& topo,
+                            const ObfuscationConfig& config) {
+  const PathTable physical = PathTable::all_shortest_paths(topo);
+  PathTable presented = physical;
+
+  ObfuscationResult result{std::move(presented)};
+  result.physical_max_density = max_flow_density(physical);
+  const std::size_t target =
+      config.max_density > 0
+          ? config.max_density
+          : std::max<std::size_t>(1, result.physical_max_density * 6 / 10);
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    auto density = flow_density(result.presented);
+    // Hottest link above target.
+    const Edge* hottest = nullptr;
+    std::size_t hottest_count = target;
+    for (const auto& [edge, count] : density) {
+      if (count > hottest_count) {
+        hottest_count = count;
+        hottest = &edge;
+      }
+    }
+    if (!hottest) break;  // density capped everywhere
+
+    // Find the pair crossing this link whose detour costs the least
+    // additional path length, and present the detour instead.
+    bool moved = false;
+    NodeId best_s = 0, best_d = 0;
+    Path best_detour;
+    std::size_t best_extra = SIZE_MAX;
+    for (NodeId s = 0; s < result.presented.nodes() && best_extra > 0; ++s) {
+      for (NodeId d = 0; d < result.presented.nodes(); ++d) {
+        const Path& p = result.presented.get(s, d);
+        bool crosses = false;
+        for (std::size_t i = 1; i < p.size() && !crosses; ++i) {
+          crosses = Edge{p[i - 1], p[i]} == *hottest;
+        }
+        if (!crosses) continue;
+        auto detour = topo.shortest_path_avoiding(s, d, *hottest);
+        if (!detour) continue;
+        const std::size_t extra = detour->size() - p.size();
+        if (extra < best_extra) {
+          best_extra = extra;
+          best_s = s;
+          best_d = d;
+          best_detour = std::move(*detour);
+          if (best_extra == 0) break;
+        }
+      }
+    }
+    if (!best_detour.empty()) {
+      result.presented.set(best_s, best_d, best_detour);
+      ++result.rerouted_pairs;
+      moved = true;
+    }
+    if (!moved) break;
+
+    if (accuracy(physical, result.presented) < config.accuracy_floor) break;
+  }
+
+  result.presented_max_density = max_flow_density(result.presented);
+  result.accuracy = accuracy(physical, result.presented);
+  result.utility = utility(physical, result.presented);
+  return result;
+}
+
+ObfuscationResult present_fake_topology(const Topology& real_topo,
+                                        const Topology& decoy) {
+  const PathTable physical = PathTable::all_shortest_paths(real_topo);
+  PathTable presented = PathTable::all_shortest_paths(decoy);
+
+  ObfuscationResult result{std::move(presented)};
+  result.physical_max_density = max_flow_density(physical);
+  result.presented_max_density = max_flow_density(result.presented);
+  result.accuracy = accuracy(physical, result.presented);
+  result.utility = utility(physical, result.presented);
+  return result;
+}
+
+}  // namespace intox::nethide

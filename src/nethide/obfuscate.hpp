@@ -1,0 +1,46 @@
+// NetHide-style obfuscation and its malicious twin.
+//
+// Defensive use (NetHide): present virtual paths that cap the apparent
+// flow density of every link (so a link-flooding attacker cannot find
+// the juicy bottlenecks) while keeping accuracy/utility high — "limits
+// the amount of lying to the minimum that is required".
+//
+// Malicious use (§4.3): "the exact same technique could be used by
+// malicious operators to present wrong information about the topology" —
+// here, presenting an arbitrary decoy topology unrelated to the network.
+#pragma once
+
+#include "nethide/metrics.hpp"
+
+namespace intox::nethide {
+
+struct ObfuscationConfig {
+  /// Cap on apparent flow density per link.
+  std::size_t max_density = 0;  // 0 = auto: 60% of the physical max
+  /// Stop deviating once accuracy would fall below this floor.
+  double accuracy_floor = 0.5;
+  std::size_t max_iterations = 10000;
+};
+
+struct ObfuscationResult {
+  PathTable presented;
+  std::size_t physical_max_density = 0;
+  std::size_t presented_max_density = 0;
+  double accuracy = 0.0;
+  double utility = 0.0;
+  std::size_t rerouted_pairs = 0;
+};
+
+/// Greedy NetHide: repeatedly take the hottest link and divert the
+/// longest presented paths that cross it onto detours that avoid it.
+/// Detours are real paths of the physical topology minus that link, so
+/// the presented topology stays plausible.
+ObfuscationResult obfuscate(const Topology& topo, const ObfuscationConfig& config);
+
+/// The malicious variant: answer every traceroute according to `decoy`'s
+/// shortest paths (node ids shared between the real and decoy worlds).
+/// Returns the presented table plus the metrics against reality.
+ObfuscationResult present_fake_topology(const Topology& real_topo,
+                                        const Topology& decoy);
+
+}  // namespace intox::nethide

@@ -1,0 +1,150 @@
+#include "nethide/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace intox::nethide {
+
+Topology::Topology(std::size_t nodes) : adj_(nodes) {}
+
+void Topology::add_link(NodeId u, NodeId v) {
+  if (u == v || has_link(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+bool Topology::remove_link(NodeId u, NodeId v) {
+  if (!has_link(u, v)) return false;
+  std::erase(adj_[u], v);
+  std::erase(adj_[v], u);
+  return true;
+}
+
+bool Topology::has_link(NodeId u, NodeId v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+std::size_t Topology::link_count() const {
+  std::size_t deg = 0;
+  for (const auto& n : adj_) deg += n.size();
+  return deg / 2;
+}
+
+std::vector<Edge> Topology::links() const {
+  std::vector<Edge> out;
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+net::Ipv4Addr Topology::addr(NodeId u) const {
+  return net::Ipv4Addr{10, 255, static_cast<std::uint8_t>(u >> 8),
+                       static_cast<std::uint8_t>(u & 0xff)};
+}
+
+std::optional<Path> Topology::bfs(NodeId src, NodeId dst,
+                                  const Edge* avoid) const {
+  if (src >= adj_.size() || dst >= adj_.size()) return std::nullopt;
+  if (src == dst) return Path{src};
+  std::vector<NodeId> parent(adj_.size(), UINT32_MAX);
+  std::deque<NodeId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : adj_[u]) {
+      if (avoid && Edge{u, v} == *avoid) continue;
+      if (parent[v] != UINT32_MAX) continue;
+      parent[v] = u;
+      if (v == dst) {
+        Path path{dst};
+        for (NodeId cur = dst; cur != src;) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> Topology::shortest_path(NodeId src, NodeId dst) const {
+  return bfs(src, dst, nullptr);
+}
+
+std::optional<Path> Topology::shortest_path_avoiding(NodeId src, NodeId dst,
+                                                     const Edge& avoid) const {
+  return bfs(src, dst, &avoid);
+}
+
+bool Topology::is_valid_path(const Path& path) const {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (!has_link(path[i - 1], path[i])) return false;
+  }
+  return !path.empty();
+}
+
+bool Topology::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::deque<NodeId> frontier{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return count == adj_.size();
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t{n};
+  for (NodeId i = 1; i < n; ++i) t.add_link(i - 1, i);
+  return t;
+}
+
+Topology Topology::ring(std::size_t n) {
+  Topology t = line(n);
+  if (n > 2) t.add_link(static_cast<NodeId>(n - 1), 0);
+  return t;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  Topology t{rows * cols};
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_link(id(r, c), id(r + 1, c));
+    }
+  }
+  return t;
+}
+
+Topology Topology::leaf_spine(std::size_t spines, std::size_t leaves) {
+  Topology t{spines + leaves};
+  for (NodeId s = 0; s < spines; ++s) {
+    for (NodeId l = 0; l < leaves; ++l) {
+      t.add_link(s, static_cast<NodeId>(spines + l));
+    }
+  }
+  return t;
+}
+
+}  // namespace intox::nethide

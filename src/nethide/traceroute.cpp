@@ -1,0 +1,41 @@
+#include "nethide/traceroute.hpp"
+
+namespace intox::nethide {
+
+PathTable PathTable::all_shortest_paths(const Topology& topo) {
+  PathTable table{topo.node_count()};
+  for (NodeId s = 0; s < topo.node_count(); ++s) {
+    for (NodeId d = 0; d < topo.node_count(); ++d) {
+      if (s == d) continue;
+      if (auto p = topo.shortest_path(s, d)) table.set(s, d, std::move(*p));
+    }
+  }
+  return table;
+}
+
+std::vector<Hop> traceroute(const Topology& topo, const PathTable& presented,
+                            NodeId src, NodeId dst) {
+  std::vector<Hop> hops;
+  const Path& path = presented.get(src, dst);
+  // TTL k expires at path[k] (path[0] is the probing source itself).
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    hops.push_back(Hop{static_cast<int>(k), topo.addr(path[k])});
+  }
+  return hops;
+}
+
+Topology infer_topology(const Topology& addr_space,
+                        const PathTable& presented) {
+  Topology inferred{addr_space.node_count()};
+  for (NodeId s = 0; s < presented.nodes(); ++s) {
+    for (NodeId d = 0; d < presented.nodes(); ++d) {
+      const Path& p = presented.get(s, d);
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        inferred.add_link(p[i - 1], p[i]);
+      }
+    }
+  }
+  return inferred;
+}
+
+}  // namespace intox::nethide

@@ -1,0 +1,61 @@
+// Traceroute over a (physical or presented) path table.
+//
+// "Since there is no authentication of these ICMP replies, any attacker
+// who can manipulate them can control the path that traceroute displays
+// and thus the topology which the user learns." (§4.3)
+//
+// A PathTable holds, for every (src, dst) pair, the node path whose hops
+// will answer TTL-expiry probes. For the honest network that is the
+// forwarding path; under NetHide it is the virtual path; under a
+// malicious operator it can be anything at all.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nethide/topology.hpp"
+
+namespace intox::nethide {
+
+class PathTable {
+ public:
+  explicit PathTable(std::size_t nodes) : nodes_(nodes), paths_(nodes * nodes) {}
+
+  void set(NodeId src, NodeId dst, Path path) {
+    paths_[index(src, dst)] = std::move(path);
+  }
+  [[nodiscard]] const Path& get(NodeId src, NodeId dst) const {
+    return paths_[index(src, dst)];
+  }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+
+  /// Builds the all-pairs shortest-path table of a topology (the honest
+  /// forwarding ground truth).
+  static PathTable all_shortest_paths(const Topology& topo);
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * nodes_ + dst;
+  }
+  std::size_t nodes_;
+  std::vector<Path> paths_;
+};
+
+/// One traceroute hop as the prober sees it.
+struct Hop {
+  int ttl = 0;
+  net::Ipv4Addr from;  // source address of the ICMP time-exceeded reply
+};
+
+/// Simulates `traceroute src -> dst` against the presented paths:
+/// the probe with TTL = k elicits a reply from the k-th node of the
+/// presented path. `topo` supplies the address of each node.
+std::vector<Hop> traceroute(const Topology& topo, const PathTable& presented,
+                            NodeId src, NodeId dst);
+
+/// Reconstructs the topology a prober infers from tracerouting every
+/// (src, dst) pair — consecutive hops become links. This is what tools
+/// like Rocketfuel do, and what the attacker/defender shapes.
+Topology infer_topology(const Topology& addr_space, const PathTable& presented);
+
+}  // namespace intox::nethide

@@ -1,0 +1,21 @@
+#include "pcc/receiver.hpp"
+
+namespace intox::pcc {
+
+void PccReceiver::on_data(const net::Packet& data) {
+  ++received_;
+  net::Packet ack;
+  ack.src = data.dst;
+  ack.dst = data.src;
+  net::UdpHeader u;
+  if (const auto* d = data.udp()) {
+    u.src_port = d->dst_port;
+    u.dst_port = d->src_port;
+  }
+  ack.l4 = u;
+  ack.payload_bytes = 8;  // ACK framing
+  ack.flow_tag = data.flow_tag;
+  sink_(std::move(ack));
+}
+
+}  // namespace intox::pcc

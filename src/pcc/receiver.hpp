@@ -1,0 +1,27 @@
+// PCC receiver: ACKs every data packet back towards the sender.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+
+namespace intox::pcc {
+
+class PccReceiver {
+ public:
+  using AckSink = std::function<void(net::Packet)>;
+
+  explicit PccReceiver(AckSink sink) : sink_(std::move(sink)) {}
+
+  /// Handles one data packet: emits an ACK carrying the data sequence
+  /// number (in flow_tag, mirroring the sender's framing).
+  void on_data(const net::Packet& data);
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  AckSink sink_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace intox::pcc

@@ -1,0 +1,31 @@
+#include "pcc/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intox::pcc {
+
+double utility(double rate_bps, double loss, const UtilityParams& params) {
+  loss = std::clamp(loss, 0.0, 1.0);
+  const double throughput = rate_bps * (1.0 - loss);
+  const double sigmoid =
+      1.0 / (1.0 + std::exp(params.alpha * (loss - params.loss_knee)));
+  return throughput * sigmoid - rate_bps * loss;
+}
+
+double loss_for_target_utility(double rate_bps, double target_utility,
+                               const UtilityParams& params) {
+  if (utility(rate_bps, 0.0, params) <= target_utility) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (utility(rate_bps, mid, params) > target_utility) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace intox::pcc

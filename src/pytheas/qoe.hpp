@@ -1,0 +1,54 @@
+// Session, group, and QoE-report types for the Pytheas port.
+//
+// Pytheas (Jiang et al., NSDI'17) groups sessions by "critical features"
+// (ASN, location, content type ...) and runs an exploration-exploitation
+// process per group over discrete decision arms (e.g. which CDN or
+// bitrate to use). The driving signal is QoE values reported by the
+// clients themselves — unauthenticated, which is precisely the §4.1
+// attack surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace intox::pytheas {
+
+/// Critical features that define group membership. The paper notes that
+/// group membership "will not be hard to ascertain even for external
+/// parties, as it is typically based on features like autonomous system,
+/// IP prefix and location" — bots can deliberately join a target group.
+struct SessionFeatures {
+  std::uint32_t asn = 0;
+  std::string location;     // e.g. metro code
+  std::string content;      // content / service class
+
+  friend bool operator==(const SessionFeatures&,
+                          const SessionFeatures&) = default;
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const SessionFeatures& f) const {
+    std::size_t h = std::hash<std::uint32_t>{}(f.asn);
+    h = h * 1315423911u ^ std::hash<std::string>{}(f.location);
+    h = h * 1315423911u ^ std::hash<std::string>{}(f.content);
+    return h;
+  }
+};
+
+using SessionId = std::uint64_t;
+using ArmId = std::uint32_t;
+
+/// One client-side measurement for one video chunk / request.
+struct QoeReport {
+  SessionId session = 0;
+  ArmId arm = 0;
+  double qoe = 0.0;  // 0 (unwatchable) .. 5 (perfect)
+  sim::Time when = 0;
+};
+
+inline constexpr double kQoeMin = 0.0;
+inline constexpr double kQoeMax = 5.0;
+
+}  // namespace intox::pytheas

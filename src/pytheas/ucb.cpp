@@ -1,0 +1,72 @@
+#include "pytheas/ucb.hpp"
+
+#include <cmath>
+
+namespace intox::pytheas {
+
+DiscountedUcb::DiscountedUcb(std::size_t arms, const UcbConfig& config)
+    : config_(config), sum_(arms, 0.0), count_(arms, 0.0) {}
+
+void DiscountedUcb::observe(std::size_t arm, double reward) {
+  sum_[arm] += reward;
+  count_[arm] += 1.0;
+}
+
+void DiscountedUcb::decay() {
+  for (std::size_t a = 0; a < sum_.size(); ++a) {
+    sum_[a] *= config_.discount;
+    count_[a] *= config_.discount;
+  }
+}
+
+double DiscountedUcb::mean(std::size_t arm) const {
+  return count_[arm] > 1e-9 ? sum_[arm] / count_[arm]
+                            : config_.initial_optimism;
+}
+
+double DiscountedUcb::effective_count(std::size_t arm) const {
+  return count_[arm];
+}
+
+double DiscountedUcb::ucb_score(std::size_t arm) const {
+  if (count_[arm] <= 1e-9) return config_.initial_optimism * 10.0;
+  double total = 0.0;
+  for (double c : count_) total += c;
+  const double bonus = config_.exploration_bonus *
+                       std::sqrt(std::log(std::max(total, 2.0)) / count_[arm]);
+  return mean(arm) + bonus;
+}
+
+std::size_t DiscountedUcb::best_mean_arm() const {
+  // Exploitation never jumps to an arm with no evidence — the optimistic
+  // prior is for the *exploration* score only. If nothing has evidence,
+  // fall back to arm 0.
+  std::size_t best = 0;
+  double best_mean = -1.0;
+  bool any = false;
+  for (std::size_t a = 0; a < sum_.size(); ++a) {
+    if (count_[a] <= 1e-9) continue;
+    const double m = mean(a);
+    if (!any || m > best_mean) {
+      best_mean = m;
+      best = a;
+      any = true;
+    }
+  }
+  return any ? best : 0;
+}
+
+std::size_t DiscountedUcb::best_arm() const {
+  std::size_t best = 0;
+  double best_score = ucb_score(0);
+  for (std::size_t a = 1; a < sum_.size(); ++a) {
+    const double s = ucb_score(a);
+    if (s > best_score) {
+      best_score = s;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace intox::pytheas

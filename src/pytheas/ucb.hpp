@@ -1,0 +1,50 @@
+// Discounted UCB bandit — Pytheas's per-group E2 algorithm.
+//
+// Rewards are exponentially discounted so the group adapts to
+// non-stationary network conditions; the exploration bonus keeps
+// rarely-tried arms measured. This adaptivity is exactly what the §4.1
+// attacker exploits: polluted reports move the discounted means quickly,
+// and honest history decays away.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace intox::pytheas {
+
+struct UcbConfig {
+  double discount = 0.98;          // applied once per decision epoch
+  double exploration_bonus = 0.5;  // c in  mean + c*sqrt(log N / n)
+  double initial_optimism = 5.0;   // unexplored arms look perfect
+};
+
+class DiscountedUcb {
+ public:
+  DiscountedUcb(std::size_t arms, const UcbConfig& config);
+
+  /// Adds one reward observation for `arm`.
+  void observe(std::size_t arm, double reward);
+
+  /// Applies one epoch of discounting to all arms.
+  void decay();
+
+  /// Arm with the highest upper confidence bound (exploration-aware).
+  [[nodiscard]] std::size_t best_arm() const;
+
+  /// Arm with the highest discounted *mean* — what exploitation traffic
+  /// should use. Never-sampled arms fall back to the optimistic prior but
+  /// get no exploration bonus here.
+  [[nodiscard]] std::size_t best_mean_arm() const;
+
+  [[nodiscard]] double mean(std::size_t arm) const;
+  [[nodiscard]] double ucb_score(std::size_t arm) const;
+  [[nodiscard]] double effective_count(std::size_t arm) const;
+  [[nodiscard]] std::size_t arms() const { return sum_.size(); }
+
+ private:
+  UcbConfig config_;
+  std::vector<double> sum_;    // discounted reward sum per arm
+  std::vector<double> count_;  // discounted observation count per arm
+};
+
+}  // namespace intox::pytheas

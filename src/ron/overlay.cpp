@@ -1,0 +1,223 @@
+#include "ron/overlay.hpp"
+
+namespace intox::ron {
+
+namespace {
+
+constexpr std::uint16_t kProbePort = 7001;
+constexpr std::uint16_t kProbeReplyPort = 7002;
+constexpr std::uint16_t kDataPort = 7003;
+
+net::Ipv4Addr node_addr(NodeId id) {
+  return net::Ipv4Addr{10, 200, static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id & 0xff)};
+}
+
+NodeId addr_node(net::Ipv4Addr a) {
+  return static_cast<NodeId>(a.value() & 0xffff);
+}
+
+}  // namespace
+
+Overlay::Overlay(sim::Scheduler& sched, const RonConfig& config,
+                 std::size_t nodes, const sim::LinkConfig& default_link)
+    : sched_(sched), config_(config), nodes_(nodes),
+      links_(nodes * nodes), estimates_(nodes * nodes),
+      routes_(nodes * nodes) {
+  for (NodeId from = 0; from < nodes_; ++from) {
+    for (NodeId to = 0; to < nodes_; ++to) {
+      if (from == to) continue;
+      links_[pair_index(from, to)] =
+          std::make_unique<sim::Link>(sched_, default_link, make_sink(to));
+    }
+  }
+}
+
+sim::Link::Sink Overlay::make_sink(NodeId to) {
+  return [this, to](net::Packet p) { arrival(to, std::move(p)); };
+}
+
+void Overlay::set_link_config(NodeId from, NodeId to,
+                              const sim::LinkConfig& cfg) {
+  links_[pair_index(from, to)] =
+      std::make_unique<sim::Link>(sched_, cfg, make_sink(to));
+}
+
+void Overlay::arrival(NodeId at, net::Packet p) {
+  const auto* u = p.udp();
+  if (!u) return;
+  switch (u->dst_port) {
+    case kProbePort: {
+      // Answer immediately on the reverse link.
+      const NodeId prober = addr_node(p.src);
+      net::Packet reply;
+      reply.src = node_addr(at);
+      reply.dst = p.src;
+      reply.l4 = net::UdpHeader{kProbePort, kProbeReplyPort};
+      reply.payload_bytes = 16;
+      reply.flow_tag = p.flow_tag;
+      links_[pair_index(at, prober)]->transmit(std::move(reply));
+      break;
+    }
+    case kProbeReplyPort:
+      on_probe_reply(p.flow_tag, sched_.now());
+      break;
+    case kDataPort: {
+      const NodeId final_dst = addr_node(p.dst);
+      if (final_dst == at) {
+        auto it = data_in_flight_.find(p.flow_tag);
+        if (it != data_in_flight_.end()) {
+          it->second.on_delivered(sched_.now() - it->second.sent);
+          data_in_flight_.erase(it);
+        }
+      } else {
+        // Relay hop: forward on the second overlay leg.
+        links_[pair_index(at, final_dst)]->transmit(std::move(p));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Overlay::start() {
+  running_ = true;
+  // Stagger per-pair probing so probes do not burst in lockstep.
+  std::uint64_t stagger = 0;
+  for (NodeId from = 0; from < nodes_; ++from) {
+    for (NodeId to = 0; to < nodes_; ++to) {
+      if (from == to) continue;
+      const auto offset = static_cast<sim::Duration>(
+          static_cast<sim::Duration>(stagger++ * sim::millis(7)) %
+          config_.probe_interval);
+      timers_.push_back(sched_.schedule_after(
+          offset, [this, from, to] { send_probe(from, to); }));
+    }
+  }
+  timers_.push_back(sched_.schedule_after(config_.decision_interval,
+                                          [this] { evaluate_routes(); }));
+}
+
+void Overlay::stop() {
+  running_ = false;
+  for (auto id : timers_) sched_.cancel(id);
+  timers_.clear();
+}
+
+void Overlay::send_probe(NodeId from, NodeId to) {
+  if (!running_) return;
+  const std::uint64_t id = next_probe_id_++;
+  pending_.push_back(PendingProbe{from, to, sched_.now(), false});
+
+  net::Packet probe;
+  probe.src = node_addr(from);
+  probe.dst = node_addr(to);
+  probe.l4 = net::UdpHeader{kProbeReplyPort, kProbePort};
+  probe.payload_bytes = 16;
+  probe.flow_tag = id;
+  ++estimates_[pair_index(from, to)].probes_sent;
+  links_[pair_index(from, to)]->transmit(std::move(probe));
+
+  // Timeout: an unanswered probe is a loss sample.
+  sched_.schedule_after(config_.probe_timeout, [this, id] {
+    PendingProbe& p = pending_[id - 1];
+    if (p.answered) return;
+    p.answered = true;  // consume
+    LinkEstimate& e = estimates_[pair_index(p.from, p.to)];
+    e.loss = (1.0 - config_.ewma_gain) * e.loss + config_.ewma_gain;
+    e.valid = true;
+  });
+
+  sched_.schedule_after(config_.probe_interval,
+                        [this, from, to] { send_probe(from, to); });
+}
+
+void Overlay::on_probe_reply(std::uint64_t probe_id, sim::Time now) {
+  if (probe_id == 0 || probe_id > pending_.size()) return;
+  PendingProbe& p = pending_[probe_id - 1];
+  if (p.answered) return;
+  p.answered = true;
+  LinkEstimate& e = estimates_[pair_index(p.from, p.to)];
+  ++e.probes_answered;
+  const double one_way = sim::to_seconds(now - p.sent) / 2.0;
+  e.latency_s = e.valid ? (1.0 - config_.ewma_gain) * e.latency_s +
+                              config_.ewma_gain * one_way
+                        : one_way;
+  e.loss = (1.0 - config_.ewma_gain) * e.loss;  // success sample
+  e.valid = true;
+}
+
+double Overlay::path_score(NodeId src, NodeId dst) const {
+  return estimates_[pair_index(src, dst)].score(config_);
+}
+
+void Overlay::evaluate_routes() {
+  if (!running_) return;
+  for (NodeId src = 0; src < nodes_; ++src) {
+    for (NodeId dst = 0; dst < nodes_; ++dst) {
+      if (src == dst) continue;
+      const double direct = path_score(src, dst);
+      double best_detour = 1e18;
+      NodeId best_via = src;
+      for (NodeId via = 0; via < nodes_; ++via) {
+        if (via == src || via == dst) continue;
+        const double s = path_score(src, via) + path_score(via, dst);
+        if (s < best_detour) {
+          best_detour = s;
+          best_via = via;
+        }
+      }
+      OverlayRoute& route = routes_[pair_index(src, dst)];
+      const OverlayRoute before = route;
+      if (route.direct) {
+        // Leave the direct path only with hysteresis.
+        if (best_detour < direct * config_.switch_threshold) {
+          route.direct = false;
+          route.via = best_via;
+        }
+      } else if (direct * config_.switch_threshold <= best_detour) {
+        route.direct = true;
+      } else {
+        route.via = best_via;
+      }
+      if (before.direct != route.direct ||
+          (!route.direct && before.via != route.via)) {
+        ++route_changes_;
+      }
+    }
+  }
+  timers_.push_back(sched_.schedule_after(config_.decision_interval,
+                                          [this] { evaluate_routes(); }));
+}
+
+OverlayRoute Overlay::route(NodeId src, NodeId dst) const {
+  return routes_[pair_index(src, dst)];
+}
+
+const LinkEstimate& Overlay::estimate(NodeId from, NodeId to) const {
+  return estimates_[pair_index(from, to)];
+}
+
+sim::Link& Overlay::link(NodeId from, NodeId to) {
+  return *links_[pair_index(from, to)];
+}
+
+void Overlay::send_data(NodeId src, NodeId dst, std::uint32_t payload_bytes,
+                        std::function<void(sim::Duration)> on_delivered) {
+  const std::uint64_t id = next_data_id_++ | (std::uint64_t{1} << 48);
+  data_in_flight_[id] = PendingData{sched_.now(), std::move(on_delivered)};
+
+  net::Packet data;
+  data.src = node_addr(src);
+  data.dst = node_addr(dst);
+  data.l4 = net::UdpHeader{kDataPort, kDataPort};
+  data.payload_bytes = payload_bytes;
+  data.flow_tag = id;
+
+  const OverlayRoute r = route(src, dst);
+  const NodeId first_hop = r.direct ? dst : r.via;
+  links_[pair_index(src, first_hop)]->transmit(std::move(data));
+}
+
+}  // namespace intox::ron

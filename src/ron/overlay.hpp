@@ -1,0 +1,132 @@
+// RON-style resilient overlay network (Andersen et al., SOSP'01), as
+// referenced by §3.2 of the paper:
+//
+//   "RON is an overlay network which reroutes traffic from one node to
+//    another when it detects a performance degradation. An attacker in
+//    the path between two nodes could drop or delay RON's probes, so as
+//    to divert traffic to another next-hop."
+//
+// Overlay nodes exchange periodic probes over every inter-node link and
+// maintain smoothed latency/loss estimates. Data between a pair takes
+// the direct link unless a one-hop detour scores better — the classic
+// RON policy. The decision input is *probe traffic*, which is exactly
+// what the attack manipulates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/stats.hpp"
+
+namespace intox::ron {
+
+using NodeId = std::uint32_t;
+
+struct RonConfig {
+  sim::Duration probe_interval = sim::millis(250);
+  /// Probe considered lost if unanswered for this long.
+  sim::Duration probe_timeout = sim::millis(500);
+  /// EWMA gain for latency/loss estimates.
+  double ewma_gain = 0.2;
+  /// Route re-evaluation period.
+  sim::Duration decision_interval = sim::seconds(1);
+  /// A detour must beat the direct path's score by this factor before
+  /// traffic moves (hysteresis).
+  double switch_threshold = 0.8;
+  /// Latency penalty per unit loss when scoring a path (score = latency
+  /// * (1 + penalty * loss)); lower score is better.
+  double loss_penalty = 10.0;
+};
+
+/// Smoothed estimate of one overlay link direction.
+struct LinkEstimate {
+  double latency_s = 0.0;
+  double loss = 0.0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_answered = 0;
+  bool valid = false;
+
+  [[nodiscard]] double score(const RonConfig& cfg) const {
+    if (!valid) return 1e9;
+    return latency_s * (1.0 + cfg.loss_penalty * loss);
+  }
+};
+
+/// Route chosen for a (src, dst) overlay pair.
+struct OverlayRoute {
+  bool direct = true;
+  NodeId via = 0;  // meaningful when !direct
+};
+
+/// The full-mesh overlay: owns the inter-node links (built over the
+/// simulator), runs probing and route selection, and forwards data
+/// packets. Mesh links are exposed so tests/attackers can install taps
+/// or fail them.
+class Overlay {
+ public:
+  Overlay(sim::Scheduler& sched, const RonConfig& config, std::size_t nodes,
+          const sim::LinkConfig& default_link);
+
+  /// Replaces the link config of one direction (call before start()).
+  void set_link_config(NodeId from, NodeId to, const sim::LinkConfig& cfg);
+
+  void start();
+  void stop();
+
+  /// Sends one data packet from src to dst via the current route;
+  /// `on_delivered` fires with the one-way latency when it arrives.
+  void send_data(NodeId src, NodeId dst, std::uint32_t payload_bytes,
+                 std::function<void(sim::Duration)> on_delivered);
+
+  [[nodiscard]] OverlayRoute route(NodeId src, NodeId dst) const;
+  [[nodiscard]] const LinkEstimate& estimate(NodeId from, NodeId to) const;
+  /// Underlay link carrying from->to traffic (probes and data).
+  [[nodiscard]] sim::Link& link(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+  [[nodiscard]] std::uint64_t route_changes() const { return route_changes_; }
+
+ private:
+  struct PendingProbe {
+    NodeId from = 0;
+    NodeId to = 0;
+    sim::Time sent = 0;
+    bool answered = false;
+  };
+  struct PendingData {
+    sim::Time sent = 0;
+    std::function<void(sim::Duration)> on_delivered;
+  };
+
+  std::size_t pair_index(NodeId from, NodeId to) const {
+    return static_cast<std::size_t>(from) * nodes_ + to;
+  }
+  sim::Link::Sink make_sink(NodeId to);
+  void arrival(NodeId at, net::Packet p);
+  void send_probe(NodeId from, NodeId to);
+  void on_probe_reply(std::uint64_t probe_id, sim::Time now);
+  void evaluate_routes();
+  double path_score(NodeId src, NodeId dst) const;
+
+  sim::Scheduler& sched_;
+  RonConfig config_;
+  std::size_t nodes_;
+  std::vector<std::unique_ptr<sim::Link>> links_;      // per ordered pair
+  std::vector<LinkEstimate> estimates_;                // per ordered pair
+  std::vector<OverlayRoute> routes_;                   // per ordered pair
+  std::vector<PendingProbe> pending_;
+  std::unordered_map<std::uint64_t, PendingData> data_in_flight_;
+  std::uint64_t next_probe_id_ = 1;
+  std::uint64_t next_data_id_ = 1;
+  std::uint64_t route_changes_ = 0;
+  bool running_ = false;
+  std::vector<sim::Scheduler::EventId> timers_;
+};
+
+}  // namespace intox::ron

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+namespace intox::sim {
+
+Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t n = 0;
+  Entry e;
+  while (n < limit && pop_next(e)) {
+    now_ = e.time;
+    auto it = callbacks_.find(e.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+std::size_t Scheduler::run_until(Time t) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    // Peek through tombstones without popping live entries early.
+    Entry top = heap_.top();
+    if (cancelled_.count(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > t) break;
+    heap_.pop();
+    now_ = top.time;
+    auto it = callbacks_.find(top.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    ++n;
+    ++processed_;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace intox::sim

@@ -1,0 +1,114 @@
+// Discrete-event scheduler.
+//
+// A single-threaded event queue with a simulated clock. Events scheduled
+// for the same instant fire in scheduling order (FIFO), which keeps runs
+// fully deterministic. Cancellation is O(1) amortized: cancelled events
+// are tombstoned and skipped lazily when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace intox::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation. Default-constructed ids are invalid.
+  struct EventId {
+    std::uint64_t value = 0;
+    [[nodiscard]] bool valid() const { return value != 0; }
+  };
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after `d` nanoseconds (clamped to >= 0).
+  EventId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + (d < 0 ? 0 : d), std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  std::size_t run_until(Time t);
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-breaker: FIFO within an instant
+    std::uint64_t id;
+    // Heap is a max-heap by default; invert to get earliest-first.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled entry; returns false if none.
+  bool pop_next(Entry& out);
+
+  Time now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// A restartable one-shot timer bound to a scheduler — the common pattern
+/// for protocol timeouts (RTO, eviction, reset). Re-arming cancels any
+/// pending expiry.
+class Timer {
+ public:
+  Timer(Scheduler& sched, Scheduler::Callback on_expire)
+      : sched_(sched), on_expire_(std::move(on_expire)) {}
+
+  void arm_after(Duration d) {
+    cancel();
+    id_ = sched_.schedule_after(d, [this] {
+      id_ = {};
+      on_expire_();
+    });
+  }
+  void arm_at(Time t) {
+    cancel();
+    id_ = sched_.schedule_at(t, [this] {
+      id_ = {};
+      on_expire_();
+    });
+  }
+  void cancel() {
+    if (id_.valid()) {
+      sched_.cancel(id_);
+      id_ = {};
+    }
+  }
+  [[nodiscard]] bool armed() const { return id_.valid(); }
+
+ private:
+  Scheduler& sched_;
+  Scheduler::Callback on_expire_;
+  Scheduler::EventId id_;
+};
+
+}  // namespace intox::sim

@@ -1,0 +1,62 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace intox::sim {
+
+double Link::backlog_bytes() const {
+  const Time now = sched_.now();
+  if (next_free_ <= now) return 0.0;
+  return to_seconds(next_free_ - now) * config_.rate_bps / 8.0;
+}
+
+void Link::transmit(net::Packet pkt) {
+  ++counters_.tx_packets;
+  counters_.tx_bytes += pkt.size_bytes();
+
+  if (!up_) {
+    ++counters_.dropped_down;
+    return;
+  }
+  if (tap_ && tap_(pkt) == TapAction::kDrop) {
+    ++counters_.dropped_tap;
+    return;
+  }
+
+  // Fluid drop-tail: the backlog is the time until the transmitter frees
+  // up, expressed in bytes at line rate.
+  const double backlog = backlog_bytes();
+  if (backlog + pkt.size_bytes() >
+      static_cast<double>(config_.queue_limit_bytes)) {
+    ++counters_.dropped_queue;
+    return;
+  }
+
+  // Optional RED early drop on the backlog ramp.
+  if (config_.red_min_bytes > 0 && backlog > config_.red_min_bytes) {
+    const double span = std::max<double>(
+        1.0, static_cast<double>(config_.red_max_bytes) - config_.red_min_bytes);
+    const double p = std::min(
+        config_.red_max_prob,
+        config_.red_max_prob * (backlog - config_.red_min_bytes) / span);
+    if (red_rng_.bernoulli(p)) {
+      ++counters_.dropped_red;
+      return;
+    }
+  }
+
+  const Time now = sched_.now();
+  const auto serialization = static_cast<Duration>(
+      static_cast<double>(pkt.size_bytes()) * 8.0 / config_.rate_bps *
+      static_cast<double>(kSecond));
+  const Time start = std::max(now, next_free_);
+  next_free_ = start + std::max<Duration>(serialization, 1);
+  const Time arrival = next_free_ + config_.prop_delay;
+
+  sched_.schedule_at(arrival, [this, pkt = std::move(pkt)]() mutable {
+    ++counters_.delivered_packets;
+    deliver_(std::move(pkt));
+  });
+}
+
+}  // namespace intox::sim

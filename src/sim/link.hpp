@@ -1,0 +1,84 @@
+// Point-to-point link model.
+//
+// A Link is unidirectional: it serializes packets at a configured rate,
+// applies propagation delay, and drops when its drop-tail queue is full.
+// Two hooks make it the substrate for the paper's attacker models:
+//   * `set_tap` installs a man-in-the-middle interceptor that may inspect,
+//     mutate, or drop each packet at ingress (§2.1 "MitM" privilege);
+//   * `set_up(false)` injects a link failure (what Blink is meant to
+//     detect — and what attackers fake).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::sim {
+
+struct LinkConfig {
+  double rate_bps = 1e9;                        // serialization rate
+  Duration prop_delay = kMillisecond;           // one-way propagation
+  std::uint32_t queue_limit_bytes = 256 * 1024; // drop-tail threshold
+  /// Optional RED-style AQM: drop probability ramps linearly from 0 at
+  /// `red_min_bytes` of backlog to `red_max_prob` at `red_max_bytes`.
+  /// red_min_bytes == 0 disables early drop (pure drop-tail).
+  std::uint32_t red_min_bytes = 0;
+  std::uint32_t red_max_bytes = 0;
+  double red_max_prob = 0.1;
+  std::uint64_t red_seed = 0x51ed;
+};
+
+enum class TapAction { kForward, kDrop };
+
+class Link {
+ public:
+  using Sink = std::function<void(net::Packet)>;
+  /// MitM interceptor: may mutate the packet; returning kDrop discards it.
+  using Tap = std::function<TapAction(net::Packet&)>;
+
+  Link(Scheduler& sched, LinkConfig config, Sink deliver)
+      : sched_(sched), config_(config), deliver_(std::move(deliver)) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueues a packet for transmission at the sender-side of the link.
+  void transmit(net::Packet pkt);
+
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void clear_tap() { tap_ = nullptr; }
+
+  /// Injects / repairs a link failure. While down, every packet is lost.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  /// Current queueing backlog, in bytes not yet serialized.
+  [[nodiscard]] double backlog_bytes() const;
+
+  struct Counters {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t dropped_queue = 0;
+    std::uint64_t dropped_red = 0;
+    std::uint64_t dropped_tap = 0;
+    std::uint64_t dropped_down = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  Scheduler& sched_;
+  LinkConfig config_;
+  Sink deliver_;
+  Tap tap_;
+  bool up_ = true;
+  Time next_free_ = 0;  // when the transmitter finishes its current backlog
+  Counters counters_;
+  Rng red_rng_{config_.red_seed};
+};
+
+}  // namespace intox::sim

@@ -1,0 +1,22 @@
+#include "sim/network.hpp"
+
+namespace intox::sim {
+
+Link& Network::connect_oneway(Node& a, int port_a, Node& b, int port_b,
+                              const LinkConfig& config) {
+  links_.push_back(std::make_unique<Link>(
+      sched_, config,
+      [&b, port_b](net::Packet pkt) { b.receive(std::move(pkt), port_b); }));
+  Link& link = *links_.back();
+  a.attach_port(port_a, &link);
+  return link;
+}
+
+Network::Duplex Network::connect(Node& a, int port_a, Node& b, int port_b,
+                                 const LinkConfig& config) {
+  Link& ab = connect_oneway(a, port_a, b, port_b, config);
+  Link& ba = connect_oneway(b, port_b, a, port_a, config);
+  return Duplex{ab, ba};
+}
+
+}  // namespace intox::sim

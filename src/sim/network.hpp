@@ -1,0 +1,36 @@
+// Network: owns links and wires nodes together over a shared scheduler.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace intox::sim {
+
+class Network {
+ public:
+  explicit Network(Scheduler& sched) : sched_(sched) {}
+
+  struct Duplex {
+    Link& a_to_b;
+    Link& b_to_a;
+  };
+
+  /// Creates a duplex connection: a.port_a --link--> b.port_b and back.
+  /// The same config is used in both directions.
+  Duplex connect(Node& a, int port_a, Node& b, int port_b,
+                 const LinkConfig& config);
+
+  /// Creates a one-way link from a.port_a into b.port_b.
+  Link& connect_oneway(Node& a, int port_a, Node& b, int port_b,
+                       const LinkConfig& config);
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+ private:
+  Scheduler& sched_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace intox::sim

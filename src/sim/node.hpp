@@ -1,0 +1,51 @@
+// Node base class: anything that can receive packets on numbered ports
+// and transmit on attached egress links.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/link.hpp"
+
+namespace intox::sim {
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Invoked by the network when a packet arrives on `ingress_port`.
+  virtual void receive(net::Packet pkt, int ingress_port) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Wires `link` as the egress for `port` (grows the port table).
+  void attach_port(int port, Link* link) {
+    if (port >= static_cast<int>(ports_.size())) ports_.resize(port + 1, nullptr);
+    ports_[static_cast<std::size_t>(port)] = link;
+  }
+
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] Link* egress(int port) const {
+    return (port >= 0 && port < port_count())
+               ? ports_[static_cast<std::size_t>(port)]
+               : nullptr;
+  }
+
+ protected:
+  /// Transmits on `port`; silently drops if the port is unwired (matches
+  /// real switches blackholing to a missing next hop).
+  void send(int port, net::Packet pkt) {
+    if (Link* l = egress(port)) l->transmit(std::move(pkt));
+  }
+
+ private:
+  std::string name_;
+  std::vector<Link*> ports_;
+};
+
+}  // namespace intox::sim

@@ -1,0 +1,26 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "net/hash.hpp"
+
+namespace intox::sim {
+
+Rng Rng::fork(std::string_view label) const {
+  const std::uint64_t h = net::fnv1a64(
+      std::as_bytes(std::span{label.data(), label.size()}), seed_);
+  return Rng{net::mix64(h)};
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  return Rng{net::mix64(seed_ ^ net::mix64(index + 1))};
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  // Inverse-CDF sampling; guard against u == 0 which would diverge.
+  double u = uniform();
+  if (u <= 0.0) u = 1e-18;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace intox::sim

@@ -1,0 +1,96 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intox::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double TimeSeries::at(Time t, double before) const {
+  // points_ is time-ordered by construction (record() is called as the
+  // simulation advances).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Time lhs, const auto& p) { return lhs < p.first; });
+  if (it == points_.begin()) return before;
+  return std::prev(it)->second;
+}
+
+double TimeSeries::mean_over(Time from, Time to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t > to) continue;
+    sum += v;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<double> TimeSeries::resample(Time from, Time to,
+                                         Duration step) const {
+  std::vector<double> out;
+  for (Time t = from; t <= to; t += step) out.push_back(at(t));
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return bucket_lo(i) + width_ / 2.0;
+  }
+  return hi_;
+}
+
+}  // namespace intox::sim

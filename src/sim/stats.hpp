@@ -1,0 +1,78 @@
+// Lightweight statistics helpers used by tests and benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace intox::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// A (time, value) series sampled during a run, e.g. "number of malicious
+/// flows in Blink's sample" or "PCC sending rate".
+class TimeSeries {
+ public:
+  void record(Time t, double value) { points_.push_back({t, value}); }
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Value at time t (step interpolation: last point at or before t).
+  /// Returns `before` if t precedes the first sample.
+  [[nodiscard]] double at(Time t, double before = 0.0) const;
+
+  /// Mean of values with timestamps in [from, to].
+  [[nodiscard]] double mean_over(Time from, Time to) const;
+
+  /// Resamples onto a fixed grid (step interpolation) — handy for
+  /// averaging many runs.
+  [[nodiscard]] std::vector<double> resample(Time from, Time to,
+                                             Duration step) const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace intox::sim

@@ -1,0 +1,114 @@
+#include "sketch/attack.hpp"
+
+#include <algorithm>
+
+#include "net/hash.hpp"
+
+namespace intox::sketch {
+
+std::vector<std::uint64_t> craft_saturating_keys(std::size_t cells,
+                                                 std::uint32_t hashes,
+                                                 std::uint32_t seed,
+                                                 std::size_t count,
+                                                 std::size_t search_budget) {
+  std::vector<bool> covered(cells, false);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::uint64_t candidate = 0x4d414c1ceULL;  // arbitrary search start
+
+  for (std::size_t n = 0; n < count; ++n) {
+    std::uint64_t best_key = candidate;
+    std::size_t best_new = 0;
+    for (std::size_t b = 0; b < search_budget; ++b, ++candidate) {
+      std::size_t fresh = 0;
+      for (std::uint32_t i = 0; i < hashes; ++i) {
+        fresh += !covered[bloom_index(candidate, i, cells, seed)];
+      }
+      if (fresh > best_new) {
+        best_new = fresh;
+        best_key = candidate;
+        if (fresh == hashes) break;  // cannot do better
+      }
+    }
+    keys.push_back(best_key);
+    for (std::uint32_t i = 0; i < hashes; ++i) {
+      covered[bloom_index(best_key, i, cells, seed)] = true;
+    }
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> find_false_positive_keys(
+    std::size_t cells, std::uint32_t hashes, std::uint32_t seed,
+    const std::vector<std::uint64_t>& cover_keys, std::size_t count,
+    std::uint64_t start_key, std::uint64_t search_limit) {
+  std::vector<bool> cover(cells, false);
+  for (std::uint64_t k : cover_keys) {
+    for (std::uint32_t i = 0; i < hashes; ++i) {
+      cover[bloom_index(k, i, cells, seed)] = true;
+    }
+  }
+
+  std::vector<std::uint64_t> hits;
+  for (std::uint64_t key = start_key;
+       key < start_key + search_limit && hits.size() < count; ++key) {
+    bool inside = true;
+    for (std::uint32_t i = 0; i < hashes && inside; ++i) {
+      inside = cover[bloom_index(key, i, cells, seed)];
+    }
+    // Exclude the cover keys themselves: we want *non-members* that the
+    // filter will claim to contain.
+    if (inside &&
+        std::find(cover_keys.begin(), cover_keys.end(), key) ==
+            cover_keys.end()) {
+      hits.push_back(key);
+    }
+  }
+  return hits;
+}
+
+PollutionOutcome run_bloom_pollution(
+    std::size_t cells, std::uint32_t hashes, std::uint32_t seed,
+    const std::vector<std::uint64_t>& legit_keys,
+    const std::vector<std::uint64_t>& attack_keys) {
+  BloomFilter filter{cells, hashes, seed};
+  for (std::uint64_t k : legit_keys) filter.insert(k);
+
+  PollutionOutcome out;
+  out.fill_before = filter.fill_fraction();
+  out.fpr_before = bloom_empirical_fpr(filter, 20000);
+  for (std::uint64_t k : attack_keys) filter.insert(k);
+  out.fill_after = filter.fill_fraction();
+  out.fpr_after = bloom_empirical_fpr(filter, 20000);
+  return out;
+}
+
+FlowRadarAttackOutcome run_flowradar_overflow(const FlowRadarConfig& config,
+                                              std::size_t legit_flows,
+                                              std::size_t attack_flows,
+                                              std::uint64_t seed) {
+  FlowRadarAttackOutcome out;
+  out.legit_flows = legit_flows;
+  out.attack_flows = attack_flows;
+
+  FlowRadar radar{config};
+  for (std::size_t i = 0; i < legit_flows; ++i) {
+    const std::uint64_t flow = net::mix64(seed * 1000003 + i);
+    for (int p = 0; p < 3; ++p) radar.add_packet(flow);
+  }
+  out.decode_complete_before = radar.decode().complete();
+
+  // The attacker sprays single-packet flows with distinct keys — the
+  // cheapest possible traffic (one packet per fake flow, no handshake).
+  for (std::size_t i = 0; i < attack_flows; ++i) {
+    radar.add_packet(net::mix64((seed + 77) * 1000033 + i) |
+                     (std::uint64_t{1} << 62));
+  }
+  const DecodeResult after = radar.decode();
+  out.decode_complete_after = after.complete();
+  out.decoded_flows_after = after.flows.size();
+  out.stuck_cells_after = after.stuck_cells;
+  return out;
+}
+
+}  // namespace intox::sketch

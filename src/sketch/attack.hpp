@@ -1,0 +1,73 @@
+// Pollution attacks on probabilistic telemetry (§3.2, after Gerbet et
+// al. "The Power of Evil Choices in Bloom Filters").
+//
+// All the structures here use public, seedable hash functions, so an
+// attacker can search the key space offline for keys whose hash images
+// serve the attack:
+//
+//  * Bloom saturation — keys chosen to cover *fresh* cells fastest (a
+//    greedy cover), driving the fill fraction and hence the FPR towards
+//    1 with far fewer insertions than random traffic would need.
+//  * Targeted collision — keys whose cells all lie inside a victim key's
+//    cell set, manufacturing false positives for chosen non-member keys.
+//  * FlowRadar overflow — spraying distinct flow keys to exceed the
+//    coded table's decoding threshold, destroying the telemetry batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/bloom.hpp"
+#include "sketch/flowradar.hpp"
+
+namespace intox::sketch {
+
+/// Greedily selects `count` keys maximizing new-cell coverage per key —
+/// the saturation attack. `search_budget` candidate keys are examined
+/// per selection (offline work only; Kerckhoff gives the hash).
+std::vector<std::uint64_t> craft_saturating_keys(std::size_t cells,
+                                                 std::uint32_t hashes,
+                                                 std::uint32_t seed,
+                                                 std::size_t count,
+                                                 std::size_t search_budget = 64);
+
+/// Finds keys whose whole cell set falls inside the union of the cells
+/// of `cover_keys` (i.e., keys the filter will falsely report after the
+/// cover is inserted). Searches keys from `start_key` upward; returns up
+/// to `count` hits.
+std::vector<std::uint64_t> find_false_positive_keys(
+    std::size_t cells, std::uint32_t hashes, std::uint32_t seed,
+    const std::vector<std::uint64_t>& cover_keys, std::size_t count,
+    std::uint64_t start_key = 1, std::uint64_t search_limit = 2'000'000);
+
+struct PollutionOutcome {
+  double fpr_before = 0.0;
+  double fpr_after = 0.0;
+  double fill_before = 0.0;
+  double fill_after = 0.0;
+};
+
+/// Measures FPR before/after inserting `attack_keys` into a filter that
+/// already carries `legit_keys`.
+PollutionOutcome run_bloom_pollution(std::size_t cells, std::uint32_t hashes,
+                                     std::uint32_t seed,
+                                     const std::vector<std::uint64_t>& legit_keys,
+                                     const std::vector<std::uint64_t>& attack_keys);
+
+struct FlowRadarAttackOutcome {
+  std::size_t legit_flows = 0;
+  std::size_t attack_flows = 0;
+  bool decode_complete_before = false;
+  bool decode_complete_after = false;
+  std::size_t decoded_flows_after = 0;
+  std::size_t stuck_cells_after = 0;
+};
+
+/// Baseline-vs-attack decode of a FlowRadar carrying `legit_flows`
+/// normal flows plus `attack_flows` attacker-sprayed distinct flows.
+FlowRadarAttackOutcome run_flowradar_overflow(const FlowRadarConfig& config,
+                                              std::size_t legit_flows,
+                                              std::size_t attack_flows,
+                                              std::uint64_t seed = 1);
+
+}  // namespace intox::sketch

@@ -1,0 +1,28 @@
+#include "sketch/bloom.hpp"
+
+#include <cmath>
+
+namespace intox::sketch {
+
+double bloom_theoretical_fpr(std::size_t cells, std::uint32_t hashes,
+                             std::uint64_t inserted) {
+  const double m = static_cast<double>(cells);
+  const double k = static_cast<double>(hashes);
+  const double n = static_cast<double>(inserted);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+double bloom_empirical_fpr(const BloomFilter& filter, std::uint64_t probes,
+                           std::uint64_t probe_seed) {
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    // Probe keys from a disjoint namespace (high bit set) so they cannot
+    // collide with inserted keys as *keys* — only as hash images.
+    const std::uint64_t key =
+        net::mix64(probe_seed + i) | (std::uint64_t{1} << 63);
+    hits += filter.contains(key);
+  }
+  return probes ? static_cast<double>(hits) / static_cast<double>(probes) : 0.0;
+}
+
+}  // namespace intox::sketch

@@ -1,0 +1,120 @@
+// Bloom filter (plain and counting), dimensioned the way data-plane
+// telemetry systems dimension them: for the *average* case. §3.2 of the
+// paper (citing Gerbet et al.) notes this makes them attackable — the
+// hash functions are public, so an adversary can construct key sets that
+// concentrate on few cells and saturate the filter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/hash.hpp"
+
+namespace intox::sketch {
+
+/// Derives the i-th cell index for a key from an independent mixed hash
+/// per index — the analogue of a switch's per-hash CRC polynomials.
+/// (Kirsch-Mitzenmacher double hashing is deliberately NOT used: its
+/// h1 + i*h2 structure lets two keys collide on their *entire* cell set
+/// orders of magnitude more often than independent hashes, which breaks
+/// IBLT peeling even without an attacker.) Public and seedable — the
+/// §3.2 attackers run this same function offline.
+inline std::size_t bloom_index(std::uint64_t key, std::uint32_t i,
+                               std::size_t cells, std::uint32_t seed) {
+  const std::uint64_t h = net::mix64(
+      key ^ net::mix64((std::uint64_t{seed} << 8) | (i + 1)));
+  return static_cast<std::size_t>(h % cells);
+}
+
+/// Index into the i-th of `hashes` equal partitions of a `cells`-wide
+/// table. XOR-based coded tables (FlowRadar, LossRadar) need each key's
+/// cells to be *distinct* — a key hashing the same cell twice would
+/// cancel its own XOR — so each hash function owns a partition, exactly
+/// as FlowRadar lays out its coded table.
+inline std::size_t partitioned_index(std::uint64_t key, std::uint32_t i,
+                                     std::uint32_t hashes, std::size_t cells,
+                                     std::uint32_t seed) {
+  const std::size_t psize = cells / hashes;
+  return static_cast<std::size_t>(i) * psize +
+         bloom_index(key, i, psize, seed);
+}
+
+class BloomFilter {
+ public:
+  BloomFilter(std::size_t cells, std::uint32_t hashes, std::uint32_t seed = 0)
+      : bits_(cells, false), hashes_(hashes), seed_(seed) {}
+
+  void insert(std::uint64_t key) {
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      bits_[bloom_index(key, i, bits_.size(), seed_)] = true;
+    }
+    ++inserted_;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      if (!bits_[bloom_index(key, i, bits_.size(), seed_)]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t cells() const { return bits_.size(); }
+  [[nodiscard]] std::uint32_t hashes() const { return hashes_; }
+  [[nodiscard]] std::uint32_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t inserted() const { return inserted_; }
+  [[nodiscard]] double fill_fraction() const {
+    std::size_t set = 0;
+    for (bool b : bits_) set += b;
+    return static_cast<double>(set) / static_cast<double>(bits_.size());
+  }
+  void clear() {
+    bits_.assign(bits_.size(), false);
+    inserted_ = 0;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::uint32_t hashes_;
+  std::uint32_t seed_;
+  std::uint64_t inserted_ = 0;
+};
+
+/// Counting Bloom filter with deletion support (used by LossRadar-style
+/// meters).
+class CountingBloom {
+ public:
+  CountingBloom(std::size_t cells, std::uint32_t hashes, std::uint32_t seed = 0)
+      : counts_(cells, 0), hashes_(hashes), seed_(seed) {}
+
+  void insert(std::uint64_t key) { update(key, +1); }
+  void remove(std::uint64_t key) { update(key, -1); }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      if (counts_[bloom_index(key, i, counts_.size(), seed_)] <= 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t cells() const { return counts_.size(); }
+
+ private:
+  void update(std::uint64_t key, int delta) {
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      counts_[bloom_index(key, i, counts_.size(), seed_)] += delta;
+    }
+  }
+  std::vector<std::int32_t> counts_;
+  std::uint32_t hashes_;
+  std::uint32_t seed_;
+};
+
+/// Theoretical false-positive rate for n insertions into (m, k).
+double bloom_theoretical_fpr(std::size_t cells, std::uint32_t hashes,
+                             std::uint64_t inserted);
+
+/// Empirical FPR measured with `probes` random non-member keys.
+double bloom_empirical_fpr(const BloomFilter& filter, std::uint64_t probes,
+                           std::uint64_t probe_seed = 0xfeed);
+
+}  // namespace intox::sketch

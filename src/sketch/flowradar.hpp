@@ -1,0 +1,68 @@
+// FlowRadar-style flowset encoding (Li et al., NSDI'16).
+//
+// A Bloom filter detects "new flow?" and an invertible coded table (an
+// IBLT: per-cell FlowXOR / FlowCount / PacketCount) records every flow
+// and its packet count in constant per-packet work. The collector
+// decodes by peeling pure cells (FlowCount == 1). Decoding succeeds with
+// high probability as long as the number of distinct flows stays within
+// the dimensioning — the average-case assumption §3.2 attacks: an
+// adversary inflating the distinct-flow count (or targeting cells)
+// makes the peeling stall, destroying the switch's telemetry.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/bloom.hpp"
+
+namespace intox::sketch {
+
+struct FlowRadarConfig {
+  std::size_t bloom_cells = 8192;
+  std::uint32_t bloom_hashes = 4;
+  std::size_t table_cells = 1024;
+  std::uint32_t table_hashes = 3;
+  std::uint32_t seed = 7;
+};
+
+struct DecodedFlow {
+  std::uint64_t flow = 0;
+  std::uint64_t packets = 0;
+};
+
+struct DecodeResult {
+  std::vector<DecodedFlow> flows;
+  /// Cells still undecoded when peeling stalled (0 = full success).
+  std::size_t stuck_cells = 0;
+  [[nodiscard]] bool complete() const { return stuck_cells == 0; }
+};
+
+class FlowRadar {
+ public:
+  explicit FlowRadar(const FlowRadarConfig& config);
+
+  /// Per-packet update (flow key = hashed 5-tuple).
+  void add_packet(std::uint64_t flow);
+
+  /// Collector-side decode by peeling. Non-destructive.
+  [[nodiscard]] DecodeResult decode() const;
+
+  [[nodiscard]] std::uint64_t distinct_flows() const { return distinct_; }
+  [[nodiscard]] const FlowRadarConfig& config() const { return config_; }
+  void clear();
+
+ private:
+  struct Cell {
+    std::uint64_t flow_xor = 0;
+    std::uint32_t flow_count = 0;
+    std::uint64_t packet_count = 0;
+  };
+
+  FlowRadarConfig config_;
+  BloomFilter seen_;
+  std::vector<Cell> table_;
+  std::uint64_t distinct_ = 0;
+};
+
+}  // namespace intox::sketch

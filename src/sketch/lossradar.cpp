@@ -1,0 +1,46 @@
+#include "sketch/lossradar.hpp"
+
+namespace intox::sketch {
+
+LossRadar::LossRadar(const LossRadarConfig& config)
+    : config_(config), cells_(config.cells) {}
+
+void LossRadar::add(std::uint64_t packet_id) {
+  for (std::uint32_t i = 0; i < config_.hashes; ++i) {
+    Cell& c = cells_[partitioned_index(packet_id, i, config_.hashes, cells_.size(), config_.seed)];
+    c.id_xor ^= packet_id;
+    c.count += 1;
+  }
+  ++count_;
+}
+
+LossDecodeResult LossRadar::diff_decode(const LossRadar& downstream) const {
+  std::vector<Cell> diff = cells_;
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    diff[i].id_xor ^= downstream.cells_[i].id_xor;
+    diff[i].count -= downstream.cells_[i].count;
+  }
+
+  LossDecodeResult result;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      if (diff[i].count != 1) continue;
+      const std::uint64_t id = diff[i].id_xor;
+      result.lost.push_back(id);
+      for (std::uint32_t k = 0; k < config_.hashes; ++k) {
+        Cell& c = diff[partitioned_index(id, k, config_.hashes, diff.size(), config_.seed)];
+        c.id_xor ^= id;
+        c.count -= 1;
+      }
+      progress = true;
+    }
+  }
+  for (const auto& c : diff) {
+    if (c.count != 0) ++result.stuck_cells;
+  }
+  return result;
+}
+
+}  // namespace intox::sketch

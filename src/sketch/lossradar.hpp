@@ -1,0 +1,55 @@
+// LossRadar-style loss digest (Li et al., CoNEXT'16).
+//
+// Two meters — upstream and downstream of a network segment — encode
+// every packet into small IBLT digests; subtracting the downstream
+// digest from the upstream one leaves exactly the lost packets, which
+// peel out individually. Correct as long as the number of losses in a
+// batch stays within the digest's dimensioning; an attacker who inflates
+// losses (or injects asymmetric traffic) stalls the decode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/bloom.hpp"
+
+namespace intox::sketch {
+
+struct LossRadarConfig {
+  std::size_t cells = 256;
+  std::uint32_t hashes = 3;
+  std::uint32_t seed = 21;
+};
+
+struct LossDecodeResult {
+  std::vector<std::uint64_t> lost;  // packet ids recovered
+  std::size_t stuck_cells = 0;
+  [[nodiscard]] bool complete() const { return stuck_cells == 0; }
+};
+
+class LossRadar {
+ public:
+  explicit LossRadar(const LossRadarConfig& config);
+
+  /// Records one packet (id must uniquely identify the packet, e.g.
+  /// 5-tuple hash + IP id).
+  void add(std::uint64_t packet_id);
+
+  /// Digest subtraction: this (upstream) minus `downstream`, then peel.
+  [[nodiscard]] LossDecodeResult diff_decode(const LossRadar& downstream) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] const LossRadarConfig& config() const { return config_; }
+
+ private:
+  struct Cell {
+    std::uint64_t id_xor = 0;
+    std::int64_t count = 0;
+  };
+
+  LossRadarConfig config_;
+  std::vector<Cell> cells_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace intox::sketch

@@ -1,0 +1,32 @@
+#include "sketch/rotation.hpp"
+
+#include "net/hash.hpp"
+
+namespace intox::sketch {
+
+RotatingBloom::RotatingBloom(const RotationConfig& config)
+    : config_(config),
+      filter_(config.cells, config.hashes,
+              static_cast<std::uint32_t>(
+                  net::mix64(config.seed_sequence_start))),
+      seed_counter_(config.seed_sequence_start) {}
+
+void RotatingBloom::insert(std::uint64_t key) {
+  filter_.insert(key);
+  recent_.push_back(key);
+  if (recent_.size() > config_.retained_keys) recent_.pop_front();
+  if (++since_rotation_ >= config_.rotation_period) rotate();
+}
+
+void RotatingBloom::rotate() {
+  ++rotations_;
+  since_rotation_ = 0;
+  ++seed_counter_;
+  // The new seed is drawn from a sequence the attacker cannot predict
+  // (modeled: mixed counter; a deployment would use a CSPRNG).
+  filter_ = BloomFilter{config_.cells, config_.hashes,
+                        static_cast<std::uint32_t>(net::mix64(seed_counter_))};
+  for (std::uint64_t k : recent_) filter_.insert(k);
+}
+
+}  // namespace intox::sketch

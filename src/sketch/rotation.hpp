@@ -1,0 +1,58 @@
+// §5-V countermeasure for sketch pollution: secret/rotating hash seeds.
+//
+//   "Obfuscating this logic, or varying it over time, can thus hinder
+//    attacks. This security-by-obscurity method ... can form part of a
+//    defense-in-depth approach."
+//
+// The crafted-key attacks in attack.hpp require knowing the filter's
+// hash seed. A RotatingBloom re-seeds (and rebuilds from a retained key
+// window) every epoch: keys crafted against seed k lose their structure
+// under seed k+1, degrading the attack to random insertions. The cost is
+// the §5-V trade-off made measurable: rebuild work per rotation and a
+// bounded retention window (older members are forgotten).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sketch/bloom.hpp"
+
+namespace intox::sketch {
+
+struct RotationConfig {
+  std::size_t cells = 4096;
+  std::uint32_t hashes = 4;
+  /// Insertions between seed rotations.
+  std::uint64_t rotation_period = 4096;
+  /// Members re-inserted after a rotation (bounded memory — a real data
+  /// plane would swap between two filter banks instead).
+  std::size_t retained_keys = 2048;
+  std::uint64_t seed_sequence_start = 1;
+};
+
+class RotatingBloom {
+ public:
+  explicit RotatingBloom(const RotationConfig& config);
+
+  void insert(std::uint64_t key);
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return filter_.contains(key);
+  }
+
+  [[nodiscard]] std::uint32_t current_seed() const { return filter_.seed(); }
+  [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+  [[nodiscard]] double fill_fraction() const { return filter_.fill_fraction(); }
+  [[nodiscard]] const BloomFilter& filter() const { return filter_; }
+
+ private:
+  void rotate();
+
+  RotationConfig config_;
+  BloomFilter filter_;
+  std::deque<std::uint64_t> recent_;
+  std::uint64_t since_rotation_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t seed_counter_;
+};
+
+}  // namespace intox::sketch

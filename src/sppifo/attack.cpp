@@ -1,0 +1,122 @@
+#include "sppifo/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intox::sppifo {
+
+std::vector<std::uint32_t> generate_ranks(const RankWorkload& workload,
+                                          sim::Rng& rng) {
+  std::vector<std::uint32_t> ranks;
+  ranks.reserve(workload.packets);
+  const std::uint32_t levels = std::max<std::uint32_t>(workload.rank_levels, 2);
+
+  switch (workload.order) {
+    case ArrivalOrder::kUniformRandom: {
+      for (std::size_t i = 0; i < workload.packets; ++i) {
+        ranks.push_back(static_cast<std::uint32_t>(
+            rng.uniform_int(0, levels - 1)));
+      }
+      break;
+    }
+    case ArrivalOrder::kDragAndBurst: {
+      while (ranks.size() < workload.packets) {
+        for (std::size_t i = 0;
+             i < workload.drag_len && ranks.size() < workload.packets; ++i) {
+          // High half of the rank space, random within it.
+          ranks.push_back(static_cast<std::uint32_t>(
+              rng.uniform_int(levels / 2, levels - 1)));
+        }
+        for (std::size_t i = 0;
+             i < workload.burst_len && ranks.size() < workload.packets; ++i) {
+          // Burst of top-priority packets.
+          ranks.push_back(static_cast<std::uint32_t>(
+              rng.uniform_int(0, levels / 10)));
+        }
+      }
+      break;
+    }
+    case ArrivalOrder::kSawtooth: {
+      const std::size_t ramp = std::max<std::size_t>(workload.ramp_len, 2);
+      while (ranks.size() < workload.packets) {
+        for (std::size_t i = 0; i < ramp && ranks.size() < workload.packets;
+             ++i) {
+          // Strictly descending within each ramp.
+          const double frac =
+              1.0 - static_cast<double>(i) / static_cast<double>(ramp - 1);
+          ranks.push_back(
+              static_cast<std::uint32_t>(frac * static_cast<double>(levels - 1)));
+        }
+      }
+      break;
+    }
+  }
+  return ranks;
+}
+
+SchedulingResult run_scheduling_experiment(
+    const ScheduleConfig& config, const std::vector<std::uint32_t>& ranks) {
+  SpPifo sp{config.sp};
+  IdealPifo pifo{config.sp.queues * config.sp.per_queue_capacity};
+
+  SchedulingResult result;
+  result.packets = ranks.size();
+  const std::uint32_t high_priority_cutoff = [&] {
+    std::uint32_t max_rank = 0;
+    for (auto r : ranks) max_rank = std::max(max_rank, r);
+    return max_rank / 4;
+  }();
+
+  std::vector<std::uint32_t> sp_order, pifo_order;
+  sp_order.reserve(ranks.size());
+  pifo_order.reserve(ranks.size());
+
+  std::uint64_t id = 0;
+  std::size_t i = 0;
+  auto service = [&] {
+    if (auto p = sp.dequeue()) sp_order.push_back(p->rank);
+    if (auto p = pifo.dequeue()) pifo_order.push_back(p->rank);
+  };
+
+  std::uint64_t sp_hp_drops = 0, pifo_hp_drops = 0;
+  while (i < ranks.size()) {
+    // One batch arrives back-to-back at line rate ...
+    std::size_t batched = 0;
+    for (; batched < config.batch_size && i < ranks.size(); ++batched, ++i) {
+      RankedPacket p{ranks[i], id++};
+      const auto sp_before = sp.counters().dropped;
+      sp.enqueue(p);
+      if (sp.counters().dropped > sp_before && p.rank <= high_priority_cutoff) {
+        ++sp_hp_drops;
+      }
+      const auto pifo_before = pifo.drops();
+      pifo.enqueue(p);
+      if (pifo.drops() > pifo_before && p.rank <= high_priority_cutoff) {
+        ++pifo_hp_drops;
+      }
+    }
+    // ... then the same number of service slots drain it.
+    for (std::size_t s = 0; s < batched; ++s) service();
+  }
+  while (!sp.empty() || !pifo.empty()) service();
+
+  result.sp_drops = sp.counters().dropped;
+  result.sp_dequeue_inversions = sp.counters().dequeue_inversions;
+  result.sp_push_downs = sp.counters().push_downs;
+  result.pifo_drops = pifo.drops();
+  result.sp_high_priority_drops = sp_hp_drops;
+  result.pifo_high_priority_drops = pifo_hp_drops;
+
+  // Rank error: compare the two dequeue sequences position-wise over the
+  // common prefix (drop patterns may differ slightly).
+  const std::size_t n = std::min(sp_order.size(), pifo_order.size());
+  double err = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    err += std::abs(static_cast<double>(sp_order[k]) -
+                    static_cast<double>(pifo_order[k]));
+  }
+  result.mean_rank_error = n ? err / static_cast<double>(n) : 0.0;
+  return result;
+}
+
+}  // namespace intox::sppifo

@@ -1,0 +1,70 @@
+#include "sppifo/sppifo.hpp"
+
+namespace intox::sppifo {
+
+SpPifo::SpPifo(const SpPifoConfig& config)
+    : config_(config), bounds_(config.queues, 0),
+      queues_(config.queues) {}
+
+std::optional<std::size_t> SpPifo::enqueue(RankedPacket p) {
+  // Bottom-up scan: lowest-priority queue whose bound admits the rank.
+  std::size_t target = 0;
+  bool found = false;
+  for (std::size_t i = config_.queues; i-- > 0;) {
+    if (bounds_[i] <= p.rank) {
+      target = i;
+      found = true;
+      break;
+    }
+  }
+
+  if (!found) {
+    // Inversion: the packet outranks every bound. Push-down all bounds
+    // by the magnitude and force the packet into the top queue.
+    const std::uint32_t cost = bounds_[0] - p.rank;
+    ++counters_.push_downs;
+    counters_.inversion_magnitude += cost;
+    for (auto& b : bounds_) b -= std::min(b, cost);
+    target = 0;
+  }
+
+  if (queues_[target].size() >= config_.per_queue_capacity) {
+    ++counters_.dropped;
+    return std::nullopt;
+  }
+  if (found) bounds_[target] = p.rank;  // push-up
+  queues_[target].push_back(p);
+  ++counters_.enqueued;
+  return target;
+}
+
+std::optional<RankedPacket> SpPifo::dequeue() {
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    RankedPacket p = q.front();
+    q.pop_front();
+    if (auto min_rank = min_queued_rank(); min_rank && *min_rank < p.rank) {
+      ++counters_.dequeue_inversions;
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::size_t SpPifo::size() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::optional<std::uint32_t> SpPifo::min_queued_rank() const {
+  std::optional<std::uint32_t> best;
+  for (const auto& q : queues_) {
+    for (const auto& p : q) {
+      if (!best || p.rank < *best) best = p.rank;
+    }
+  }
+  return best;
+}
+
+}  // namespace intox::sppifo

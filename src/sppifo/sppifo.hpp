@@ -1,0 +1,65 @@
+// SP-PIFO (Alcoz et al., NSDI'20): approximating PIFO scheduling with a
+// bank of strict-priority FIFO queues and adaptive queue bounds.
+//
+// Queues 0..k-1 (0 = highest priority) carry bounds q_0 <= ... <= q_{k-1}.
+// A packet of rank r is mapped bottom-up to the first queue whose bound
+// is <= r; on enqueue the bound is raised to r ("push-up"). If even the
+// top queue's bound exceeds r, an inversion just happened: the packet is
+// forced into queue 0 and all bounds are decreased by the inversion
+// magnitude ("push-down").
+//
+// The mapping provably adapts well when ranks arrive in *random* order —
+// the assumption §3.2 of the HotNets paper attacks: an adversary who
+// controls arrival order can keep the bounds permanently mis-calibrated,
+// inflating inversions and forcing drops of high-priority traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sppifo/pifo.hpp"
+
+namespace intox::sppifo {
+
+struct SpPifoConfig {
+  std::size_t queues = 8;
+  std::size_t per_queue_capacity = 16;
+};
+
+class SpPifo {
+ public:
+  explicit SpPifo(const SpPifoConfig& config);
+
+  /// Maps and enqueues; returns the queue index or nullopt on drop.
+  std::optional<std::size_t> enqueue(RankedPacket p);
+
+  /// Strict-priority dequeue (queue 0 first; FIFO within a queue).
+  std::optional<RankedPacket> dequeue();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::vector<std::uint32_t>& bounds() const { return bounds_; }
+
+  struct Counters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t push_downs = 0;          // inversion adaptations
+    std::uint64_t inversion_magnitude = 0; // sum of q_0 - r at push-down
+    /// Dequeue-time inversions: a packet left while a smaller rank waits.
+    std::uint64_t dequeue_inversions = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Smallest rank currently queued (for inversion accounting).
+  [[nodiscard]] std::optional<std::uint32_t> min_queued_rank() const;
+
+ private:
+  SpPifoConfig config_;
+  std::vector<std::uint32_t> bounds_;
+  std::vector<std::deque<RankedPacket>> queues_;
+  Counters counters_;
+};
+
+}  // namespace intox::sppifo

@@ -1,0 +1,151 @@
+#include "supervisor/attack_synth.hpp"
+
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace intox::supervisor {
+
+net::FiveTuple AttackSynthesizer::flow_tuple(std::uint16_t index) const {
+  net::FiveTuple t;
+  t.src = net::Ipv4Addr{172, 16, static_cast<std::uint8_t>(index >> 8),
+                        static_cast<std::uint8_t>(index & 0xff)};
+  t.dst = net::Ipv4Addr{config_.target_prefix.addr().value() | 1};
+  t.src_port = static_cast<std::uint16_t>(20000 + index);
+  t.dst_port = 80;
+  t.proto = net::IpProto::kTcp;
+  return t;
+}
+
+sim::Time AttackSynthesizer::replay(const std::vector<PacketGene>& genes,
+                                    dataplane::PacketProcessor& pipeline) const {
+  sim::Time now = 0;
+  std::unordered_map<std::uint16_t, std::uint32_t> flow_seq;
+  for (const PacketGene& g : genes) {
+    now += sim::millis(g.gap_ms);
+    auto [it, fresh] = flow_seq.try_emplace(g.flow, 1000u);
+    if (!g.repeat_seq && !fresh) it->second += 1448;
+
+    net::Packet p;
+    const net::FiveTuple tuple = flow_tuple(g.flow);
+    p.src = tuple.src;
+    p.dst = tuple.dst;
+    net::TcpHeader tcp;
+    tcp.src_port = tuple.src_port;
+    tcp.dst_port = tuple.dst_port;
+    tcp.seq = it->second;
+    tcp.ack_flag = true;
+    tcp.fin = g.fin;
+    p.l4 = tcp;
+    p.payload_bytes = 512;
+
+    dataplane::PipelineMetadata meta;
+    pipeline.process(p, meta, now);
+  }
+  return now;
+}
+
+std::vector<PacketGene> AttackSynthesizer::random_candidate(
+    sim::Rng& rng) const {
+  std::vector<PacketGene> genes(config_.sequence_length);
+  for (auto& g : genes) {
+    g.flow = static_cast<std::uint16_t>(
+        rng.uniform_int(0, config_.flow_pool - 1));
+    g.repeat_seq = rng.bernoulli(0.5);
+    g.fin = rng.bernoulli(0.02);
+    g.gap_ms = static_cast<std::uint16_t>(rng.uniform_int(1, 400));
+  }
+  return genes;
+}
+
+void AttackSynthesizer::mutate(std::vector<PacketGene>& genes,
+                               sim::Rng& rng) const {
+  // Macro-move: with some probability, write a tight burst of repeats —
+  // bursts are the generic building block of timing-sensitive packet
+  // attacks, and assembling one by single-gene tweaks is astronomically
+  // unlikely.
+  if (rng.bernoulli(0.3)) {
+    const std::size_t len = rng.uniform_int(4, 16);
+    const std::size_t start = rng.uniform_int(0, genes.size() - len);
+    for (std::size_t i = 0; i < len; ++i) {
+      PacketGene& g = genes[start + i];
+      g.flow = static_cast<std::uint16_t>(
+          rng.uniform_int(0, config_.flow_pool - 1));
+      g.repeat_seq = true;
+      g.fin = false;
+      g.gap_ms = static_cast<std::uint16_t>(rng.uniform_int(1, 10));
+    }
+    return;
+  }
+  for (std::size_t m = 0; m < config_.mutations_per_step; ++m) {
+    PacketGene& g = genes[rng.uniform_int(0, genes.size() - 1)];
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        g.flow = static_cast<std::uint16_t>(
+            rng.uniform_int(0, config_.flow_pool - 1));
+        break;
+      case 1:
+        g.repeat_seq = !g.repeat_seq;
+        break;
+      case 2:
+        g.fin = !g.fin && rng.bernoulli(0.2);
+        break;
+      case 3:
+        g.gap_ms = static_cast<std::uint16_t>(rng.uniform_int(1, 400));
+        break;
+      default:
+        // Local timing refinement: tighter bursts are how stateful
+        // windowed conditions (e.g. "k events within w ms") are reached.
+        g.gap_ms = static_cast<std::uint16_t>(std::max(1, g.gap_ms / 2));
+        break;
+    }
+  }
+}
+
+SynthResult AttackSynthesizer::search(const Factory& factory,
+                                      const Score& score, const Goal& goal) {
+  sim::Rng rng{config_.seed};
+  SynthResult result;
+
+  std::vector<PacketGene> best = random_candidate(rng);
+  double best_score = -1e300;
+  std::size_t stale = 0;
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    std::vector<PacketGene> candidate = best;
+    if (iter == 0 || stale >= config_.restart_after) {
+      candidate = random_candidate(rng);
+      stale = 0;
+    } else {
+      mutate(candidate, rng);
+    }
+
+    auto pipeline = factory();
+    replay(candidate, *pipeline);
+    const double s = score(*pipeline);
+    ++result.iterations;
+
+    if (goal(*pipeline)) {
+      result.found = true;
+      result.best_score = s;
+      result.witness = std::move(candidate);
+      return result;
+    }
+
+    if (s > best_score) {
+      best_score = s;
+      best = std::move(candidate);
+      stale = 0;
+    } else if (s == best_score) {
+      best = std::move(candidate);  // neutral drift across plateaus
+      ++stale;
+    } else {
+      ++stale;
+    }
+  }
+  result.best_score = best_score;
+  result.witness = best;
+  return result;
+}
+
+}  // namespace intox::supervisor

@@ -1,0 +1,92 @@
+// §5-II: automated attack discovery for data-plane programs.
+//
+//   "For testing, one can use fuzzing techniques that enable
+//    auto-generation of (realistic) adversarial inputs ... Given a
+//    specified part within a data-plane program (e.g., a register
+//    access), such a tool could compute inputs (i.e., sequences of
+//    packets) that reach this part of the program."
+//
+// A black-box synthesizer in that spirit: candidate inputs are packet
+// sequences encoded as genes (which flow sends, whether it repeats its
+// sequence number, how long it waits); a guided random search (hill
+// climbing with restarts) maximizes a caller-supplied progress score
+// until a caller-supplied goal predicate on the pipeline state holds.
+// No knowledge of the program semantics is baked into the search — only
+// the generic TCP packet vocabulary.
+//
+// The tests point it at a fresh BlinkNode and ask for "a reroute
+// happened": the synthesizer rediscovers the §3.1 attack (always-active
+// duplicate-seq flows) from scratch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dataplane/pipeline.hpp"
+#include "net/ipv4.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::supervisor {
+
+/// One packet decision in a candidate input sequence.
+struct PacketGene {
+  std::uint16_t flow = 0;     // index into the synthesized flow pool
+  bool repeat_seq = false;    // resend the flow's previous seq?
+  bool fin = false;           // close the flow
+  std::uint16_t gap_ms = 50;  // wait before this packet
+};
+
+struct SynthConfig {
+  /// Distinct flows the fuzzer may use.
+  std::size_t flow_pool = 128;
+  /// Packets per candidate sequence.
+  std::size_t sequence_length = 1500;
+  /// Candidate evaluations (each runs the sequence on a fresh pipeline).
+  std::size_t max_iterations = 300;
+  /// Genes mutated per step.
+  std::size_t mutations_per_step = 40;
+  /// Restart from a fresh random candidate after this many non-improving
+  /// steps.
+  std::size_t restart_after = 30;
+  net::Prefix target_prefix{net::Ipv4Addr{10, 0, 0, 0}, 8};
+  std::uint64_t seed = 1;
+};
+
+struct SynthResult {
+  bool found = false;
+  std::size_t iterations = 0;
+  double best_score = 0.0;
+  /// The winning gene sequence (replayable witness).
+  std::vector<PacketGene> witness;
+};
+
+class AttackSynthesizer {
+ public:
+  /// Builds a fresh instance of the pipeline under test.
+  using Factory = std::function<std::unique_ptr<dataplane::PacketProcessor>()>;
+  /// Progress score (higher = closer to the target state), evaluated
+  /// after the sequence ran.
+  using Score = std::function<double(dataplane::PacketProcessor&)>;
+  /// Goal predicate ("the register/branch of interest was reached").
+  using Goal = std::function<bool(dataplane::PacketProcessor&)>;
+
+  explicit AttackSynthesizer(const SynthConfig& config) : config_(config) {}
+
+  SynthResult search(const Factory& factory, const Score& score,
+                     const Goal& goal);
+
+  /// Replays a gene sequence against a pipeline instance (also used by
+  /// the search internally). Returns the end-of-run virtual time.
+  sim::Time replay(const std::vector<PacketGene>& genes,
+                   dataplane::PacketProcessor& pipeline) const;
+
+ private:
+  std::vector<PacketGene> random_candidate(sim::Rng& rng) const;
+  void mutate(std::vector<PacketGene>& genes, sim::Rng& rng) const;
+  net::FiveTuple flow_tuple(std::uint16_t index) const;
+
+  SynthConfig config_;
+};
+
+}  // namespace intox::supervisor

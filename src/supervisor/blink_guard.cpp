@@ -1,0 +1,41 @@
+#include "supervisor/blink_guard.hpp"
+
+namespace intox::supervisor {
+
+Assessment BlinkRtoGuard::assess(const blink::FlowSelector& selector,
+                                 sim::Time now) {
+  ++stats_.assessed;
+  std::size_t retransmitting = 0;
+  std::size_t implausible = 0;
+  for (const blink::Cell& cell : selector.cells()) {
+    if (!cell.occupied || cell.last_retransmit == blink::kNever) continue;
+    // Only cells contributing to the failure signal matter.
+    if (now - cell.last_retransmit > sim::millis(800)) continue;
+    ++retransmitting;
+    const bool old_episode =
+        cell.episode_start != blink::kNever &&
+        now - cell.episode_start > config_.max_episode_age;
+    const bool too_chatty =
+        cell.episode_retransmits > config_.max_episode_retransmits;
+    if (old_episode || too_chatty) ++implausible;
+  }
+
+  Assessment a;
+  a.risk = retransmitting == 0
+               ? 0.0
+               : static_cast<double>(implausible) /
+                     static_cast<double>(retransmitting);
+  if (a.risk >= config_.veto_fraction) {
+    a.verdict = Verdict::kDeny;
+    a.reason = "retransmission episodes inconsistent with fresh failure";
+    ++stats_.denied;
+  }
+  return a;
+}
+
+blink::RerouteGuard BlinkRtoGuard::as_reroute_guard() {
+  return [this](const net::Prefix&, const blink::FlowSelector& selector,
+                sim::Time now) { return assess(selector, now).allowed(); };
+}
+
+}  // namespace intox::supervisor

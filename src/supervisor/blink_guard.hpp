@@ -1,0 +1,50 @@
+// Blink defense (§5 "Applicability to Blink"): RTO-plausibility check.
+//
+// Upon a real failure, every affected flow *starts* retransmitting at
+// that moment and spaces its retransmissions by exponentially backed-off
+// RTOs — so at inference time each retransmission episode is young and
+// shallow. The §3.1 attacker's flows, by contrast, have been emitting
+// duplicates continuously since they were sampled: their episodes are
+// old and deep. The guard vetoes a reroute when too many of the
+// retransmitting cells look like long-running emitters rather than
+// freshly failing flows.
+#pragma once
+
+#include <cstdint>
+
+#include "blink/blink_node.hpp"
+#include "supervisor/supervisor.hpp"
+
+namespace intox::supervisor {
+
+struct BlinkGuardConfig {
+  /// An episode older than this at inference time is implausible for a
+  /// genuine failure (a real flow would have sent only ~2-3 RTOs by the
+  /// time Blink's majority trips, i.e. within a few seconds).
+  sim::Duration max_episode_age = sim::seconds(3);
+  /// More retransmissions than this within one episode is implausible
+  /// (RTO backoff 1+2 s yields ~3 by inference time).
+  std::uint32_t max_episode_retransmits = 6;
+  /// Veto when this fraction of retransmitting cells is implausible.
+  double veto_fraction = 0.25;
+};
+
+class BlinkRtoGuard {
+ public:
+  explicit BlinkRtoGuard(const BlinkGuardConfig& config = BlinkGuardConfig{})
+      : config_(config) {}
+
+  /// Assesses a proposed reroute given the selector's cell state.
+  Assessment assess(const blink::FlowSelector& selector, sim::Time now);
+
+  /// Adapter usable directly as blink::RerouteGuard.
+  [[nodiscard]] blink::RerouteGuard as_reroute_guard();
+
+  [[nodiscard]] const GuardStats& stats() const { return stats_; }
+
+ private:
+  BlinkGuardConfig config_;
+  GuardStats stats_;
+};
+
+}  // namespace intox::supervisor

@@ -1,0 +1,31 @@
+#include "supervisor/pcc_guard.hpp"
+
+#include <algorithm>
+
+namespace intox::supervisor {
+
+PccGuard::PccGuard(pcc::PccSender& sender, const PccGuardConfig& config)
+    : sender_(sender), config_(config) {
+  sender_.set_experiment_observer(
+      [this](const pcc::PccSender::ExperimentOutcome& o) { observe(o); });
+}
+
+void PccGuard::observe(const pcc::PccSender::ExperimentOutcome& o) {
+  ++stats_.assessed;
+  // Key physical argument: benign congestion can explain extra loss in
+  // the +eps arm (it sends *more*), but the -eps arm sends *less* than
+  // the hold intervals — if it still sees more loss than they do, the
+  // drops are aimed at the experiment, not caused by it.
+  const double hold_loss = o.hold_loss < 0.0 ? 0.0 : o.hold_loss;
+  const bool probe_targeted = o.down_loss_mean > hold_loss + config_.loss_gap;
+  const bool suspicious = !o.conclusive && probe_targeted;
+
+  streak_ = suspicious ? streak_ + 1 : 0;
+  if (!detected_ && streak_ >= config_.streak_to_trigger) {
+    detected_ = true;
+    ++stats_.denied;  // one intervention
+    sender_.set_epsilon_cap(config_.clamped_epsilon);
+  }
+}
+
+}  // namespace intox::supervisor

@@ -1,0 +1,48 @@
+// §5 countermeasure framework: the driver/supervisor architecture.
+//
+// "A driver drives the network while a supervisor supervises the driver
+// and determines the directions in which it can move. The key idea is
+// to not rely solely on data-plane signals but to have an additional
+// feedback loop that checks the plausibility of the signals."  (Fig. 3)
+//
+// The generic interface below is deliberately small: a supervisor sees
+// (state, proposed action) and returns an assessment; drivers consult it
+// before committing state changes. The concrete guards in this module
+// implement it for the paper's three case studies:
+//   * BlinkRtoGuard    — intervention point I/III: input plausibility.
+//   * PytheasGuard     — intervention point I: input quality filtering.
+//   * PccGuard         — intervention point III/IV: constrained range.
+// input_quality.hpp adds the generic point-I building blocks (voting
+// over independent signals, active-probe verification).
+#pragma once
+
+#include <string>
+
+namespace intox::supervisor {
+
+enum class Verdict { kAllow, kDeny };
+
+struct Assessment {
+  Verdict verdict = Verdict::kAllow;
+  /// Estimated probability the driver is "under the influence".
+  double risk = 0.0;
+  std::string reason;
+
+  [[nodiscard]] bool allowed() const { return verdict == Verdict::kAllow; }
+};
+
+/// A supervisor judging proposed driver actions. State and Action are
+/// domain types (e.g. FlowSelector snapshot / "reroute prefix").
+template <typename State, typename Action>
+class Supervisor {
+ public:
+  virtual ~Supervisor() = default;
+  virtual Assessment assess(const State& state, const Action& action) = 0;
+};
+
+struct GuardStats {
+  std::uint64_t assessed = 0;
+  std::uint64_t denied = 0;
+};
+
+}  // namespace intox::supervisor

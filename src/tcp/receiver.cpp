@@ -1,0 +1,69 @@
+#include "tcp/tcp.hpp"
+
+namespace intox::tcp {
+
+TcpReceiver::TcpReceiver(sim::Scheduler& sched, const TcpConfig& config,
+                         PacketSink sink)
+    : sched_(sched), config_(config), sink_(std::move(sink)) {}
+
+void TcpReceiver::send_ack(const net::Packet& cause, bool syn_ack) {
+  net::Packet p;
+  p.src = cause.dst;
+  p.dst = cause.src;
+  net::TcpHeader t;
+  const auto* ct = cause.tcp();
+  t.src_port = ct->dst_port;
+  t.dst_port = ct->src_port;
+  t.ack = rcv_next_;
+  t.ack_flag = true;
+  t.syn = syn_ack;
+  t.seq = 2000;  // receiver's ISS; we never send data on this side
+  t.window = rwnd_;
+  p.l4 = t;
+  p.payload_bytes = 0;
+  p.flow_tag = flow_tag_;
+  sink_(std::move(p));
+}
+
+void TcpReceiver::on_packet(const net::Packet& pkt) {
+  const auto* t = pkt.tcp();
+  if (!t) return;
+  flow_tag_ = pkt.flow_tag;
+
+  if (t->syn) {
+    rcv_next_ = t->seq + 1;
+    established_ = true;
+    send_ack(pkt, /*syn_ack=*/true);
+    return;
+  }
+  if (!established_) return;
+
+  const std::uint32_t len = pkt.payload_bytes + (t->fin ? 1u : 0u);
+  if (len == 0) return;  // pure ACK towards us: nothing to do
+
+  if (t->seq == rcv_next_) {
+    // In-order: consume it and any buffered continuation.
+    rcv_next_ += len;
+    bytes_received_ += pkt.payload_bytes;
+    if (t->fin) saw_fin_ = true;
+    for (auto it = out_of_order_.find(rcv_next_); it != out_of_order_.end();
+         it = out_of_order_.find(rcv_next_)) {
+      rcv_next_ += it->second.first;
+      bytes_received_ += it->second.second;
+      out_of_order_.erase(it);
+    }
+    send_ack(pkt, false);
+  } else if (t->seq > rcv_next_) {
+    // Hole: buffer and emit a duplicate ACK (the fast-retransmit signal).
+    out_of_order_.emplace(t->seq, std::make_pair(len, pkt.payload_bytes));
+    if (t->fin) saw_fin_ = true;
+    ++dup_acks_;
+    send_ack(pkt, false);
+  } else {
+    // Old (already-received) segment, e.g. a spurious retransmission:
+    // re-ack so the sender can move on.
+    send_ack(pkt, false);
+  }
+}
+
+}  // namespace intox::tcp

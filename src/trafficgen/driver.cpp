@@ -1,0 +1,145 @@
+#include "trafficgen/driver.hpp"
+
+namespace intox::trafficgen {
+
+LegitFlowDriver::LegitFlowDriver(sim::Scheduler& sched, sim::Rng rng,
+                                 FlowSpec spec, PacketSink sink)
+    : sched_(sched), rng_(rng), spec_(std::move(spec)), sink_(std::move(sink)) {}
+
+net::Packet LegitFlowDriver::make_packet(std::uint32_t seq, bool fin) const {
+  net::Packet p;
+  p.src = spec_.tuple.src;
+  p.dst = spec_.tuple.dst;
+  net::TcpHeader tcp;
+  tcp.src_port = spec_.tuple.src_port;
+  tcp.dst_port = spec_.tuple.dst_port;
+  tcp.seq = seq;
+  tcp.ack_flag = true;
+  tcp.fin = fin;
+  p.l4 = tcp;
+  p.payload_bytes = fin ? 0 : spec_.payload_bytes;
+  p.flow_tag = spec_.id;
+  return p;
+}
+
+void LegitFlowDriver::start() {
+  pending_ = sched_.schedule_at(spec_.start, [this] { send_next(); });
+}
+
+void LegitFlowDriver::send_next() {
+  if (finished_) return;
+  const sim::Time end = spec_.start + spec_.duration;
+  if (sched_.now() >= end) {
+    sink_(make_packet(next_seq_, /*fin=*/true));
+    finished_ = true;
+    return;
+  }
+  last_sent_seq_ = next_seq_;
+  sink_(make_packet(next_seq_));
+  next_seq_ += spec_.payload_bytes;
+  pending_ = sched_.schedule_after(
+      rng_.exp_duration(spec_.pkt_interval), [this] { send_next(); });
+}
+
+void LegitFlowDriver::enter_failure_mode() {
+  if (finished_ || failure_mode_) return;
+  failure_mode_ = true;
+  if (pending_.valid()) sched_.cancel(pending_);
+  rto_ = sim::seconds(1);
+  send_retransmission();
+}
+
+void LegitFlowDriver::send_retransmission() {
+  if (finished_ || !failure_mode_) return;
+  sink_(make_packet(last_sent_seq_));
+  pending_ = sched_.schedule_after(rto_, [this] { send_retransmission(); });
+  rto_ = std::min<sim::Duration>(rto_ * 2, sim::seconds(60));
+}
+
+void LegitFlowDriver::exit_failure_mode() {
+  if (!failure_mode_) return;
+  failure_mode_ = false;
+  if (pending_.valid()) sched_.cancel(pending_);
+  if (!finished_) {
+    pending_ = sched_.schedule_after(
+        rng_.exp_duration(spec_.pkt_interval), [this] { send_next(); });
+  }
+}
+
+void LegitFlowDriver::stop() {
+  finished_ = true;
+  if (pending_.valid()) sched_.cancel(pending_);
+}
+
+MaliciousFlowDriver::MaliciousFlowDriver(sim::Scheduler& sched, sim::Rng rng,
+                                         FlowSpec spec, PacketSink sink,
+                                         Options options)
+    : sched_(sched), rng_(rng), spec_(std::move(spec)),
+      sink_(std::move(sink)), options_(options) {}
+
+void MaliciousFlowDriver::start() {
+  running_ = true;
+  // Desynchronize across the botnet so the victim sees a steady
+  // aggregate rather than pulses.
+  const auto jitter = static_cast<sim::Duration>(
+      rng_.uniform() * static_cast<double>(options_.send_period));
+  pending_ = sched_.schedule_at(spec_.start + jitter, [this] { send_one(); });
+}
+
+void MaliciousFlowDriver::send_one() {
+  if (!running_) return;
+  net::Packet p;
+  p.src = spec_.tuple.src;
+  p.dst = spec_.tuple.dst;
+  net::TcpHeader tcp;
+  tcp.src_port = spec_.tuple.src_port;
+  tcp.dst_port = spec_.tuple.dst_port;
+  tcp.seq = seq_;
+  tcp.ack_flag = true;
+  p.l4 = tcp;
+  p.payload_bytes = spec_.payload_bytes;
+  p.flow_tag = spec_.id;
+  sink_(std::move(p));
+
+  if (++sends_of_current_seq_ >= options_.repeats_per_seq) {
+    seq_ += spec_.payload_bytes;  // advance: the flow keeps looking alive
+    sends_of_current_seq_ = 0;
+  }
+  pending_ = sched_.schedule_after(options_.send_period, [this] { send_one(); });
+}
+
+void MaliciousFlowDriver::stop() {
+  running_ = false;
+  if (pending_.valid()) sched_.cancel(pending_);
+}
+
+FlowPopulation::FlowPopulation(sim::Scheduler& sched, sim::Rng rng,
+                               PacketSink sink)
+    : sched_(sched), rng_(rng), sink_(std::move(sink)) {}
+
+void FlowPopulation::add_legit(const FlowSpec& spec) {
+  legit_.push_back(std::make_unique<LegitFlowDriver>(
+      sched_, rng_.fork(next_fork_++), spec, sink_));
+}
+
+void FlowPopulation::add_malicious(const FlowSpec& spec,
+                                   MaliciousFlowDriver::Options options) {
+  malicious_.push_back(std::make_unique<MaliciousFlowDriver>(
+      sched_, rng_.fork(next_fork_++), spec, sink_, options));
+}
+
+void FlowPopulation::start_all() {
+  for (auto& d : legit_) d->start();
+  for (auto& d : malicious_) d->start();
+}
+
+void FlowPopulation::fail_all_legit() {
+  for (auto& d : legit_) d->enter_failure_mode();
+}
+
+void FlowPopulation::stop_all() {
+  for (auto& d : legit_) d->stop();
+  for (auto& d : malicious_) d->stop();
+}
+
+}  // namespace intox::trafficgen

@@ -1,0 +1,131 @@
+// Packet-level flow drivers.
+//
+// A driver turns a FlowSpec into a scheduled packet stream feeding a sink
+// (usually a host's egress link, or a Blink pipeline directly).
+//
+//  * LegitFlowDriver sends fresh in-order TCP segments for the flow's
+//    lifetime, then a FIN. On `enter_failure_mode()` it starts
+//    retransmitting its last segment with exponential RTO backoff — the
+//    genuine signal Blink listens for.
+//  * MaliciousFlowDriver implements the §3.1 attacker: it stays active
+//    forever and emits back-to-back duplicate-sequence segments every
+//    period, so any cell it occupies both never expires and always looks
+//    like it is retransmitting. No TCP handshake is ever performed,
+//    matching the paper's observation that none is needed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "trafficgen/flow.hpp"
+
+namespace intox::trafficgen {
+
+using PacketSink = std::function<void(net::Packet)>;
+
+class LegitFlowDriver {
+ public:
+  LegitFlowDriver(sim::Scheduler& sched, sim::Rng rng, FlowSpec spec,
+                  PacketSink sink);
+
+  /// Schedules the flow's first packet at spec.start.
+  void start();
+  /// Switches to RTO-driven retransmission of the last segment (a real
+  /// path failure as seen from the sender).
+  void enter_failure_mode();
+  /// Returns to normal transmission (path repaired).
+  void exit_failure_mode();
+  void stop();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const FlowSpec& spec() const { return spec_; }
+
+ private:
+  void send_next();
+  void send_retransmission();
+  net::Packet make_packet(std::uint32_t seq, bool fin = false) const;
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  FlowSpec spec_;
+  PacketSink sink_;
+  std::uint32_t next_seq_ = 1000;
+  std::uint32_t last_sent_seq_ = 1000;
+  sim::Duration rto_ = sim::seconds(1);
+  bool failure_mode_ = false;
+  bool finished_ = false;
+  sim::Scheduler::EventId pending_;
+};
+
+class MaliciousFlowDriver {
+ public:
+  struct Options {
+    /// Gap between consecutive segments. Every segment is a fresh chance
+    /// to capture a freed selector cell, so the attacker spaces them
+    /// evenly (back-to-back duplicates would halve the capture rate) and
+    /// keeps the gap well below the victim's 2 s eviction timeout.
+    sim::Duration send_period = sim::millis(250);
+    /// Each sequence number is sent this many times (on consecutive
+    /// sends) before advancing; >= 2 makes every pair look retransmitted.
+    int repeats_per_seq = 2;
+  };
+
+  MaliciousFlowDriver(sim::Scheduler& sched, sim::Rng rng, FlowSpec spec,
+                      PacketSink sink, Options options);
+  MaliciousFlowDriver(sim::Scheduler& sched, sim::Rng rng, FlowSpec spec,
+                      PacketSink sink)
+      : MaliciousFlowDriver(sched, rng, std::move(spec), std::move(sink),
+                            Options{}) {}
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const FlowSpec& spec() const { return spec_; }
+
+ private:
+  void send_one();
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  FlowSpec spec_;
+  PacketSink sink_;
+  Options options_;
+  std::uint32_t seq_ = 5000;
+  int sends_of_current_seq_ = 0;
+  bool running_ = false;
+  sim::Scheduler::EventId pending_;
+};
+
+/// Owns and runs a whole population of drivers — the shape every Blink
+/// experiment uses.
+class FlowPopulation {
+ public:
+  FlowPopulation(sim::Scheduler& sched, sim::Rng rng, PacketSink sink);
+
+  void add_legit(const FlowSpec& spec);
+  void add_malicious(const FlowSpec& spec,
+                     MaliciousFlowDriver::Options options);
+  void add_malicious(const FlowSpec& spec) {
+    add_malicious(spec, MaliciousFlowDriver::Options{});
+  }
+  void start_all();
+  /// Puts every currently-unfinished legitimate flow into failure mode.
+  void fail_all_legit();
+  void stop_all();
+
+  [[nodiscard]] std::size_t legit_count() const { return legit_.size(); }
+  [[nodiscard]] std::size_t malicious_count() const { return malicious_.size(); }
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  PacketSink sink_;
+  std::uint64_t next_fork_ = 0;
+  std::vector<std::unique_ptr<LegitFlowDriver>> legit_;
+  std::vector<std::unique_ptr<MaliciousFlowDriver>> malicious_;
+};
+
+}  // namespace intox::trafficgen

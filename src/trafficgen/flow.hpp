@@ -1,0 +1,22 @@
+// Flow specifications produced by the trace synthesizer and consumed by
+// the packet-level drivers.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace intox::trafficgen {
+
+struct FlowSpec {
+  std::uint64_t id = 0;            // ground-truth flow tag
+  net::FiveTuple tuple;
+  sim::Time start = 0;
+  sim::Duration duration = 0;      // active lifetime; ignored if malicious
+  sim::Duration pkt_interval = 0;  // mean packet inter-arrival
+  std::uint32_t payload_bytes = 512;
+  bool malicious = false;
+};
+
+}  // namespace intox::trafficgen

@@ -1,0 +1,62 @@
+// Synthetic "CAIDA-like" per-prefix trace generation.
+//
+// The paper's Fig. 2 experiment is parameterized by (t_R, q_m): the mean
+// time a legitimate flow stays in Blink's sample and the malicious flow
+// fraction. Blink samples a flow for its *remaining* lifetime, so with
+// exponentially distributed flow durations (memoryless) the sampled
+// residence time equals the duration mean — we therefore synthesize flows
+// with exponential durations whose mean is the target t_R. Heavy-tailed
+// (log-normal / bounded-Pareto) duration models are provided too, for the
+// t_R-sweep experiment that mirrors the paper's top-20-prefix analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "sim/rng.hpp"
+#include "trafficgen/flow.hpp"
+
+namespace intox::trafficgen {
+
+enum class DurationModel {
+  kExponential,   // memoryless; sampled residency == mean duration
+  kLogNormal,     // sigma fixed at 1.2, mu derived from the mean
+  kBoundedPareto, // alpha 1.3, bounds [0.1 s, 20 * mean]
+};
+
+struct TraceConfig {
+  net::Prefix victim_prefix{net::Ipv4Addr{10, 0, 0, 0}, 8};
+  /// Target number of concurrently active legitimate flows.
+  std::size_t active_flows = 2000;
+  /// Mean flow duration (== mean sampled residency t_R for kExponential).
+  sim::Duration mean_duration = sim::seconds(8.37);
+  DurationModel duration_model = DurationModel::kExponential;
+  /// Mean packet inter-arrival within a flow. Must be well under Blink's
+  /// 2 s eviction timeout or flows churn out of the sample prematurely.
+  sim::Duration pkt_interval = sim::millis(250);
+  /// Trace horizon; flows are generated so the prefix stays at the target
+  /// active count from t=0 to the horizon.
+  sim::Duration horizon = sim::seconds(510);
+  std::uint32_t payload_bytes = 512;
+};
+
+/// Generates legitimate flow arrivals for one destination prefix.
+/// Includes an initial steady-state population active at t = 0.
+std::vector<FlowSpec> synthesize_trace(const TraceConfig& config, sim::Rng& rng);
+
+/// Generates `count` malicious flows, all starting at `start` and running
+/// forever (the Blink attacker keeps them permanently active).
+std::vector<FlowSpec> synthesize_malicious_flows(const TraceConfig& config,
+                                                 std::size_t count,
+                                                 sim::Time start,
+                                                 sim::Rng& rng,
+                                                 std::uint64_t first_id);
+
+/// Draws one flow duration from the configured model.
+sim::Duration draw_duration(const TraceConfig& config, sim::Rng& rng);
+
+/// Draws a random 5-tuple with destination inside `prefix`.
+net::FiveTuple random_tuple_to(const net::Prefix& prefix, sim::Rng& rng);
+
+}  // namespace intox::trafficgen

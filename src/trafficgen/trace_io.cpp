@@ -1,0 +1,119 @@
+#include "trafficgen/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "net/ipv4.hpp"
+
+namespace intox::trafficgen {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "id,src,dst,src_port,dst_port,proto,start_ns,duration_ns,"
+    "pkt_interval_ns,payload_bytes,malicious";
+
+template <typename T>
+bool parse_number(std::string_view field, T& out) {
+  const auto* first = field.data();
+  const auto* last = field.data() + field.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<FlowSpec>& flows) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const FlowSpec& f : flows) {
+    out << f.id << ',' << net::to_string(f.tuple.src) << ','
+        << net::to_string(f.tuple.dst) << ',' << f.tuple.src_port << ','
+        << f.tuple.dst_port << ',' << static_cast<int>(f.tuple.proto) << ','
+        << f.start << ',' << f.duration << ',' << f.pkt_interval << ','
+        << f.payload_bytes << ',' << (f.malicious ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+std::optional<std::vector<FlowSpec>> from_csv(std::string_view text) {
+  std::vector<FlowSpec> flows;
+  std::size_t line_start = 0;
+  bool first_line = true;
+  while (line_start < text.size()) {
+    auto line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (first_line) {
+      first_line = false;
+      if (line != kHeader) return std::nullopt;
+      continue;
+    }
+
+    const auto fields = split(line, ',');
+    if (fields.size() != 11) return std::nullopt;
+
+    FlowSpec f;
+    const auto src = net::parse_ipv4(fields[1]);
+    const auto dst = net::parse_ipv4(fields[2]);
+    int proto = 0;
+    int malicious = 0;
+    if (!parse_number(fields[0], f.id) || !src || !dst ||
+        !parse_number(fields[3], f.tuple.src_port) ||
+        !parse_number(fields[4], f.tuple.dst_port) ||
+        !parse_number(fields[5], proto) ||
+        !parse_number(fields[6], f.start) ||
+        !parse_number(fields[7], f.duration) ||
+        !parse_number(fields[8], f.pkt_interval) ||
+        !parse_number(fields[9], f.payload_bytes) ||
+        !parse_number(fields[10], malicious)) {
+      return std::nullopt;
+    }
+    if (proto != 1 && proto != 6 && proto != 17) return std::nullopt;
+    if (malicious != 0 && malicious != 1) return std::nullopt;
+    f.tuple.src = *src;
+    f.tuple.dst = *dst;
+    f.tuple.proto = static_cast<net::IpProto>(proto);
+    f.malicious = malicious == 1;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+bool write_csv_file(const std::string& path,
+                    const std::vector<FlowSpec>& flows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv(flows);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<FlowSpec>> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+}  // namespace intox::trafficgen

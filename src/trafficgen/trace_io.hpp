@@ -1,0 +1,35 @@
+// Flow-trace import/export.
+//
+// The experiments in this repository synthesize CAIDA-like traces; users
+// with real traces (anonymized flow logs, NetFlow exports, ...) can feed
+// them through the same drivers by converting to this CSV schema:
+//
+//   id,src,dst,src_port,dst_port,proto,start_ns,duration_ns,
+//   pkt_interval_ns,payload_bytes,malicious
+//
+// One header line, one flow per line. Parsing is strict: any malformed
+// line fails the whole import (traces are measurement inputs — silent
+// truncation would bias results).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trafficgen/flow.hpp"
+
+namespace intox::trafficgen {
+
+/// Serializes flows to CSV (with header).
+std::string to_csv(const std::vector<FlowSpec>& flows);
+
+/// Parses CSV produced by to_csv (or hand-written to the same schema).
+/// Returns nullopt on any malformed content.
+std::optional<std::vector<FlowSpec>> from_csv(std::string_view text);
+
+/// File convenience wrappers.
+bool write_csv_file(const std::string& path, const std::vector<FlowSpec>& flows);
+std::optional<std::vector<FlowSpec>> read_csv_file(const std::string& path);
+
+}  // namespace intox::trafficgen

@@ -1,0 +1,99 @@
+#include "blink/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace intox::blink {
+namespace {
+
+TEST(Analysis, CellProbabilityMatchesPaperFormula) {
+  // p = 1 - (1 - qm)^(t/tR), the formula printed in §3.1.
+  const double p = cell_malicious_probability(0.0525, 510.0, 8.37);
+  EXPECT_NEAR(p, 1.0 - std::pow(0.9475, 510.0 / 8.37), 1e-12);
+  EXPECT_GT(p, 0.95);  // by the end of the budget nearly every cell falls
+}
+
+TEST(Analysis, CellProbabilityEdgeCases) {
+  EXPECT_DOUBLE_EQ(cell_malicious_probability(0.0, 100.0, 8.37), 0.0);
+  EXPECT_DOUBLE_EQ(cell_malicious_probability(0.5, 0.0, 8.37), 0.0);
+  EXPECT_DOUBLE_EQ(cell_malicious_probability(1.0, 1.0, 8.37), 1.0);
+}
+
+TEST(Analysis, CellProbabilityMonotonicInTimeAndQm) {
+  double prev = 0.0;
+  for (double t = 10.0; t <= 500.0; t += 10.0) {
+    const double p = cell_malicious_probability(0.05, t, 8.37);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(cell_malicious_probability(0.01, 100.0, 8.37),
+            cell_malicious_probability(0.10, 100.0, 8.37));
+}
+
+TEST(Analysis, BinomialCdfBasics) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, 0.5, 10), 1.0);
+  EXPECT_NEAR(binomial_cdf(10, 0.5, 4), 0.376953125, 1e-9);
+  EXPECT_NEAR(binomial_cdf(1, 0.3, 0), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 1.0, 4), 0.0);
+}
+
+TEST(Analysis, BinomialQuantileInvertsCdf) {
+  // Median of Bin(64, 0.5) is 32.
+  EXPECT_EQ(binomial_quantile(64, 0.5, 0.5), 32u);
+  // Quantiles are monotone in q.
+  EXPECT_LE(binomial_quantile(64, 0.5, 0.05), binomial_quantile(64, 0.5, 0.95));
+  // Degenerate cases.
+  EXPECT_EQ(binomial_quantile(64, 0.0, 0.99), 0u);
+  EXPECT_EQ(binomial_quantile(64, 1.0, 0.5), 64u);
+}
+
+TEST(Analysis, TimeToExpectedCountInvertsMean) {
+  const double t = time_to_expected_count(64, 0.0525, 8.37, 32.0);
+  EXPECT_NEAR(expected_malicious_cells(64, 0.0525, t, 8.37), 32.0, 1e-9);
+  // With the paper's parameters the mean crosses half the cells within
+  // the 8.5-minute budget.
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 510.0);
+}
+
+TEST(Analysis, TimeToExpectedCountUnreachableTarget) {
+  EXPECT_TRUE(std::isinf(time_to_expected_count(64, 0.0525, 8.37, 64.0)));
+  EXPECT_TRUE(std::isinf(time_to_expected_count(64, 0.0, 8.37, 1.0)));
+}
+
+TEST(Analysis, SuccessProbabilityIncreasesWithTime) {
+  const double early =
+      attack_success_probability(64, 0.0525, 60.0, 8.37, 32);
+  const double late =
+      attack_success_probability(64, 0.0525, 300.0, 8.37, 32);
+  EXPECT_LT(early, late);
+  EXPECT_GT(late, 0.99);  // §3.1: high chance of majority well before 510 s
+}
+
+TEST(Analysis, SuccessProbabilityNeedsZeroIsCertain) {
+  EXPECT_DOUBLE_EQ(attack_success_probability(64, 0.01, 1.0, 8.37, 0), 1.0);
+}
+
+TEST(Analysis, MinQmForSuccessIsSufficientAndTight) {
+  const double qm = min_qm_for_success(64, 510.0, 8.37, 32, 0.95);
+  EXPECT_GT(qm, 0.0);
+  EXPECT_LT(qm, 0.1);  // the paper's 5.25% is in this regime
+  EXPECT_GE(attack_success_probability(64, qm, 510.0, 8.37, 32), 0.95);
+  EXPECT_LT(attack_success_probability(64, qm * 0.8, 510.0, 8.37, 32), 0.95);
+}
+
+TEST(Analysis, LongerResidencyNeedsMoreMaliciousTraffic) {
+  // The §3.1 claim "With longer tR, the attack is harder, i.e., requires
+  // higher qm" as a property over a sweep.
+  double prev = 0.0;
+  for (double tr = 2.0; tr <= 40.0; tr += 2.0) {
+    const double qm = min_qm_for_success(64, 510.0, tr, 32, 0.95);
+    EXPECT_GT(qm, prev) << "tR = " << tr;
+    prev = qm;
+  }
+}
+
+}  // namespace
+}  // namespace intox::blink

@@ -1,0 +1,171 @@
+#include "blink/blink_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::blink {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+constexpr Prefix kVictim{Ipv4Addr{10, 0, 0, 0}, 8};
+
+BlinkConfig tiny_config() {
+  BlinkConfig c;
+  c.cells = 8;  // majority = 4 flows: easy to drive by hand
+  return c;
+}
+
+net::Packet tcp_pkt(std::uint16_t src_port, std::uint32_t seq,
+                    std::uint64_t tag = 0, bool fin = false) {
+  net::Packet p;
+  p.src = Ipv4Addr{1, 2, 3, 4};
+  p.dst = Ipv4Addr{10, 0, 0, 1};
+  net::TcpHeader t;
+  t.src_port = src_port;
+  t.dst_port = 80;
+  t.seq = seq;
+  t.fin = fin;
+  p.l4 = t;
+  p.payload_bytes = 100;
+  p.flow_tag = tag;
+  return p;
+}
+
+// Feeds a packet and returns the chosen egress port.
+int feed(BlinkNode& node, const net::Packet& p, sim::Time now) {
+  dataplane::PipelineMetadata meta;
+  meta.egress_port = -1;
+  node.process(p, meta, now);
+  return meta.egress_port;
+}
+
+// Drives enough distinct retransmitting flows through the node to cross
+// the failure threshold. Returns the ports observed.
+void drive_majority_retransmissions(BlinkNode& node, sim::Time t) {
+  // 32 distinct flows (well above 8 cells) each send a segment and then a
+  // duplicate: every occupied cell sees a retransmission within the window.
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), t);
+  }
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5),
+         t + sim::millis(100));
+  }
+}
+
+TEST(BlinkNode, SteersMonitoredPrefixToPrimaryWhenHealthy) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  EXPECT_EQ(feed(node, tcp_pkt(1000, 1), 0), 3);
+  EXPECT_FALSE(node.is_rerouted(kVictim));
+}
+
+TEST(BlinkNode, IgnoresUnmonitoredPrefixes) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  net::Packet p = tcp_pkt(1000, 1);
+  p.dst = Ipv4Addr{99, 0, 0, 1};
+  EXPECT_EQ(feed(node, p, 0), -1);  // untouched
+}
+
+TEST(BlinkNode, MajorityRetransmissionsTriggerReroute) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  drive_majority_retransmissions(node, sim::seconds(1));
+  ASSERT_EQ(node.reroutes().size(), 1u);
+  EXPECT_TRUE(node.is_rerouted(kVictim));
+  EXPECT_EQ(node.reroutes()[0].prefix, kVictim);
+  // Subsequent traffic takes the backup port.
+  EXPECT_EQ(feed(node, tcp_pkt(4000, 1), sim::seconds(2)), 7);
+}
+
+TEST(BlinkNode, FewRetransmissionsDoNotTrigger) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  // Two flows retransmitting (need >= 4 of 8 cells).
+  for (std::uint16_t i = 0; i < 2; ++i) {
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), 0);
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), sim::millis(10));
+  }
+  EXPECT_TRUE(node.reroutes().empty());
+  EXPECT_FALSE(node.is_rerouted(kVictim));
+}
+
+TEST(BlinkNode, RetransmissionsSpreadBeyondWindowDoNotTrigger) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  // Each flow retransmits, but 1 s apart — never 4 within one 800 ms window.
+  sim::Time t = sim::seconds(1);
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), t);
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5),
+         t + sim::millis(10));
+    t += sim::seconds(1);
+  }
+  EXPECT_TRUE(node.reroutes().empty());
+}
+
+TEST(BlinkNode, GuardCanVetoReroute) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  node.set_reroute_guard(
+      [](const Prefix&, const FlowSelector&, sim::Time) { return false; });
+  drive_majority_retransmissions(node, sim::seconds(1));
+  EXPECT_TRUE(node.reroutes().empty());
+  EXPECT_FALSE(node.is_rerouted(kVictim));
+  EXPECT_EQ(node.vetoed(), 1u);
+}
+
+TEST(BlinkNode, RestoreReturnsToPrimary) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  drive_majority_retransmissions(node, sim::seconds(1));
+  ASSERT_TRUE(node.is_rerouted(kVictim));
+  node.restore(kVictim);
+  EXPECT_EQ(feed(node, tcp_pkt(4000, 1), sim::seconds(30)), 3);
+}
+
+TEST(BlinkNode, SampleResetClearsSelector) {
+  auto cfg = tiny_config();
+  cfg.sample_reset_period = sim::seconds(10);
+  BlinkNode node{cfg};
+  node.monitor_prefix(kVictim, 3, 7);
+  feed(node, tcp_pkt(1000, 1, /*tag=*/5), 0);
+  ASSERT_EQ(node.selector(kVictim)->occupied_count(), 1u);
+  // A packet arriving after the reset period triggers the reset first.
+  feed(node, tcp_pkt(2000, 1, /*tag=*/6), sim::seconds(11));
+  // Old occupant gone; the triggering packet's flow was sampled fresh.
+  EXPECT_EQ(node.selector(kVictim)->count_tagged(
+                [](std::uint64_t t) { return t == 5; }),
+            0u);
+  EXPECT_EQ(node.selector(kVictim)->count_tagged(
+                [](std::uint64_t t) { return t == 6; }),
+            1u);
+}
+
+TEST(BlinkNode, OnRerouteCallbackFires) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  int fired = 0;
+  node.set_on_reroute([&](const RerouteEvent& e) {
+    ++fired;
+    EXPECT_GE(e.retransmitting_cells, 4u);
+  });
+  drive_majority_retransmissions(node, sim::seconds(1));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BlinkNode, NonTcpTrafficStillSteeredButNotMonitored) {
+  BlinkNode node{tiny_config()};
+  node.monitor_prefix(kVictim, 3, 7);
+  net::Packet p;
+  p.src = Ipv4Addr{1, 2, 3, 4};
+  p.dst = Ipv4Addr{10, 0, 0, 1};
+  p.l4 = net::UdpHeader{1000, 53};
+  EXPECT_EQ(feed(node, p, 0), 3);
+  EXPECT_EQ(node.selector(kVictim)->occupied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace intox::blink

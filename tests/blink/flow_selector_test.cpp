@@ -1,0 +1,160 @@
+#include "blink/flow_selector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::blink {
+namespace {
+
+net::FiveTuple tuple(std::uint16_t src_port) {
+  return {net::Ipv4Addr{1, 2, 3, 4}, net::Ipv4Addr{10, 0, 0, 1}, src_port, 80,
+          net::IpProto::kTcp};
+}
+
+// Finds two distinct 5-tuples that collide in the selector's cell array.
+std::pair<net::FiveTuple, net::FiveTuple> colliding_pair(std::size_t cells,
+                                                         std::uint32_t seed) {
+  const net::FiveTuple a = tuple(1000);
+  const std::size_t target = net::flow_hash(a, seed) % cells;
+  for (std::uint16_t p = 1001;; ++p) {
+    const net::FiveTuple b = tuple(p);
+    if (net::flow_hash(b, seed) % cells == target) return {a, b};
+  }
+}
+
+BlinkConfig small_config() {
+  BlinkConfig c;
+  c.cells = 16;
+  return c;
+}
+
+TEST(FlowSelector, SamplesFirstFlowIntoEmptyCell) {
+  FlowSelector s{small_config()};
+  auto v = s.observe(tuple(1000), 1, 100, false, 0);
+  EXPECT_TRUE(v.monitored);
+  EXPECT_TRUE(v.newly_sampled);
+  EXPECT_FALSE(v.retransmission);
+  EXPECT_EQ(s.occupied_count(), 1u);
+}
+
+TEST(FlowSelector, DetectsDuplicateSeqAsRetransmission) {
+  FlowSelector s{small_config()};
+  s.observe(tuple(1000), 1, 100, false, 0);
+  auto v1 = s.observe(tuple(1000), 1, 200, false, sim::millis(10));
+  EXPECT_FALSE(v1.retransmission);  // fresh seq
+  auto v2 = s.observe(tuple(1000), 1, 200, false, sim::millis(20));
+  EXPECT_TRUE(v2.retransmission);   // duplicate
+  auto v3 = s.observe(tuple(1000), 1, 300, false, sim::millis(30));
+  EXPECT_FALSE(v3.retransmission);
+}
+
+TEST(FlowSelector, CollidingFlowIgnoredWhileOccupantActive) {
+  auto cfg = small_config();
+  auto [a, b] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  s.observe(a, 1, 100, false, 0);
+  auto v = s.observe(b, 2, 500, false, sim::millis(100));
+  EXPECT_FALSE(v.monitored);
+  EXPECT_FALSE(v.newly_sampled);
+  EXPECT_EQ(s.occupied_count(), 1u);
+}
+
+TEST(FlowSelector, CollidingFlowTakesOverAfterEvictionTimeout) {
+  auto cfg = small_config();
+  auto [a, b] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  s.observe(a, 1, 100, false, 0);
+  // b arrives 2.5 s later; a has been silent past the 2 s timeout.
+  auto v = s.observe(b, 2, 500, false, sim::millis(2500));
+  EXPECT_TRUE(v.monitored);
+  EXPECT_TRUE(v.newly_sampled);
+  EXPECT_TRUE(v.evicted_occupant);
+  EXPECT_EQ(s.count_tagged([](std::uint64_t t) { return t == 2; }), 1u);
+}
+
+TEST(FlowSelector, ActiveOccupantRefreshesTimeout) {
+  auto cfg = small_config();
+  auto [a, b] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  s.observe(a, 1, 100, false, 0);
+  s.observe(a, 1, 200, false, sim::millis(1500));  // keeps cell fresh
+  auto v = s.observe(b, 2, 500, false, sim::millis(2500));  // only 1 s idle
+  EXPECT_FALSE(v.monitored);
+  EXPECT_EQ(s.count_tagged([](std::uint64_t t) { return t == 1; }), 1u);
+}
+
+TEST(FlowSelector, FinFreesCellImmediately) {
+  auto cfg = small_config();
+  auto [a, b] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  s.observe(a, 1, 100, false, 0);
+  auto fin = s.observe(a, 1, 200, /*fin_or_rst=*/true, sim::millis(50));
+  EXPECT_TRUE(fin.evicted_occupant);
+  EXPECT_EQ(s.occupied_count(), 0u);
+  // The colliding flow can take the cell right away.
+  auto v = s.observe(b, 2, 1, false, sim::millis(60));
+  EXPECT_TRUE(v.newly_sampled);
+}
+
+TEST(FlowSelector, FinDoesNotSampleNewFlow) {
+  FlowSelector s{small_config()};
+  auto v = s.observe(tuple(1000), 1, 100, /*fin_or_rst=*/true, 0);
+  EXPECT_FALSE(v.monitored);
+  EXPECT_EQ(s.occupied_count(), 0u);
+}
+
+TEST(FlowSelector, ResetFreesEverything) {
+  FlowSelector s{small_config()};
+  for (std::uint16_t p = 0; p < 64; ++p) {
+    s.observe(tuple(static_cast<std::uint16_t>(2000 + p)), p, 1, false, 0);
+  }
+  EXPECT_GT(s.occupied_count(), 0u);
+  s.reset(sim::seconds(1));
+  EXPECT_EQ(s.occupied_count(), 0u);
+}
+
+TEST(FlowSelector, RetransmittingCountUsesSlidingWindow) {
+  FlowSelector s{small_config()};
+  // Two flows in different cells, both retransmit at t=1s.
+  net::FiveTuple a = tuple(1000);
+  net::FiveTuple b = tuple(1001);
+  for (std::uint16_t p = 1001;
+       net::flow_hash(a, 0) % 16 == net::flow_hash(b, 0) % 16; ++p) {
+    b = tuple(p);
+  }
+  s.observe(a, 1, 100, false, 0);
+  s.observe(b, 2, 100, false, 0);
+  s.observe(a, 1, 100, false, sim::seconds(1));
+  s.observe(b, 2, 100, false, sim::seconds(1));
+  EXPECT_EQ(s.retransmitting_count(sim::seconds(1)), 2u);
+  // 800 ms later the window has slid past the retransmissions.
+  EXPECT_EQ(s.retransmitting_count(sim::seconds(1) + sim::millis(801)), 0u);
+}
+
+TEST(FlowSelector, ResidencyStatsTrackEvictions) {
+  auto cfg = small_config();
+  auto [a, b] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  s.observe(a, 1, 1, false, 0);
+  s.observe(b, 2, 1, false, sim::seconds(3));  // evicts a after 3 s
+  EXPECT_EQ(s.residency_stats().count(), 1u);
+  EXPECT_NEAR(s.residency_stats().mean(), 3.0, 1e-9);
+}
+
+TEST(FlowSelector, MaliciousFlowNeverEvictedWhileActive) {
+  // Property at the heart of §3.1: an always-active occupant holds its
+  // cell against any number of collisions.
+  auto cfg = small_config();
+  auto [bad, legit] = colliding_pair(cfg.cells, cfg.hash_seed);
+  FlowSelector s{cfg};
+  sim::Time t = 0;
+  s.observe(bad, 99, 1, false, t);
+  for (int i = 0; i < 1000; ++i) {
+    t += sim::millis(500);
+    s.observe(bad, 99, static_cast<std::uint32_t>(i), false, t);
+    s.observe(legit, 1, static_cast<std::uint32_t>(i), false, t + 1);
+  }
+  EXPECT_EQ(s.count_tagged([](std::uint64_t tag) { return tag == 99; }), 1u);
+}
+
+}  // namespace
+}  // namespace intox::blink

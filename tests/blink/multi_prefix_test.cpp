@@ -1,0 +1,106 @@
+// Blink with several monitored prefixes: attacks and failures on one
+// prefix never leak into another (per-prefix state isolation).
+#include <gtest/gtest.h>
+
+#include "blink/blink_node.hpp"
+
+namespace intox::blink {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+const Prefix kAlpha{Ipv4Addr{10, 0, 0, 0}, 8};
+const Prefix kBeta{Ipv4Addr{20, 0, 0, 0}, 8};
+
+BlinkConfig tiny() {
+  BlinkConfig c;
+  c.cells = 8;
+  return c;
+}
+
+net::Packet pkt(const Prefix& prefix, std::uint16_t port, std::uint32_t seq) {
+  net::Packet p;
+  p.src = Ipv4Addr{1, 2, 3, 4};
+  p.dst = Ipv4Addr{prefix.addr().value() | 9};
+  net::TcpHeader t;
+  t.src_port = port;
+  t.dst_port = 80;
+  t.seq = seq;
+  p.l4 = t;
+  p.payload_bytes = 64;
+  return p;
+}
+
+int feed(BlinkNode& node, const net::Packet& p, sim::Time now) {
+  dataplane::PipelineMetadata meta;
+  meta.egress_port = -1;
+  node.process(p, meta, now);
+  return meta.egress_port;
+}
+
+void attack_prefix(BlinkNode& node, const Prefix& prefix, sim::Time t) {
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    feed(node, pkt(prefix, static_cast<std::uint16_t>(1000 + i), 5), t);
+  }
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    feed(node, pkt(prefix, static_cast<std::uint16_t>(1000 + i), 5),
+         t + sim::millis(100));
+  }
+}
+
+TEST(BlinkMultiPrefix, IndependentSteering) {
+  BlinkNode node{tiny()};
+  node.monitor_prefix(kAlpha, 1, 2);
+  node.monitor_prefix(kBeta, 3, 4);
+  EXPECT_EQ(feed(node, pkt(kAlpha, 999, 1), 0), 1);
+  EXPECT_EQ(feed(node, pkt(kBeta, 999, 1), 0), 3);
+}
+
+TEST(BlinkMultiPrefix, AttackOnOnePrefixDoesNotRerouteTheOther) {
+  BlinkNode node{tiny()};
+  node.monitor_prefix(kAlpha, 1, 2);
+  node.monitor_prefix(kBeta, 3, 4);
+  attack_prefix(node, kAlpha, sim::seconds(1));
+  EXPECT_TRUE(node.is_rerouted(kAlpha));
+  EXPECT_FALSE(node.is_rerouted(kBeta));
+  EXPECT_EQ(feed(node, pkt(kAlpha, 999, 1), sim::seconds(2)), 2);  // backup
+  EXPECT_EQ(feed(node, pkt(kBeta, 999, 1), sim::seconds(2)), 3);   // primary
+}
+
+TEST(BlinkMultiPrefix, SelectorsAreDistinct) {
+  BlinkNode node{tiny()};
+  node.monitor_prefix(kAlpha, 1, 2);
+  node.monitor_prefix(kBeta, 3, 4);
+  feed(node, pkt(kAlpha, 1000, 1), 0);
+  EXPECT_EQ(node.selector(kAlpha)->occupied_count(), 1u);
+  EXPECT_EQ(node.selector(kBeta)->occupied_count(), 0u);
+}
+
+TEST(BlinkMultiPrefix, BothPrefixesCanBeAttackedSeparately) {
+  BlinkNode node{tiny()};
+  node.monitor_prefix(kAlpha, 1, 2);
+  node.monitor_prefix(kBeta, 3, 4);
+  attack_prefix(node, kAlpha, sim::seconds(1));
+  attack_prefix(node, kBeta, sim::seconds(5));
+  EXPECT_EQ(node.reroutes().size(), 2u);
+  EXPECT_TRUE(node.is_rerouted(kAlpha));
+  EXPECT_TRUE(node.is_rerouted(kBeta));
+}
+
+TEST(BlinkMultiPrefix, MoreSpecificPrefixWinsLpm) {
+  BlinkNode node{tiny()};
+  const Prefix wide{Ipv4Addr{10, 0, 0, 0}, 8};
+  const Prefix narrow{Ipv4Addr{10, 1, 0, 0}, 16};
+  node.monitor_prefix(wide, 1, 2);
+  node.monitor_prefix(narrow, 3, 4);
+  net::Packet inside = pkt(narrow, 999, 1);
+  inside.dst = Ipv4Addr{10, 1, 2, 3};
+  EXPECT_EQ(feed(node, inside, 0), 3);
+  net::Packet outside = pkt(wide, 999, 1);
+  outside.dst = Ipv4Addr{10, 9, 2, 3};
+  EXPECT_EQ(feed(node, outside, 0), 1);
+}
+
+}  // namespace
+}  // namespace intox::blink

@@ -1,0 +1,97 @@
+#include "dapper/diagnoser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::dapper {
+namespace {
+
+net::TcpHeader data_pkt(std::uint32_t seq) {
+  net::TcpHeader t;
+  t.src_port = 45000;
+  t.dst_port = 443;
+  t.seq = seq;
+  t.ack_flag = true;
+  return t;
+}
+
+net::TcpHeader ack_pkt(std::uint32_t ack, std::uint16_t window) {
+  net::TcpHeader t;
+  t.src_port = 443;
+  t.dst_port = 45000;
+  t.ack = ack;
+  t.window = window;
+  t.ack_flag = true;
+  return t;
+}
+
+// Drives `seconds` of a synthetic conversation at a given utilization and
+// retransmission probability-free pattern.
+void drive(TcpDiagnoser& d, double utilization, int seconds,
+           int retx_every_n = 0) {
+  std::uint32_t seq = 1000000;  // comfortably above flight (no underflow)
+  const std::uint32_t rwnd = 65535;
+  const auto flight = static_cast<std::uint32_t>(utilization * rwnd);
+  int i = 0;
+  for (sim::Time t = 0; t < sim::seconds(seconds); t += sim::millis(10)) {
+    seq += 1448;
+    d.on_data(data_pkt(seq), 1448, t);
+    if (retx_every_n > 0 && ++i % retx_every_n == 0) {
+      d.on_data(data_pkt(seq), 1448, t + sim::millis(1));
+    }
+    d.on_ack(ack_pkt(seq - flight, rwnd), t + sim::millis(5));
+  }
+}
+
+TEST(TcpDiagnoser, HealthyConversationIsHealthy) {
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.7, 10);
+  ASSERT_GE(d.windows().size(), 8u);
+  EXPECT_GT(d.verdict_fraction(Verdict::kHealthy), 0.9);
+}
+
+TEST(TcpDiagnoser, HighLossIsNetworkLimited) {
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.7, 10, /*retx_every_n=*/20);  // 5% retransmissions
+  EXPECT_GT(d.verdict_fraction(Verdict::kNetworkLimited), 0.9);
+}
+
+TEST(TcpDiagnoser, FullWindowIsReceiverLimited) {
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.97, 10);
+  EXPECT_GT(d.verdict_fraction(Verdict::kReceiverLimited), 0.9);
+}
+
+TEST(TcpDiagnoser, IdleSenderIsSenderLimited) {
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.2, 10);
+  EXPECT_GT(d.verdict_fraction(Verdict::kSenderLimited), 0.9);
+}
+
+TEST(TcpDiagnoser, NetworkVerdictTrumpsWindowPressure) {
+  // Heavy loss *and* full window: DAPPER blames the network first.
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.97, 10, /*retx_every_n=*/10);
+  EXPECT_GT(d.verdict_fraction(Verdict::kNetworkLimited), 0.9);
+}
+
+TEST(TcpDiagnoser, WindowStatsExposeRawSignals) {
+  TcpDiagnoser d{DapperConfig{}};
+  drive(d, 0.7, 5, /*retx_every_n=*/50);
+  ASSERT_FALSE(d.windows().empty());
+  const WindowStats& w = d.windows().front();
+  EXPECT_GT(w.data_packets, 50u);
+  EXPECT_GT(w.retransmissions, 0u);
+  EXPECT_GT(w.mean_flight_bytes, 0.0);
+  EXPECT_GT(w.rwnd_utilization, 0.5);
+  EXPECT_LT(w.rwnd_utilization, 0.9);
+}
+
+TEST(TcpDiagnoser, VerdictNamesAreStable) {
+  EXPECT_STREQ(to_string(Verdict::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(Verdict::kNetworkLimited), "network-limited");
+  EXPECT_STREQ(to_string(Verdict::kReceiverLimited), "receiver-limited");
+  EXPECT_STREQ(to_string(Verdict::kSenderLimited), "sender-limited");
+}
+
+}  // namespace
+}  // namespace intox::dapper

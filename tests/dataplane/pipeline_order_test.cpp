@@ -1,0 +1,113 @@
+// Pipeline-stage composition semantics on the routed switch: stages run
+// in insertion order, each sees the previous stage's metadata, and a
+// drop short-circuits the rest — the contract Blink and SP-PIFO rely on.
+#include <gtest/gtest.h>
+
+#include "dataplane/switch.hpp"
+
+namespace intox::dataplane {
+namespace {
+
+class RecordingStage : public PacketProcessor {
+ public:
+  RecordingStage(int id, std::vector<int>& log, int override_port = -1,
+                 bool drop = false)
+      : id_(id), log_(log), override_port_(override_port), drop_(drop) {}
+
+  void process(const net::Packet&, PipelineMetadata& meta, sim::Time) override {
+    log_.push_back(id_);
+    seen_egress_.push_back(meta.egress_port);
+    if (override_port_ >= 0) meta.egress_port = override_port_;
+    if (drop_) meta.drop = true;
+  }
+
+  std::vector<int> seen_egress_;
+
+ private:
+  int id_;
+  std::vector<int>& log_;
+  int override_port_;
+  bool drop_;
+};
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::Network net{sched};
+  CallbackNode src{"src", nullptr};
+  RoutedSwitch sw{"sw", sched, net::Ipv4Addr{192, 0, 2, 1}};
+  CallbackNode a{"a", nullptr};
+  CallbackNode b{"b", nullptr};
+
+  Fixture() {
+    net.connect(src, 0, sw, 0, sim::LinkConfig{});
+    net.connect(sw, 1, a, 0, sim::LinkConfig{});
+    net.connect(sw, 2, b, 0, sim::LinkConfig{});
+    sw.add_route(net::Prefix{net::Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  }
+
+  void inject() {
+    net::Packet p;
+    p.src = net::Ipv4Addr{1, 2, 3, 4};
+    p.dst = net::Ipv4Addr{10, 0, 0, 1};
+    p.l4 = net::TcpHeader{1000, 80, 1, 0};
+    src.inject(0, p);
+    sched.run();
+  }
+};
+
+TEST(PipelineOrder, StagesRunInInsertionOrder) {
+  Fixture f;
+  std::vector<int> log;
+  RecordingStage s1{1, log}, s2{2, log}, s3{3, log};
+  f.sw.add_processor(&s1);
+  f.sw.add_processor(&s2);
+  f.sw.add_processor(&s3);
+  f.inject();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PipelineOrder, LaterStageSeesEarlierOverride) {
+  Fixture f;
+  std::vector<int> log;
+  RecordingStage s1{1, log, /*override_port=*/2};
+  RecordingStage s2{2, log};
+  f.sw.add_processor(&s1);
+  f.sw.add_processor(&s2);
+  int to_a = 0, to_b = 0;
+  f.a.set_handler([&](net::Packet, int) { ++to_a; });
+  f.b.set_handler([&](net::Packet, int) { ++to_b; });
+  f.inject();
+  // Stage 1 saw the routing decision (port 1); stage 2 saw the override.
+  EXPECT_EQ(s1.seen_egress_, (std::vector<int>{1}));
+  EXPECT_EQ(s2.seen_egress_, (std::vector<int>{2}));
+  EXPECT_EQ(to_a, 0);
+  EXPECT_EQ(to_b, 1);
+}
+
+TEST(PipelineOrder, DropShortCircuitsRemainingStages) {
+  Fixture f;
+  std::vector<int> log;
+  RecordingStage s1{1, log, -1, /*drop=*/true};
+  RecordingStage s2{2, log};
+  f.sw.add_processor(&s1);
+  f.sw.add_processor(&s2);
+  f.inject();
+  EXPECT_EQ(log, (std::vector<int>{1}));
+  EXPECT_EQ(f.sw.counters().dropped_pipeline, 1u);
+}
+
+TEST(PipelineOrder, LastOverrideWins) {
+  Fixture f;
+  std::vector<int> log;
+  RecordingStage s1{1, log, 2};
+  RecordingStage s2{2, log, 1};
+  f.sw.add_processor(&s1);
+  f.sw.add_processor(&s2);
+  int to_a = 0;
+  f.a.set_handler([&](net::Packet, int) { ++to_a; });
+  f.inject();
+  EXPECT_EQ(to_a, 1);
+}
+
+}  // namespace
+}  // namespace intox::dataplane

@@ -1,0 +1,133 @@
+#include "dataplane/switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::dataplane {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::Network net{sched};
+  CallbackNode src{"src", nullptr};
+  RoutedSwitch sw{"sw", sched, Ipv4Addr{192, 0, 2, 1}};
+  CallbackNode dst{"dst", nullptr};
+
+  Fixture() {
+    net.connect(src, 0, sw, 0, sim::LinkConfig{});
+    net.connect(sw, 1, dst, 0, sim::LinkConfig{});
+    sw.add_route(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+    sw.add_route(Prefix{Ipv4Addr{1, 0, 0, 0}, 8}, 0);  // back to src
+  }
+
+  net::Packet tcp_to(Ipv4Addr dst_addr, std::uint8_t ttl = 64) {
+    net::Packet p;
+    p.src = Ipv4Addr{1, 2, 3, 4};
+    p.dst = dst_addr;
+    p.ttl = ttl;
+    p.l4 = net::TcpHeader{1000, 80, 1, 0};
+    return p;
+  }
+};
+
+TEST(RoutedSwitch, ForwardsOnLpmMatch) {
+  Fixture f;
+  int got = 0;
+  f.dst.set_handler([&](net::Packet, int) { ++got; });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}));
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.sw.counters().forwarded, 1u);
+}
+
+TEST(RoutedSwitch, DropsWithoutRoute) {
+  Fixture f;
+  int got = 0;
+  f.dst.set_handler([&](net::Packet, int) { ++got; });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{99, 0, 0, 1}));
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(f.sw.counters().dropped_no_route, 1u);
+}
+
+TEST(RoutedSwitch, DecrementsTtl) {
+  Fixture f;
+  std::uint8_t seen_ttl = 0;
+  f.dst.set_handler([&](net::Packet p, int) { seen_ttl = p.ttl; });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}, 64));
+  f.sched.run();
+  EXPECT_EQ(seen_ttl, 63);
+}
+
+TEST(RoutedSwitch, TtlExpiryGeneratesIcmpTimeExceeded) {
+  Fixture f;
+  std::vector<net::Packet> replies;
+  f.src.set_handler([&](net::Packet p, int) { replies.push_back(std::move(p)); });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}, /*ttl=*/1));
+  f.sched.run();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_NE(replies[0].icmp(), nullptr);
+  EXPECT_EQ(replies[0].icmp()->type, net::IcmpType::kTimeExceeded);
+  EXPECT_EQ(replies[0].src, (Ipv4Addr{192, 0, 2, 1}));
+  EXPECT_EQ(f.sw.counters().ttl_expired, 1u);
+}
+
+TEST(RoutedSwitch, ReplyAddrOverrideFakesIdentity) {
+  Fixture f;
+  f.sw.set_reply_addr(Ipv4Addr{203, 0, 113, 9});  // the NetHide trick
+  std::vector<net::Packet> replies;
+  f.src.set_handler([&](net::Packet p, int) { replies.push_back(std::move(p)); });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}, 1));
+  f.sched.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].src, (Ipv4Addr{203, 0, 113, 9}));
+}
+
+class PortOverrideStage : public PacketProcessor {
+ public:
+  explicit PortOverrideStage(int port) : port_(port) {}
+  void process(const net::Packet&, PipelineMetadata& meta, sim::Time) override {
+    meta.egress_port = port_;
+  }
+
+ private:
+  int port_;
+};
+
+class DropStage : public PacketProcessor {
+ public:
+  void process(const net::Packet&, PipelineMetadata& meta, sim::Time) override {
+    meta.drop = true;
+  }
+};
+
+TEST(RoutedSwitch, PipelineCanOverrideEgress) {
+  Fixture f;
+  // Route says port 1 (dst); pipeline redirects back to port 0 (src).
+  PortOverrideStage stage{0};
+  f.sw.add_processor(&stage);
+  int to_dst = 0, to_src = 0;
+  f.dst.set_handler([&](net::Packet, int) { ++to_dst; });
+  f.src.set_handler([&](net::Packet, int) { ++to_src; });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}));
+  f.sched.run();
+  EXPECT_EQ(to_dst, 0);
+  EXPECT_EQ(to_src, 1);
+}
+
+TEST(RoutedSwitch, PipelineDropShortCircuits) {
+  Fixture f;
+  DropStage stage;
+  f.sw.add_processor(&stage);
+  int got = 0;
+  f.dst.set_handler([&](net::Packet, int) { ++got; });
+  f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}));
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(f.sw.counters().dropped_pipeline, 1u);
+}
+
+}  // namespace
+}  // namespace intox::dataplane

@@ -1,0 +1,132 @@
+#include "egress/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "egress/attack.hpp"
+
+namespace intox::egress {
+namespace {
+
+net::Packet flow_pkt(std::uint16_t port) {
+  net::Packet p;
+  p.src = net::Ipv4Addr{1, 2, 3, 4};
+  p.dst = net::Ipv4Addr{198, 51, 100, 1};
+  net::TcpHeader t;
+  t.src_port = port;
+  t.dst_port = 443;
+  p.l4 = t;
+  return p;
+}
+
+struct Harness {
+  sim::Scheduler sched;
+  EgressConfig cfg;
+  std::vector<std::uint64_t> sent_per_path;
+  std::unique_ptr<EgressSelector> selector;
+
+  Harness() {
+    cfg.paths = 3;
+    sent_per_path.assign(3, 0);
+    selector = std::make_unique<EgressSelector>(
+        sched, cfg, [this](std::size_t p, net::Packet) {
+          ++sent_per_path[p];
+        });
+  }
+};
+
+TEST(EgressSelector, MostTrafficOnPreferredSomeExploring) {
+  Harness h;
+  for (std::uint16_t i = 0; i < 2000; ++i) {
+    h.selector->forward(flow_pkt(static_cast<std::uint16_t>(1000 + i)));
+  }
+  EXPECT_GT(h.sent_per_path[0], 1700u);
+  EXPECT_GT(h.sent_per_path[1], 20u);  // ~5% exploring each alternative
+  EXPECT_GT(h.sent_per_path[2], 20u);
+}
+
+TEST(EgressSelector, FlowStickiness) {
+  Harness h;
+  std::size_t first_path = 99;
+  h.selector = std::make_unique<EgressSelector>(
+      h.sched, h.cfg, [&](std::size_t p, net::Packet) { first_path = p; });
+  h.selector->forward(flow_pkt(1234));
+  const std::size_t again = first_path;
+  for (int i = 0; i < 10; ++i) h.selector->forward(flow_pkt(1234));
+  EXPECT_EQ(first_path, again);  // same flow, same path, every time
+}
+
+TEST(EgressSelector, SwitchesToClearlyBetterPath) {
+  Harness h;
+  h.selector->start();
+  // Path 0 looks bad, path 1 looks great.
+  for (int i = 0; i < 50; ++i) {
+    h.selector->on_delivery(0, sim::millis(80));
+    h.selector->on_delivery(1, sim::millis(15));
+    h.selector->on_delivery(2, sim::millis(40));
+  }
+  h.sched.run_until(sim::seconds(2));
+  h.selector->stop();
+  EXPECT_EQ(h.selector->preferred_path(), 1u);
+  EXPECT_EQ(h.selector->switches(), 1u);
+}
+
+TEST(EgressSelector, HysteresisIgnoresMarginalDifferences) {
+  Harness h;
+  h.selector->start();
+  for (int i = 0; i < 50; ++i) {
+    h.selector->on_delivery(0, sim::millis(20));
+    h.selector->on_delivery(1, sim::millis(19));  // only 5% better
+    h.selector->on_delivery(2, sim::millis(30));
+  }
+  h.sched.run_until(sim::seconds(2));
+  h.selector->stop();
+  EXPECT_EQ(h.selector->preferred_path(), 0u);
+  EXPECT_EQ(h.selector->switches(), 0u);
+}
+
+TEST(EgressSelector, LossPoisonsPathScore) {
+  Harness h;
+  h.selector->start();
+  for (int i = 0; i < 50; ++i) {
+    h.selector->on_delivery(0, sim::millis(20));
+    h.selector->on_delivery(1, sim::millis(25));
+  }
+  // Burst of losses on path 0.
+  for (int i = 0; i < 20; ++i) h.selector->on_loss(0);
+  h.sched.run_until(sim::seconds(2));
+  h.selector->stop();
+  EXPECT_EQ(h.selector->preferred_path(), 1u);
+  EXPECT_GT(h.selector->stats(0).loss, 0.5);
+}
+
+TEST(EgressAttack, NoAttackPicksHonestBestPath) {
+  EgressExperimentConfig cfg;
+  cfg.attack = false;
+  const auto r = run_egress_attack_experiment(cfg);
+  EXPECT_EQ(r.preferred_before, 0u);  // 10 ms path
+  EXPECT_EQ(r.preferred_after, 0u);
+  EXPECT_EQ(r.attacker_dropped, 0u);
+  EXPECT_NEAR(r.mean_rtt_after_ms, 20.0, 2.0);
+}
+
+TEST(EgressAttack, DegradingGoodPathsDivertsToAttackerPath) {
+  EgressExperimentConfig cfg;
+  const auto r = run_egress_attack_experiment(cfg);
+  EXPECT_EQ(r.preferred_before, 0u);
+  EXPECT_EQ(r.preferred_after, cfg.attacker.attacker_path);
+  EXPECT_GT(r.attacker_path_fraction, 0.7);
+  // Users now pay the 25 ms path although 10/14 ms paths work fine.
+  EXPECT_GT(r.mean_rtt_after_ms, 1.8 * r.mean_rtt_before_ms);
+}
+
+TEST(EgressAttack, SustainedTamperingVolumeIsSmall) {
+  EgressExperimentConfig cfg;
+  const auto r = run_egress_attack_experiment(cfg);
+  // After the flip only exploration flows transit the degraded paths, so
+  // total drops stay a small share of all traffic.
+  EXPECT_LT(static_cast<double>(r.attacker_dropped),
+            0.05 * static_cast<double>(r.packets_total));
+}
+
+}  // namespace
+}  // namespace intox::egress

@@ -1,0 +1,62 @@
+// §3.2 adversarial examples against the deployed in-network classifier.
+#include <gtest/gtest.h>
+
+#include "innet/attack.hpp"
+
+namespace intox::innet {
+namespace {
+
+TEST(InNetEvasion, AdversarialPerturbationEvadesDetection) {
+  const auto outcome = run_evasion_experiment(11);
+  EXPECT_GT(outcome.clean_detection_rate, 0.9);
+  EXPECT_GT(outcome.evasion_rate, 0.7);
+}
+
+TEST(InNetEvasion, BeatsRandomPerturbationControl) {
+  const auto outcome = run_evasion_experiment(12);
+  EXPECT_GT(outcome.evasion_rate, outcome.random_flip_rate + 0.3);
+}
+
+TEST(InNetEvasion, PerturbationsRespectBudget) {
+  const auto clf = train_classifier(13);
+  const auto data = make_dataset(200, 77);
+  EvasionConfig cfg;
+  for (const auto& s : data) {
+    if (s.label != 1 || clf.deployed.predict(s.x) != 1) continue;
+    const Features adv = craft_adversarial(clf.deployed, s.x, 0, cfg);
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+      EXPECT_LE(std::abs(adv[i] - s.x[i]), cfg.budget);
+      EXPECT_GE(adv[i], 0);
+    }
+  }
+}
+
+TEST(InNetEvasion, TighterBudgetLowersEvasionRate) {
+  EvasionConfig tight;
+  tight.budget = 4;
+  EvasionConfig loose;
+  loose.budget = 48;
+  const auto r_tight = run_evasion_experiment(14, tight);
+  const auto r_loose = run_evasion_experiment(14, loose);
+  EXPECT_LE(r_tight.evasion_rate, r_loose.evasion_rate + 1e-9);
+}
+
+TEST(InNetEvasion, FalseAlarmDirectionAlsoWorks) {
+  // The dual attack: perturb *benign* samples until they classify as
+  // attacks — anyone can make the classifier cry wolf.
+  const auto clf = train_classifier(15);
+  const auto data = make_dataset(200, 88);
+  EvasionConfig cfg;
+  std::size_t benign = 0, flipped = 0;
+  for (const auto& s : data) {
+    if (s.label != 0 || clf.deployed.predict(s.x) != 0) continue;
+    ++benign;
+    const Features adv = craft_adversarial(clf.deployed, s.x, 1, cfg);
+    flipped += clf.deployed.predict(adv) == 1;
+  }
+  ASSERT_GT(benign, 50u);
+  EXPECT_GT(static_cast<double>(flipped) / static_cast<double>(benign), 0.5);
+}
+
+}  // namespace
+}  // namespace intox::innet

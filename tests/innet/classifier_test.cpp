@@ -1,0 +1,69 @@
+#include "innet/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::innet {
+namespace {
+
+TEST(InNetClassifier, TrainingReachesHighAccuracy) {
+  const auto clf = train_classifier(1);
+  EXPECT_GT(clf.train_accuracy, 0.9);
+  EXPECT_GT(clf.test_accuracy, 0.9);
+}
+
+TEST(InNetClassifier, QuantizationPreservesAccuracy) {
+  const auto clf = train_classifier(2);
+  EXPECT_GT(clf.quantized_test_accuracy, clf.test_accuracy - 0.03);
+}
+
+TEST(InNetClassifier, QuantizedAgreesWithFloatOnMostInputs) {
+  const auto clf = train_classifier(3);
+  const auto data = make_dataset(500, 99);
+  std::size_t agree = 0;
+  for (const auto& s : data) {
+    agree += clf.model.predict(s.x) == clf.deployed.predict(s.x);
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(data.size()),
+            0.97);
+}
+
+TEST(InNetClassifier, FeatureExtractionCoversHeaderFields) {
+  net::Packet p;
+  p.src = net::Ipv4Addr{1, 2, 3, 4};
+  p.dst = net::Ipv4Addr{10, 0, 0, 77};
+  p.ttl = 63;
+  net::TcpHeader t;
+  t.src_port = 51000;
+  t.dst_port = 443;
+  t.syn = true;
+  t.window = 12800;
+  p.l4 = t;
+  p.payload_bytes = 512;
+
+  const Features f = extract_features(p);
+  EXPECT_EQ(f[0], 32);          // 512 / 16
+  EXPECT_EQ(f[1], 63);          // ttl
+  EXPECT_EQ(f[2], 51000 >> 8);  // src port high byte
+  EXPECT_EQ(f[3], 443 >> 8);
+  EXPECT_EQ(f[4], 6);           // tcp
+  EXPECT_EQ(f[5], 1);           // SYN only
+  EXPECT_EQ(f[6], 12800 >> 8);
+  EXPECT_EQ(f[7], 77);          // dst last octet
+}
+
+TEST(InNetClassifier, DatasetIsBalancedAndLabelled) {
+  const auto data = make_dataset(300, 5);
+  std::size_t attacks = 0;
+  for (const auto& s : data) attacks += s.label == 1;
+  EXPECT_EQ(data.size(), 600u);
+  EXPECT_EQ(attacks, 300u);
+}
+
+TEST(InNetClassifier, DeterministicTraining) {
+  const auto a = train_classifier(7);
+  const auto b = train_classifier(7);
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+}
+
+}  // namespace
+}  // namespace intox::innet

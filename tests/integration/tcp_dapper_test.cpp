@@ -1,0 +1,111 @@
+// DAPPER diagnosing *real* TCP connections from an in-path vantage point
+// (link taps on both directions), with ground truth controlled via the
+// substrate: clean path, lossy path, tiny receiver window.
+#include <gtest/gtest.h>
+
+#include "dapper/diagnoser.hpp"
+#include "sim/link.hpp"
+#include "tcp/tcp.hpp"
+
+namespace intox {
+namespace {
+
+struct DiagnosedPipe {
+  sim::Scheduler sched;
+  tcp::TcpConfig cfg;
+  dapper::TcpDiagnoser diagnoser{dapper::DapperConfig{}};
+  std::unique_ptr<sim::Link> fwd;
+  std::unique_ptr<sim::Link> rev;
+  std::unique_ptr<tcp::TcpSender> sender;
+  std::unique_ptr<tcp::TcpReceiver> receiver;
+
+  explicit DiagnosedPipe(double rate_bps = 50e6) {
+    sim::LinkConfig fc;
+    fc.rate_bps = rate_bps;
+    fc.prop_delay = sim::millis(10);
+    sim::LinkConfig rc;
+    rc.rate_bps = 1e9;
+    rc.prop_delay = sim::millis(10);
+
+    // The vantage point is sender-adjacent (e.g. the sender's ToR):
+    // data is observed entering the forward link, ACKs are observed
+    // *arriving* at the sender side. Observing ACKs at the receiver side
+    // instead would under-measure flight by one path-delay's worth of
+    // in-flight ACKs.
+    rev = std::make_unique<sim::Link>(sched, rc, [this](net::Packet p) {
+      if (const auto* t = p.tcp(); t && t->ack_flag && !t->syn) {
+        diagnoser.on_ack(*t, sched.now());
+      }
+      sender->on_packet(p);
+    });
+    receiver = std::make_unique<tcp::TcpReceiver>(
+        sched, cfg, [this](net::Packet p) { rev->transmit(std::move(p)); });
+    fwd = std::make_unique<sim::Link>(
+        sched, fc, [this](net::Packet p) { receiver->on_packet(p); });
+    net::FiveTuple flow{net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{2, 2, 2, 2},
+                       40000, 80, net::IpProto::kTcp};
+    sender = std::make_unique<tcp::TcpSender>(
+        sched, cfg, flow, [this](net::Packet p) { fwd->transmit(std::move(p)); });
+
+    // Data direction observed at the forward-link entry (sender side).
+    fwd->set_tap([this](net::Packet& p) {
+      if (const auto* t = p.tcp(); t && !t->syn) {
+        diagnoser.on_data(*t, p.payload_bytes, sched.now());
+      }
+      return sim::TapAction::kForward;
+    });
+  }
+};
+
+TEST(TcpDapperIntegration, LossyPathDiagnosedNetworkLimited) {
+  DiagnosedPipe pipe;
+  sim::Rng rng{9};
+  int taps = 0;
+  // Add loss behind the vantage point — the diagnoser must infer it from
+  // the retransmissions it sees, not from observing drops directly.
+  // (Install the data tap *after* the diagnoser tap is replaced: combine
+  // both duties here.)
+  pipe.fwd->set_tap([&](net::Packet& p) {
+    if (const auto* t = p.tcp(); t && !t->syn) {
+      pipe.diagnoser.on_data(*t, p.payload_bytes, pipe.sched.now());
+    }
+    ++taps;
+    if (p.payload_bytes > 0 && rng.bernoulli(0.05)) {
+      return sim::TapAction::kDrop;
+    }
+    return sim::TapAction::kForward;
+  });
+
+  pipe.sender->start(0);
+  pipe.sched.run_until(sim::seconds(20));
+  pipe.sender->stop();
+  EXPECT_GT(pipe.diagnoser.verdict_fraction(dapper::Verdict::kNetworkLimited),
+            0.5);
+}
+
+TEST(TcpDapperIntegration, TinyReceiverWindowDiagnosedReceiverLimited) {
+  DiagnosedPipe pipe{1e9};
+  pipe.receiver->set_advertised_window(8 * 1448);
+  pipe.sender->start(0);
+  pipe.sched.run_until(sim::seconds(20));
+  pipe.sender->stop();
+  // The sender rams into the 8-segment advertised window continuously.
+  EXPECT_GT(pipe.diagnoser.verdict_fraction(dapper::Verdict::kReceiverLimited),
+            0.6);
+}
+
+TEST(TcpDapperIntegration, CleanFastPathNotBlamedOnAnyone) {
+  // Plenty of bandwidth and window: the connection is healthy (cwnd
+  // climbing, below the advertised window, no loss). A greedy sender
+  // that has not yet filled the window may read as sender-limited early;
+  // require that the *network* and *receiver* are never implicated.
+  DiagnosedPipe pipe{1e9};
+  pipe.sender->start(0);
+  pipe.sched.run_until(sim::seconds(20));
+  pipe.sender->stop();
+  EXPECT_LT(pipe.diagnoser.verdict_fraction(dapper::Verdict::kNetworkLimited),
+            0.1);
+}
+
+}  // namespace
+}  // namespace intox

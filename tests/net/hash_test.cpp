@@ -1,0 +1,53 @@
+#include "net/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string_view>
+
+namespace intox::net {
+namespace {
+
+std::span<const std::byte> bytes_of(std::string_view s) {
+  return std::as_bytes(std::span{s.data(), s.size()});
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 (IEEE) check value for "123456789".
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xe8b7be43u);
+}
+
+TEST(Crc32, SeedChangesOutput) {
+  const auto data = bytes_of("hello world");
+  EXPECT_NE(crc32(data, 0), crc32(data, 1));
+}
+
+TEST(Crc32, Deterministic) {
+  const auto data = bytes_of("determinism");
+  EXPECT_EQ(crc32(data, 42), crc32(data, 42));
+}
+
+TEST(Fnv1a64, DistinctInputsDistinctHashes) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(fnv1a64_of(i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Fnv1a64, SeedProvidesIndependentFunctions) {
+  const auto data = bytes_of("flow");
+  EXPECT_NE(fnv1a64(data, 1), fnv1a64(data, 2));
+}
+
+TEST(Mix64, BijectivePrefixHasNoEarlyCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace intox::net

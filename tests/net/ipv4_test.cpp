@@ -1,0 +1,87 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstructionMatchesValue) {
+  Ipv4Addr a{192, 168, 1, 20};
+  EXPECT_EQ(a.value(), 0xc0a80114u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 20);
+}
+
+TEST(Ipv4Addr, RoundTripFormatParse) {
+  Ipv4Addr a{10, 0, 255, 1};
+  auto parsed = parse_ipv4(to_string(a));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4("").has_value());
+  EXPECT_FALSE(parse_ipv4("1.2.3").has_value());
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5").has_value());
+  EXPECT_FALSE(parse_ipv4("256.0.0.1").has_value());
+  EXPECT_FALSE(parse_ipv4("1.2.3.x").has_value());
+  EXPECT_FALSE(parse_ipv4("1..2.3").has_value());
+  EXPECT_FALSE(parse_ipv4("-1.2.3.4").has_value());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p{Ipv4Addr{10, 1, 2, 3}, 8};
+  EXPECT_EQ(p.addr(), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(p.length(), 8);
+}
+
+TEST(Prefix, Contains) {
+  Prefix p{Ipv4Addr{10, 0, 0, 0}, 8};
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 255, 0, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 1)));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  Prefix p{Ipv4Addr{1, 2, 3, 4}, 0};
+  EXPECT_TRUE(p.contains(Ipv4Addr(0, 0, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(255, 255, 255, 255)));
+}
+
+TEST(Prefix, SlashThirtyTwoContainsOnlyItself) {
+  Prefix p{Ipv4Addr{1, 2, 3, 4}, 32};
+  EXPECT_TRUE(p.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(1, 2, 3, 5)));
+}
+
+TEST(Prefix, Covers) {
+  Prefix wide{Ipv4Addr{10, 0, 0, 0}, 8};
+  Prefix narrow{Ipv4Addr{10, 1, 0, 0}, 16};
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_TRUE(wide.covers(wide));
+}
+
+TEST(Prefix, RoundTripFormatParse) {
+  Prefix p{Ipv4Addr{172, 16, 0, 0}, 12};
+  auto parsed = parse_prefix(to_string(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_prefix("10.0.0.0").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.0/33").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0/8").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.0/8x").has_value());
+}
+
+}  // namespace
+}  // namespace intox::net

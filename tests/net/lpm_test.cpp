@@ -1,0 +1,77 @@
+#include "net/lpm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::net {
+namespace {
+
+TEST(LpmTable, LongestMatchWins) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  t.insert(Prefix{Ipv4Addr{10, 1, 0, 0}, 16}, 2);
+  t.insert(Prefix{Ipv4Addr{10, 1, 2, 0}, 24}, 3);
+
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 1, 2, 3))->value, 3);
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 1, 9, 9))->value, 2);
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 9, 9, 9))->value, 1);
+  EXPECT_FALSE(t.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTable, DefaultRoute) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{0, 0, 0, 0}, 0}, 99);
+  EXPECT_EQ(t.lookup(Ipv4Addr(1, 2, 3, 4))->value, 99);
+  EXPECT_EQ(t.lookup(Ipv4Addr(255, 255, 255, 255))->value, 99);
+}
+
+TEST(LpmTable, HostRoute) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 5}, 32}, 7);
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 0, 0, 5))->value, 7);
+  EXPECT_FALSE(t.lookup(Ipv4Addr(10, 0, 0, 6)).has_value());
+}
+
+TEST(LpmTable, InsertReplaces) {
+  LpmTable<int> t;
+  const Prefix p{Ipv4Addr{10, 0, 0, 0}, 8};
+  t.insert(p, 1);
+  t.insert(p, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 0, 0, 1))->value, 2);
+}
+
+TEST(LpmTable, EraseFallsBackToShorterPrefix) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  t.insert(Prefix{Ipv4Addr{10, 1, 0, 0}, 16}, 2);
+  EXPECT_TRUE(t.erase(Prefix{Ipv4Addr{10, 1, 0, 0}, 16}));
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 1, 0, 1))->value, 1);
+  EXPECT_FALSE(t.erase(Prefix{Ipv4Addr{10, 1, 0, 0}, 16}));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LpmTable, MatchReportsPrefix) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  auto m = t.lookup(Ipv4Addr(10, 3, 4, 5));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix, (Prefix{Ipv4Addr{10, 0, 0, 0}, 8}));
+}
+
+TEST(LpmTable, EntriesEnumeration) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  t.insert(Prefix{Ipv4Addr{192, 168, 0, 0}, 16}, 2);
+  EXPECT_EQ(t.entries().size(), 2u);
+}
+
+TEST(LpmTable, FindExact) {
+  LpmTable<int> t;
+  t.insert(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}, 1);
+  ASSERT_NE(t.find(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}), nullptr);
+  EXPECT_EQ(*t.find(Prefix{Ipv4Addr{10, 0, 0, 0}, 8}), 1);
+  EXPECT_EQ(t.find(Prefix{Ipv4Addr{10, 0, 0, 0}, 9}), nullptr);
+}
+
+}  // namespace
+}  // namespace intox::net

@@ -1,0 +1,99 @@
+#include "nethide/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::nethide {
+namespace {
+
+TEST(Topology, AddRemoveLinks) {
+  Topology t{4};
+  t.add_link(0, 1);
+  t.add_link(1, 2);
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_TRUE(t.has_link(1, 0));  // undirected
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_TRUE(t.remove_link(0, 1));
+  EXPECT_FALSE(t.has_link(0, 1));
+  EXPECT_FALSE(t.remove_link(0, 1));
+}
+
+TEST(Topology, IgnoresSelfLoopsAndDuplicates) {
+  Topology t{3};
+  t.add_link(1, 1);
+  t.add_link(0, 1);
+  t.add_link(1, 0);
+  EXPECT_EQ(t.link_count(), 1u);
+}
+
+TEST(Topology, ShortestPathOnLine) {
+  auto t = Topology::line(5);
+  auto p = t.shortest_path(0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 2, 3, 4}));
+}
+
+TEST(Topology, ShortestPathSameNode) {
+  auto t = Topology::line(3);
+  EXPECT_EQ(t.shortest_path(1, 1).value(), (Path{1}));
+}
+
+TEST(Topology, UnreachableReturnsNullopt) {
+  Topology t{4};
+  t.add_link(0, 1);
+  t.add_link(2, 3);
+  EXPECT_FALSE(t.shortest_path(0, 3).has_value());
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, RingOffersTwoWays) {
+  auto t = Topology::ring(6);
+  auto direct = t.shortest_path(0, 2);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->size(), 3u);
+  auto detour = t.shortest_path_avoiding(0, 2, Edge{1, 2});
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->size(), 5u);  // the long way round
+  EXPECT_TRUE(t.is_valid_path(*detour));
+}
+
+TEST(Topology, AvoidingOnlyLinkFails) {
+  auto t = Topology::line(2);
+  EXPECT_FALSE(t.shortest_path_avoiding(0, 1, Edge{0, 1}).has_value());
+}
+
+TEST(Topology, GridDimensions) {
+  auto t = Topology::grid(3, 4);
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_EQ(t.link_count(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(t.connected());
+  // Manhattan distance in hops.
+  EXPECT_EQ(t.shortest_path(0, 11)->size(), 6u);
+}
+
+TEST(Topology, LeafSpineAllLeafPairsTwoHops) {
+  auto t = Topology::leaf_spine(2, 4);
+  EXPECT_EQ(t.link_count(), 8u);
+  for (NodeId a = 2; a < 6; ++a) {
+    for (NodeId b = 2; b < 6; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.shortest_path(a, b)->size(), 3u);  // leaf-spine-leaf
+    }
+  }
+}
+
+TEST(Topology, AddrDeterministicAndDistinct) {
+  Topology t{300};
+  EXPECT_EQ(t.addr(0), t.addr(0));
+  EXPECT_NE(t.addr(1), t.addr(2));
+  EXPECT_NE(t.addr(0), t.addr(256));
+}
+
+TEST(Topology, IsValidPathChecksLinks) {
+  auto t = Topology::line(4);
+  EXPECT_TRUE(t.is_valid_path({0, 1, 2}));
+  EXPECT_FALSE(t.is_valid_path({0, 2}));
+  EXPECT_FALSE(t.is_valid_path({}));
+}
+
+}  // namespace
+}  // namespace intox::nethide

@@ -1,0 +1,105 @@
+#include "nethide/traceroute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nethide/metrics.hpp"
+
+namespace intox::nethide {
+namespace {
+
+TEST(PathTable, AllShortestPathsPopulated) {
+  auto t = Topology::ring(5);
+  auto paths = PathTable::all_shortest_paths(t);
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId d = 0; d < 5; ++d) {
+      if (s == d) continue;
+      const Path& p = paths.get(s, d);
+      ASSERT_FALSE(p.empty());
+      EXPECT_EQ(p.front(), s);
+      EXPECT_EQ(p.back(), d);
+      EXPECT_TRUE(t.is_valid_path(p));
+    }
+  }
+}
+
+TEST(Traceroute, HopsFollowPresentedPath) {
+  auto t = Topology::line(4);
+  auto paths = PathTable::all_shortest_paths(t);
+  auto hops = traceroute(t, paths, 0, 3);
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].ttl, 1);
+  EXPECT_EQ(hops[0].from, t.addr(1));
+  EXPECT_EQ(hops[2].from, t.addr(3));
+}
+
+TEST(Traceroute, LyingTableControlsWhatUserSees) {
+  // The §4.3 point: replies follow the *presented* path, not reality.
+  auto t = Topology::ring(6);
+  auto honest = PathTable::all_shortest_paths(t);
+  PathTable lying = honest;
+  lying.set(0, 2, Path{0, 5, 4, 3, 2});  // claim the long way round
+  auto hops = traceroute(t, lying, 0, 2);
+  ASSERT_EQ(hops.size(), 4u);
+  EXPECT_EQ(hops[0].from, t.addr(5));
+}
+
+TEST(InferTopology, HonestPathsRecoverUsedLinks) {
+  auto t = Topology::grid(3, 3);
+  auto paths = PathTable::all_shortest_paths(t);
+  auto inferred = infer_topology(t, paths);
+  // Every inferred link exists physically; most physical links carry at
+  // least one shortest path in a grid.
+  for (const Edge& e : inferred.links()) {
+    EXPECT_TRUE(t.has_link(e.a, e.b));
+  }
+  EXPECT_GE(inferred.link_count(), t.link_count() - 2);
+}
+
+TEST(InferTopology, FakePathsProduceFakeLinks) {
+  auto t = Topology::line(4);
+  PathTable fake{4};
+  fake.set(0, 3, Path{0, 2, 3});  // link 0-2 does not exist
+  auto inferred = infer_topology(t, fake);
+  EXPECT_TRUE(inferred.has_link(0, 2));
+  EXPECT_FALSE(t.has_link(0, 2));
+}
+
+TEST(Metrics, LevenshteinBasics) {
+  EXPECT_EQ(levenshtein({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(levenshtein({1, 2, 3}, {1, 3}), 1u);
+  EXPECT_EQ(levenshtein({}, {1, 2}), 2u);
+  EXPECT_EQ(levenshtein({1, 2, 3}, {4, 5, 6}), 3u);
+}
+
+TEST(Metrics, IdenticalTablesScorePerfect) {
+  auto t = Topology::grid(3, 3);
+  auto paths = PathTable::all_shortest_paths(t);
+  EXPECT_DOUBLE_EQ(accuracy(paths, paths), 1.0);
+  EXPECT_DOUBLE_EQ(utility(paths, paths), 1.0);
+}
+
+TEST(Metrics, FlowDensityCountsCrossingPairs) {
+  auto t = Topology::line(3);  // 0-1-2: link 0-1 carried by (0,1),(1,0),(0,2),(2,0)
+  auto paths = PathTable::all_shortest_paths(t);
+  auto density = flow_density(paths);
+  EXPECT_EQ(density[(Edge{0, 1})], 4u);
+  EXPECT_EQ(density[(Edge{1, 2})], 4u);
+  EXPECT_EQ(max_flow_density(paths), 4u);
+}
+
+TEST(Metrics, DivergingTableScoresLower) {
+  auto t = Topology::ring(6);
+  auto honest = PathTable::all_shortest_paths(t);
+  PathTable lying = honest;
+  for (NodeId d = 1; d < 6; ++d) {
+    Path detour{0};
+    for (NodeId h = 5; h >= d && h > 0; --h) detour.push_back(h);
+    // crude: claim everything from 0 goes the long way
+    if (detour.size() > 1) lying.set(0, d, detour);
+  }
+  EXPECT_LT(accuracy(honest, lying), 1.0);
+  EXPECT_LT(utility(honest, lying), 1.0);
+}
+
+}  // namespace
+}  // namespace intox::nethide

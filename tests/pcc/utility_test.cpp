@@ -1,0 +1,61 @@
+#include "pcc/utility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::pcc {
+namespace {
+
+TEST(Utility, ZeroLossEqualsNearFullThroughput) {
+  // sigmoid(-5) ~ 0.993: utility at zero loss is just under the rate.
+  const double u = utility(10e6, 0.0);
+  EXPECT_GT(u, 9.9e6);
+  EXPECT_LE(u, 10e6);
+}
+
+TEST(Utility, MonotonicallyDecreasingInLoss) {
+  double prev = utility(10e6, 0.0);
+  for (double l = 0.005; l <= 0.2; l += 0.005) {
+    const double u = utility(10e6, l);
+    EXPECT_LT(u, prev) << "loss " << l;
+    prev = u;
+  }
+}
+
+TEST(Utility, CrashesPastTheFivePercentKnee) {
+  // The sigmoid cuts utility by ~50% exactly at the knee and the loss
+  // penalty drives it negative shortly after.
+  EXPECT_GT(utility(10e6, 0.03), 0.0);
+  EXPECT_LT(utility(10e6, 0.10), 0.0);
+}
+
+TEST(Utility, ScalesWithRateAtFixedLoss) {
+  EXPECT_NEAR(utility(20e6, 0.01) / utility(10e6, 0.01), 2.0, 1e-9);
+}
+
+TEST(Utility, HigherRateWithProportionalLossCanLose) {
+  // Sending 5% faster but suffering the loss that the attacker computes
+  // must not look better than the slower clean rate.
+  const double u_slow = utility(10e6, 0.0);
+  const double needed = loss_for_target_utility(10.5e6, u_slow);
+  EXPECT_GT(needed, 0.0);
+  EXPECT_LE(utility(10.5e6, needed), u_slow + 1.0);
+}
+
+TEST(LossForTargetUtility, InvertsUtility) {
+  const double target = utility(10e6, 0.02);
+  const double l = loss_for_target_utility(10e6, target);
+  EXPECT_NEAR(l, 0.02, 1e-6);
+}
+
+TEST(LossForTargetUtility, ZeroWhenAlreadyBelowTarget) {
+  EXPECT_DOUBLE_EQ(loss_for_target_utility(10e6, 20e6), 0.0);
+}
+
+TEST(LossForTargetUtility, MonotoneInTarget) {
+  const double l_hi = loss_for_target_utility(10e6, 8e6);
+  const double l_lo = loss_for_target_utility(10e6, 2e6);
+  EXPECT_LT(l_hi, l_lo);
+}
+
+}  // namespace
+}  // namespace intox::pcc

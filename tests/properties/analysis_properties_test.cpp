@@ -1,0 +1,119 @@
+// Monotonicity / inversion properties of the closed-form analyses (Blink
+// binomial model, PCC utility function) over parameter grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blink/analysis.hpp"
+#include "pcc/utility.hpp"
+
+namespace intox {
+namespace {
+
+class QmGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(QmGrid, SuccessProbabilityMonotoneInTimeAndNeeded) {
+  const double qm = GetParam();
+  double prev = -1.0;
+  for (double t = 10; t <= 510; t += 50) {
+    const double p = blink::attack_success_probability(64, qm, t, 8.37, 32);
+    EXPECT_GE(p, prev - 1e-12) << "t=" << t;
+    prev = p;
+  }
+  // Needing more cells can only be harder.
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_GE(blink::attack_success_probability(64, qm, 200, 8.37, k) + 1e-12,
+              blink::attack_success_probability(64, qm, 200, 8.37, k + 1));
+  }
+}
+
+TEST_P(QmGrid, QuantilesBracketTheMean) {
+  const double qm = GetParam();
+  for (double t : {50.0, 150.0, 300.0}) {
+    const double p = blink::cell_malicious_probability(qm, t, 8.37);
+    const double mean = 64.0 * p;
+    const auto lo = blink::binomial_quantile(64, p, 0.05);
+    const auto hi = blink::binomial_quantile(64, p, 0.95);
+    // Integer quantiles bracket the mean up to one unit of quantization
+    // (at extreme p the whole distribution sits on a single integer).
+    EXPECT_LE(static_cast<double>(lo), mean + 1.0);
+    EXPECT_GE(static_cast<double>(hi) + 1.0, mean);
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST_P(QmGrid, CdfIsAProperDistribution) {
+  const double qm = GetParam();
+  const double p = blink::cell_malicious_probability(qm, 120.0, 8.37);
+  double prev = -1.0;
+  for (std::size_t k = 0; k <= 64; ++k) {
+    const double c = blink::binomial_cdf(64, p, k);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(blink::binomial_cdf(64, p, 64), 1.0, 1e-9);
+}
+
+TEST_P(QmGrid, MinQmIsExactThreshold) {
+  const double conf = 0.9;
+  const double qm =
+      blink::min_qm_for_success(64, 510.0, GetParam() * 100.0 + 5.0, 32, conf);
+  const double tr = GetParam() * 100.0 + 5.0;
+  EXPECT_GE(blink::attack_success_probability(64, qm, 510.0, tr, 32),
+            conf - 1e-6);
+  EXPECT_LT(blink::attack_success_probability(64, qm * 0.9, 510.0, tr, 32),
+            conf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, QmGrid,
+                         ::testing::Values(0.01, 0.03, 0.0525, 0.1, 0.2));
+
+class RateGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateGrid, UtilityMonotoneDecreasingInLoss) {
+  const double rate = GetParam();
+  double prev = pcc::utility(rate, 0.0);
+  for (double l = 0.01; l <= 0.5; l += 0.01) {
+    const double u = pcc::utility(rate, l);
+    EXPECT_LT(u, prev) << "loss " << l;
+    prev = u;
+  }
+}
+
+TEST_P(RateGrid, UtilityLinearInRateAtFixedLoss) {
+  const double rate = GetParam();
+  for (double l : {0.0, 0.01, 0.04, 0.08}) {
+    const double u1 = pcc::utility(rate, l);
+    const double u2 = pcc::utility(2.0 * rate, l);
+    EXPECT_NEAR(u2, 2.0 * u1, std::abs(u1) * 1e-9 + 1e-9);
+  }
+}
+
+TEST_P(RateGrid, LossInversionRoundTrips) {
+  const double rate = GetParam();
+  for (double l : {0.005, 0.02, 0.05, 0.12}) {
+    const double target = pcc::utility(rate, l);
+    EXPECT_NEAR(pcc::loss_for_target_utility(rate, target), l, 1e-6);
+  }
+}
+
+TEST_P(RateGrid, AttackDropNeverOverscales) {
+  // The omniscient attacker's inversion: for any eps, the drop needed to
+  // equalize u(x(1+eps)) with u(x(1-eps)) stays small (the paper's
+  // "tampering with only a small fraction of traffic").
+  const double rate = GetParam();
+  for (double eps : {0.01, 0.03, 0.05}) {
+    const double target = pcc::utility(rate * (1.0 - eps), 0.0);
+    const double drop = pcc::loss_for_target_utility(rate * (1.0 + eps), target);
+    EXPECT_GT(drop, 0.0);
+    EXPECT_LT(drop, 3.0 * eps);  // ~2*eps/(1+..) plus sigmoid correction
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateGrid,
+                         ::testing::Values(1e6, 10e6, 100e6, 1e9));
+
+}  // namespace
+}  // namespace intox

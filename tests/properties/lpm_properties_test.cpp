@@ -1,0 +1,93 @@
+// LPM trie vs a brute-force reference on random rule sets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/lpm.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::net {
+namespace {
+
+class LpmProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct Rule {
+  Prefix prefix;
+  int value;
+};
+
+std::optional<int> reference_lookup(const std::vector<Rule>& rules,
+                                    Ipv4Addr addr) {
+  std::optional<int> best;
+  int best_len = -1;
+  for (const auto& r : rules) {
+    if (r.prefix.contains(addr) && r.prefix.length() > best_len) {
+      best = r.value;
+      best_len = r.prefix.length();
+    }
+  }
+  return best;
+}
+
+TEST_P(LpmProperties, MatchesBruteForceReference) {
+  sim::Rng rng{GetParam()};
+  LpmTable<int> table;
+  std::vector<Rule> rules;
+
+  // Random rule set with duplicates overwritten (matching insert
+  // semantics) and varied prefix lengths.
+  for (int i = 0; i < 300; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+    const int len = static_cast<int>(rng.uniform_int(0, 32));
+    const Prefix p{Ipv4Addr{addr}, len};
+    const int value = i;
+    table.insert(p, value);
+    // Reference: replace same-prefix rule.
+    bool replaced = false;
+    for (auto& r : rules) {
+      if (r.prefix == p) {
+        r.value = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) rules.push_back({p, value});
+  }
+  ASSERT_EQ(table.size(), rules.size());
+
+  for (int probe = 0; probe < 2000; ++probe) {
+    const Ipv4Addr a{static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX))};
+    const auto expect = reference_lookup(rules, a);
+    const auto got = table.lookup(a);
+    ASSERT_EQ(got.has_value(), expect.has_value()) << to_string(a);
+    if (expect) {
+      EXPECT_EQ(got->value, *expect) << to_string(a);
+    }
+  }
+}
+
+TEST_P(LpmProperties, EraseIsExactInverse) {
+  sim::Rng rng{GetParam() * 7 + 1};
+  LpmTable<int> table;
+  std::vector<Prefix> inserted;
+  for (int i = 0; i < 100; ++i) {
+    const Prefix p{
+        Ipv4Addr{static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX))},
+        static_cast<int>(rng.uniform_int(1, 32))};
+    if (!table.find(p)) inserted.push_back(p);
+    table.insert(p, i);
+  }
+  rng.shuffle(inserted);
+  for (const auto& p : inserted) EXPECT_TRUE(table.erase(p));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(
+      table.lookup(Ipv4Addr{static_cast<std::uint32_t>(
+                       rng.uniform_int(0, UINT32_MAX))})
+          .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperties,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace intox::net

@@ -1,0 +1,103 @@
+// Property tests for the discrete-event scheduler: randomized operation
+// sequences across seeds must preserve the core invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::sim {
+namespace {
+
+class SchedulerProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperties, EveryLiveEventFiresOnceInTimeOrder) {
+  Rng rng{GetParam()};
+  Scheduler sched;
+  std::map<std::uint64_t, int> fired;          // event key -> count
+  std::vector<Scheduler::EventId> cancellable;
+  Time last_fire_time = -1;
+  bool order_ok = true;
+
+  std::uint64_t key = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Time t = static_cast<Time>(rng.uniform_int(0, 1'000'000));
+    const std::uint64_t k = key++;
+    auto id = sched.schedule_at(t, [&, k] {
+      ++fired[k];
+      order_ok &= sched.now() >= last_fire_time;
+      last_fire_time = sched.now();
+    });
+    if (rng.bernoulli(0.3)) cancellable.push_back(id);
+  }
+
+  std::size_t cancelled = 0;
+  for (auto id : cancellable) cancelled += sched.cancel(id);
+
+  sched.run();
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(fired.size(), 500u - cancelled);
+  for (const auto& [k, count] : fired) EXPECT_EQ(count, 1) << "event " << k;
+}
+
+TEST_P(SchedulerProperties, NestedSchedulingPreservesMonotonicity) {
+  Rng rng{GetParam() ^ 0x5eedULL};
+  Scheduler sched;
+  Time last = -1;
+  bool ok = true;
+  int remaining = 300;
+
+  std::function<void()> spawn = [&] {
+    ok &= sched.now() >= last;
+    last = sched.now();
+    if (--remaining <= 0) return;
+    // Schedule 0-2 children at random future (or past: clamped) offsets.
+    const int children = static_cast<int>(rng.uniform_int(0, 2));
+    for (int c = 0; c < children; ++c) {
+      const auto delta =
+          static_cast<Duration>(rng.uniform_int(0, 1000)) - 200;  // may be < 0
+      sched.schedule_after(delta, spawn);
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    sched.schedule_at(static_cast<Time>(rng.uniform_int(0, 10000)), spawn);
+  }
+  sched.run(100000);
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(SchedulerProperties, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    Rng rng{GetParam() + 17};
+    Scheduler sched;
+    std::vector<Time> fire_times;
+    for (int i = 0; i < 200; ++i) {
+      sched.schedule_at(static_cast<Time>(rng.uniform_int(0, 5000)),
+                        [&] { fire_times.push_back(sched.now()); });
+    }
+    sched.run();
+    return fire_times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(SchedulerProperties, RunUntilNeverOvershoots) {
+  Rng rng{GetParam() * 31 + 7};
+  Scheduler sched;
+  bool ok = true;
+  for (int i = 0; i < 300; ++i) {
+    sched.schedule_at(static_cast<Time>(rng.uniform_int(0, 100000)),
+                      [&] { ok &= sched.now() <= 50000; });
+  }
+  sched.run_until(50000);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(sched.now(), 50000);
+  sched.run();  // the rest still fires afterwards
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace intox::sim

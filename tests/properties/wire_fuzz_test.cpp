@@ -1,0 +1,136 @@
+// Wire-codec fuzzing: random packets round-trip losslessly; random byte
+// corruption never crashes the parser and is (checksum-)detected; random
+// garbage is rejected.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace intox::net {
+namespace {
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+Packet random_packet(sim::Rng& rng) {
+  Packet p;
+  p.src = Ipv4Addr{static_cast<std::uint32_t>(rng.uniform_int(1, UINT32_MAX))};
+  p.dst = Ipv4Addr{static_cast<std::uint32_t>(rng.uniform_int(1, UINT32_MAX))};
+  p.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      TcpHeader t;
+      t.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      t.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      t.seq = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+      t.ack = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+      t.syn = rng.bernoulli(0.2);
+      t.ack_flag = rng.bernoulli(0.8);
+      t.fin = rng.bernoulli(0.1);
+      t.rst = rng.bernoulli(0.05);
+      t.window = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      p.l4 = t;
+      break;
+    }
+    case 1: {
+      UdpHeader u;
+      u.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      u.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      p.l4 = u;
+      break;
+    }
+    default: {
+      IcmpHeader ic;
+      ic.type = rng.bernoulli(0.5) ? IcmpType::kTimeExceeded
+                                   : IcmpType::kEchoRequest;
+      ic.code = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+      ic.id = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      ic.seq = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      p.l4 = ic;
+      break;
+    }
+  }
+  p.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1460));
+  return p;
+}
+
+bool equal(const Packet& a, const Packet& b) {
+  if (a.src != b.src || a.dst != b.dst || a.ttl != b.ttl ||
+      a.payload_bytes != b.payload_bytes || a.proto() != b.proto()) {
+    return false;
+  }
+  if (const auto* t = a.tcp()) {
+    const auto* u = b.tcp();
+    return t->src_port == u->src_port && t->dst_port == u->dst_port &&
+           t->seq == u->seq && t->ack == u->ack && t->syn == u->syn &&
+           t->ack_flag == u->ack_flag && t->fin == u->fin &&
+           t->rst == u->rst && t->window == u->window;
+  }
+  if (const auto* ua = a.udp()) {
+    const auto* ub = b.udp();
+    return ua->src_port == ub->src_port && ua->dst_port == ub->dst_port;
+  }
+  const auto* ia = a.icmp();
+  const auto* ib = b.icmp();
+  return ia->type == ib->type && ia->code == ib->code && ia->id == ib->id &&
+         ia->seq == ib->seq;
+}
+
+TEST_P(WireFuzz, RandomPacketsRoundTrip) {
+  sim::Rng rng{GetParam()};
+  for (int i = 0; i < 500; ++i) {
+    const Packet p = random_packet(rng);
+    const auto wire = serialize(p);
+    const auto back = parse(wire);
+    ASSERT_TRUE(back.has_value()) << i;
+    EXPECT_TRUE(equal(p, *back)) << i;
+  }
+}
+
+TEST_P(WireFuzz, SingleBitCorruptionIsDetected) {
+  sim::Rng rng{GetParam() ^ 0xc0ffee};
+  int undetected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Packet p = random_packet(rng);
+    auto wire = serialize(p);
+    const std::size_t byte = rng.uniform_int(0, wire.size() - 1);
+    const int bit = static_cast<int>(rng.uniform_int(0, 7));
+    wire[byte] ^= static_cast<std::byte>(1 << bit);
+    const auto back = parse(wire);
+    // Header corruption must be rejected. Payload-byte corruption is
+    // caught by the L4 checksum too (payload is zeros in serialize), so
+    // everything should be detected; tolerate nothing.
+    if (back.has_value() && equal(p, *back)) continue;  // e.g. flag bit unused
+    undetected += back.has_value();
+  }
+  EXPECT_EQ(undetected, 0);
+}
+
+TEST_P(WireFuzz, RandomGarbageNeverParses) {
+  sim::Rng rng{GetParam() + 404};
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::byte> junk(rng.uniform_int(0, 200));
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.uniform_int(0, 255));
+    }
+    const auto back = parse(junk);
+    // Passing all checksums by chance is ~2^-32; treat any success here
+    // as failure.
+    EXPECT_FALSE(back.has_value()) << i;
+  }
+}
+
+TEST_P(WireFuzz, TruncationAlwaysRejected) {
+  sim::Rng rng{GetParam() + 777};
+  for (int i = 0; i < 200; ++i) {
+    const Packet p = random_packet(rng);
+    auto wire = serialize(p);
+    const std::size_t cut = rng.uniform_int(0, wire.size() - 1);
+    wire.resize(cut);
+    EXPECT_FALSE(parse(wire).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace intox::net

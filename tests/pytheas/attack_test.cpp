@@ -1,0 +1,84 @@
+// §4.1 attacks end-to-end: report poisoning and CDN stampede.
+#include <gtest/gtest.h>
+
+#include "pytheas/experiment.hpp"
+
+namespace intox::pytheas {
+namespace {
+
+TEST(PoisonAttack, NoBotsNoHarm) {
+  PoisonConfig cfg;
+  cfg.bot_sessions = 0;
+  const auto r = run_poisoning_experiment(cfg);
+  EXPECT_NEAR(r.mean_qoe_after, r.mean_qoe_before, 0.25);
+  EXPECT_LT(r.flipped_fraction, 0.1);
+}
+
+TEST(PoisonAttack, ModestBotnetFlipsGroupDecision) {
+  PoisonConfig cfg;
+  cfg.bot_sessions = 40;  // 17% of clients, 3x report amplification
+  const auto r = run_poisoning_experiment(cfg);
+  EXPECT_GT(r.flipped_fraction, 0.8);
+  // Every legitimate client now gets the bad arm: QoE collapses towards
+  // the bad arm's base quality (3.0 vs 4.5).
+  EXPECT_LT(r.mean_qoe_after, r.mean_qoe_before - 1.0);
+}
+
+TEST(PoisonAttack, AmplificationSubstitutesForBots) {
+  // Fewer bots with more reports each achieve the same flip — reports
+  // are unauthenticated, so nothing ties volume to client count.
+  PoisonConfig cfg;
+  cfg.bot_sessions = 12;  // 5.7% of clients
+  cfg.bot_amplification = 12;
+  const auto r = run_poisoning_experiment(cfg);
+  EXPECT_GT(r.flipped_fraction, 0.8);
+}
+
+TEST(PoisonAttack, HarmScalesWithBotFraction) {
+  double prev_after = 10.0;
+  for (std::size_t bots : {0u, 20u, 40u}) {
+    PoisonConfig cfg;
+    cfg.bot_sessions = bots;
+    const auto r = run_poisoning_experiment(cfg);
+    EXPECT_LE(r.mean_qoe_after, prev_after + 0.3) << bots << " bots";
+    prev_after = r.mean_qoe_after;
+  }
+}
+
+// Site 0 is big enough for everyone (capacity 400); site 1 is not
+// (capacity 200). Without interference all 300 sessions fit happily on
+// site 0; the throttle attack herds them onto the small site.
+CdnConfig cdn_scenario() {
+  CdnConfig cfg;
+  cfg.model.arm_base = {4.5, 4.0};
+  cfg.model.arm_capacity = {400.0, 200.0};
+  return cfg;
+}
+
+TEST(CdnAttack, ThrottleStampedesGroupsToOtherSite) {
+  CdnConfig cfg = cdn_scenario();
+  const auto r = run_cdn_experiment(cfg);
+  // After the throttle on site 0, nearly everyone exploits site 1 ...
+  const double site1_end = r.site1_load.points().back().second;
+  EXPECT_GT(site1_end, 250.0);
+  // ... which is pushed past its capacity.
+  EXPECT_GT(r.site1_peak_overload, 1.2);
+}
+
+TEST(CdnAttack, QoeDegradesDespiteUntouchedSite) {
+  CdnConfig cfg = cdn_scenario();
+  const auto r = run_cdn_experiment(cfg);
+  EXPECT_LT(r.qoe_after, r.qoe_before - 0.15);
+}
+
+TEST(CdnAttack, NoAttackStaysBalancedAndHealthy) {
+  CdnConfig cfg = cdn_scenario();
+  cfg.attack_start_epoch = cfg.epochs + 1;  // never
+  const auto r = run_cdn_experiment(cfg);
+  EXPECT_LT(r.site1_peak_overload, 1.0);
+  // Everyone stays on the big healthy site.
+  EXPECT_GT(r.site0_load.points().back().second, 250.0);
+}
+
+}  // namespace
+}  // namespace intox::pytheas

@@ -1,0 +1,54 @@
+// §4.1 MitM variant: honest reports, genuinely degraded traffic for a
+// subset of members — the group decision punishes everyone.
+#include <gtest/gtest.h>
+
+#include "pytheas/experiment.hpp"
+
+namespace intox::pytheas {
+namespace {
+
+TEST(MitmQoe, SubsetDegradationFlipsWholeGroup) {
+  MitmQoeConfig cfg;
+  const auto r = run_mitm_qoe_experiment(cfg);
+  EXPECT_GT(r.flipped_fraction, 0.8);
+}
+
+TEST(MitmQoe, UntouchedMembersSufferCollateralDamage) {
+  MitmQoeConfig cfg;
+  const auto r = run_mitm_qoe_experiment(cfg);
+  // 55% of the group never had a packet dropped, yet their QoE falls to
+  // the bad arm's level because the *group* decision moved.
+  EXPECT_GT(r.untouched_before, 4.2);
+  EXPECT_LT(r.untouched_after, r.untouched_before - 1.0);
+}
+
+TEST(MitmQoe, TamperingShareIsMinority) {
+  MitmQoeConfig cfg;
+  const auto r = run_mitm_qoe_experiment(cfg);
+  // Only victims-on-the-good-arm sessions are touched, and after the
+  // flip the good arm carries almost nobody: the time-averaged touched
+  // share is well under the victim fraction.
+  EXPECT_LT(r.touched_share, cfg.victim_fraction * 0.6);
+}
+
+TEST(MitmQoe, SmallVictimSubsetIsInsufficient) {
+  // The flip needs enough mass to drag the group mean below the bad
+  // arm's quality — a 10% subset cannot (the dual of the botnet
+  // amplification result: the MitM cannot amplify honest reports).
+  MitmQoeConfig cfg;
+  cfg.victim_fraction = 0.1;
+  const auto r = run_mitm_qoe_experiment(cfg);
+  EXPECT_LT(r.flipped_fraction, 0.1);
+  EXPECT_GT(r.untouched_after, 4.0);
+}
+
+TEST(MitmQoe, NoAttackNoHarm) {
+  MitmQoeConfig cfg;
+  cfg.attack_start_epoch = cfg.epochs + 1;
+  const auto r = run_mitm_qoe_experiment(cfg);
+  EXPECT_LT(r.flipped_fraction, 0.05);
+  EXPECT_NEAR(r.untouched_after, r.untouched_before, 0.2);
+}
+
+}  // namespace
+}  // namespace intox::pytheas

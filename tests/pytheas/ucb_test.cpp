@@ -1,0 +1,77 @@
+#include "pytheas/ucb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace intox::pytheas {
+namespace {
+
+TEST(DiscountedUcb, UnexploredArmsAreOptimistic) {
+  DiscountedUcb b{3, UcbConfig{}};
+  // With no data, every arm has the same (optimistic) score; best_arm
+  // returns the first.
+  EXPECT_EQ(b.best_arm(), 0u);
+  EXPECT_DOUBLE_EQ(b.mean(2), UcbConfig{}.initial_optimism);
+}
+
+TEST(DiscountedUcb, LearnsTheBetterArm) {
+  DiscountedUcb b{2, UcbConfig{}};
+  for (int i = 0; i < 100; ++i) {
+    b.observe(0, 4.5);
+    b.observe(1, 3.0);
+  }
+  EXPECT_EQ(b.best_arm(), 0u);
+  EXPECT_NEAR(b.mean(0), 4.5, 1e-9);
+  EXPECT_NEAR(b.mean(1), 3.0, 1e-9);
+}
+
+TEST(DiscountedUcb, DiscountForgetsOldEvidence) {
+  UcbConfig cfg;
+  cfg.discount = 0.9;
+  DiscountedUcb b{2, cfg};
+  for (int i = 0; i < 50; ++i) {
+    b.observe(0, 5.0);
+    b.observe(1, 1.0);
+    b.decay();
+  }
+  // Conditions invert; the discounted mean must cross over quickly.
+  for (int i = 0; i < 30; ++i) {
+    b.observe(0, 1.0);
+    b.observe(1, 5.0);
+    b.decay();
+  }
+  EXPECT_EQ(b.best_arm(), 1u);
+}
+
+TEST(DiscountedUcb, ExplorationBonusLiftsUndersampledArms) {
+  UcbConfig cfg;
+  cfg.exploration_bonus = 2.0;
+  DiscountedUcb b{2, cfg};
+  // Arm 0 slightly better but heavily sampled; arm 1 sampled once.
+  for (int i = 0; i < 1000; ++i) b.observe(0, 3.1);
+  b.observe(1, 3.0);
+  EXPECT_GT(b.ucb_score(1), b.ucb_score(0));
+}
+
+TEST(DiscountedUcb, EffectiveCountDecays) {
+  DiscountedUcb b{1, UcbConfig{.discount = 0.5}};
+  b.observe(0, 1.0);
+  EXPECT_DOUBLE_EQ(b.effective_count(0), 1.0);
+  b.decay();
+  EXPECT_DOUBLE_EQ(b.effective_count(0), 0.5);
+}
+
+TEST(DiscountedUcb, PoisonedReportsMoveTheMean) {
+  // The §4.1 mechanism in isolation: a minority of extreme reports moves
+  // a discounted mean across a decision boundary.
+  DiscountedUcb b{2, UcbConfig{}};
+  for (int i = 0; i < 60; ++i) b.observe(0, 4.5);   // honest: good arm
+  for (int i = 0; i < 60; ++i) b.observe(1, 3.0);   // honest: bad arm
+  for (int i = 0; i < 40; ++i) b.observe(0, 0.0);   // bots slam the good arm
+  for (int i = 0; i < 40; ++i) b.observe(1, 5.0);   // and boost the bad one
+  EXPECT_EQ(b.best_arm(), 1u);
+}
+
+}  // namespace
+}  // namespace intox::pytheas

@@ -1,0 +1,56 @@
+// §3.2 RON probe-manipulation attack, end-to-end.
+#include <gtest/gtest.h>
+
+#include "ron/attack.hpp"
+
+namespace intox::ron {
+namespace {
+
+TEST(RonAttack, NoAttackStaysDirect) {
+  RonExperimentConfig cfg;
+  cfg.attack = false;
+  const auto r = run_ron_attack_experiment(cfg);
+  EXPECT_TRUE(r.routed_direct_before);
+  EXPECT_FALSE(r.routed_via_attacker_after);
+  EXPECT_EQ(r.via_after, 0u);  // still direct
+  EXPECT_EQ(r.probes_dropped, 0u);
+}
+
+TEST(RonAttack, ProbeDropsDivertTrafficThroughAttacker) {
+  RonExperimentConfig cfg;
+  const auto r = run_ron_attack_experiment(cfg);
+  EXPECT_TRUE(r.routed_direct_before);
+  EXPECT_TRUE(r.routed_via_attacker_after);
+  EXPECT_GT(r.probes_dropped, 0u);
+}
+
+TEST(RonAttack, DataLatencyRisesButDataNeverTouched) {
+  RonExperimentConfig cfg;
+  const auto r = run_ron_attack_experiment(cfg);
+  // The real direct path was perfect the whole time; traffic now takes
+  // the attacker's 2x15 ms detour purely because probes were dropped.
+  EXPECT_GT(r.mean_latency_after_ms, 2.0 * r.mean_latency_before_ms);
+  // Only probes were dropped; the data stream is untouched and small
+  // relative to total traffic.
+  EXPECT_GT(r.data_packets_sent, 100u);
+}
+
+TEST(RonAttack, PartialDropRateStillWorks) {
+  RonExperimentConfig cfg;
+  cfg.attacker.probe_drop_prob = 0.7;  // noisy attacker
+  cfg.attack_duration = sim::seconds(40);
+  const auto r = run_ron_attack_experiment(cfg);
+  EXPECT_TRUE(r.routed_via_attacker_after);
+}
+
+TEST(RonAttack, Deterministic) {
+  RonExperimentConfig cfg;
+  const auto a = run_ron_attack_experiment(cfg);
+  const auto b = run_ron_attack_experiment(cfg);
+  EXPECT_EQ(a.probes_dropped, b.probes_dropped);
+  EXPECT_EQ(a.route_changes, b.route_changes);
+  EXPECT_DOUBLE_EQ(a.mean_latency_after_ms, b.mean_latency_after_ms);
+}
+
+}  // namespace
+}  // namespace intox::ron

@@ -1,0 +1,130 @@
+#include "ron/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::ron {
+namespace {
+
+struct Mesh {
+  sim::Scheduler sched;
+  RonConfig cfg;
+  std::unique_ptr<Overlay> overlay;
+
+  explicit Mesh(std::size_t nodes = 3) {
+    sim::LinkConfig base;
+    base.rate_bps = 1e9;
+    base.prop_delay = sim::millis(10);
+    overlay = std::make_unique<Overlay>(sched, cfg, nodes, base);
+  }
+};
+
+TEST(Overlay, ProbesPopulateEstimates) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(3));
+  m.overlay->stop();
+  const LinkEstimate& e = m.overlay->estimate(0, 1);
+  EXPECT_TRUE(e.valid);
+  EXPECT_GT(e.probes_sent, 5u);
+  // The most recent probe may still be in flight at the cut-off.
+  EXPECT_GE(e.probes_answered + 1, e.probes_sent);
+  EXPECT_NEAR(e.latency_s, 0.010, 0.003);
+  EXPECT_LT(e.loss, 0.01);
+}
+
+TEST(Overlay, PrefersDirectPathWhenHealthy) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(5));
+  m.overlay->stop();
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId d = 0; d < 3; ++d) {
+      if (s != d) {
+        EXPECT_TRUE(m.overlay->route(s, d).direct);
+      }
+    }
+  }
+}
+
+TEST(Overlay, DetectsLinkFailureAndDetours) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(3));
+  ASSERT_TRUE(m.overlay->route(0, 1).direct);
+  // Hard failure of the direct 0->1 link.
+  m.overlay->link(0, 1).set_up(false);
+  m.sched.run_until(sim::seconds(10));
+  m.overlay->stop();
+  const OverlayRoute r = m.overlay->route(0, 1);
+  EXPECT_FALSE(r.direct);
+  EXPECT_EQ(r.via, 2u);  // only alternative in a 3-node mesh
+  EXPECT_GT(m.overlay->estimate(0, 1).loss, 0.5);
+}
+
+TEST(Overlay, RecoversWhenLinkHeals) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(2));
+  m.overlay->link(0, 1).set_up(false);
+  m.sched.run_until(sim::seconds(10));
+  ASSERT_FALSE(m.overlay->route(0, 1).direct);
+  m.overlay->link(0, 1).set_up(true);
+  m.sched.run_until(sim::seconds(25));
+  m.overlay->stop();
+  EXPECT_TRUE(m.overlay->route(0, 1).direct);
+}
+
+TEST(Overlay, DataFollowsRouteAndReportsLatency) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(3));
+  sim::Duration direct_latency = 0;
+  m.overlay->send_data(0, 1, 512, [&](sim::Duration l) { direct_latency = l; });
+  m.sched.run_until(sim::seconds(4));
+  EXPECT_GT(direct_latency, sim::millis(9));
+  EXPECT_LT(direct_latency, sim::millis(15));
+
+  // Fail the direct link; after rerouting, data takes two legs.
+  m.overlay->link(0, 1).set_up(false);
+  m.sched.run_until(sim::seconds(12));
+  sim::Duration detour_latency = 0;
+  m.overlay->send_data(0, 1, 512, [&](sim::Duration l) { detour_latency = l; });
+  m.sched.run_until(sim::seconds(13));
+  m.overlay->stop();
+  EXPECT_GT(detour_latency, sim::millis(18));
+}
+
+TEST(Overlay, SlowDirectPathTriggersDetourOnLatency) {
+  // Direct 0->1 is 50 ms; the detour via 2 totals ~20 ms: RON should
+  // prefer the detour even with zero loss anywhere.
+  sim::Scheduler sched;
+  RonConfig cfg;
+  sim::LinkConfig base;
+  base.rate_bps = 1e9;
+  base.prop_delay = sim::millis(10);
+  Overlay overlay{sched, cfg, 3, base};
+  sim::LinkConfig slow = base;
+  slow.prop_delay = sim::millis(50);
+  overlay.set_link_config(0, 1, slow);
+  overlay.set_link_config(1, 0, slow);
+  overlay.start();
+  sched.run_until(sim::seconds(8));
+  overlay.stop();
+  const OverlayRoute r = overlay.route(0, 1);
+  EXPECT_FALSE(r.direct);
+  EXPECT_EQ(r.via, 2u);
+}
+
+TEST(Overlay, RouteChangesAreCounted) {
+  Mesh m;
+  m.overlay->start();
+  m.sched.run_until(sim::seconds(3));
+  EXPECT_EQ(m.overlay->route_changes(), 0u);
+  m.overlay->link(0, 1).set_up(false);
+  m.sched.run_until(sim::seconds(10));
+  m.overlay->stop();
+  EXPECT_GE(m.overlay->route_changes(), 1u);
+}
+
+}  // namespace
+}  // namespace intox::ron

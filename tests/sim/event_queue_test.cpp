@@ -1,0 +1,153 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace intox::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, FifoWithinSameInstant) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 75);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { fired = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  auto id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double-cancel is a no-op
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelInvalidIdReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel({}));
+  EXPECT_FALSE(s.cancel(Scheduler::EventId{12345}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  std::vector<Time> fired;
+  s.schedule_at(10, [&] { fired.push_back(10); });
+  s.schedule_at(20, [&] { fired.push_back(20); });
+  s.schedule_at(30, [&] { fired.push_back(30); });
+  s.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunUntilArehonored) {
+  Scheduler s;
+  int count = 0;
+  // A self-rescheduling event every 10 ns.
+  std::function<void()> tick = [&] {
+    ++count;
+    s.schedule_after(10, tick);
+  };
+  s.schedule_at(0, tick);
+  s.run_until(100);
+  EXPECT_EQ(count, 11);  // t = 0,10,...,100
+}
+
+TEST(Scheduler, RunLimitBounds) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    s.schedule_after(1, tick);
+  };
+  s.schedule_at(0, tick);
+  EXPECT_EQ(s.run(5), 5u);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Scheduler, PendingCountsLiveEventsOnly) {
+  Scheduler s;
+  auto a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Scheduler s;
+  int fires = 0;
+  Timer t{s, [&] { ++fires; }};
+  t.arm_after(10);
+  t.arm_after(50);  // supersedes
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Timer, CancelStopsExpiry) {
+  Scheduler s;
+  int fires = 0;
+  Timer t{s, [&] { ++fires; }};
+  t.arm_after(10);
+  EXPECT_TRUE(t.armed());
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRearmFromCallback) {
+  Scheduler s;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t{s, [&] {
+            if (++fires < 3) tp->arm_after(10);
+          }};
+  tp = &t;
+  t.arm_after(10);
+  s.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(s.now(), 30);
+}
+
+}  // namespace
+}  // namespace intox::sim

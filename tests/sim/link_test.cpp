@@ -1,0 +1,144 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace intox::sim {
+namespace {
+
+net::Packet make_packet(std::uint32_t payload = 1000) {
+  net::Packet p;
+  p.src = net::Ipv4Addr{1, 0, 0, 1};
+  p.dst = net::Ipv4Addr{2, 0, 0, 1};
+  p.l4 = net::UdpHeader{1000, 2000};
+  p.payload_bytes = payload;
+  return p;
+}
+
+TEST(Link, DeliversWithSerializationPlusPropagation) {
+  Scheduler s;
+  Time arrival = -1;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte per microsecond
+  cfg.prop_delay = millis(1);
+  Link link{s, cfg, [&](net::Packet) { arrival = s.now(); }};
+
+  auto p = make_packet(972);  // 1000 bytes total with headers
+  link.transmit(p);
+  s.run();
+  // 1000 B at 1 B/us = 1 ms serialization + 1 ms propagation.
+  EXPECT_EQ(arrival, millis(2));
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  Scheduler s;
+  std::vector<Time> arrivals;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = 0;
+  Link link{s, cfg, [&](net::Packet) { arrivals.push_back(s.now()); }};
+
+  link.transmit(make_packet(972));
+  link.transmit(make_packet(972));
+  s.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], millis(1));
+  EXPECT_EQ(arrivals[1], millis(2));  // second waits for the first
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  Scheduler s;
+  int delivered = 0;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.queue_limit_bytes = 2500;
+  Link link{s, cfg, [&](net::Packet) { ++delivered; }};
+
+  for (int i = 0; i < 5; ++i) link.transmit(make_packet(972));
+  s.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.counters().dropped_queue, 3u);
+  EXPECT_EQ(link.counters().tx_packets, 5u);
+}
+
+TEST(Link, DownLinkLosesEverything) {
+  Scheduler s;
+  int delivered = 0;
+  Link link{s, {}, [&](net::Packet) { ++delivered; }};
+  link.set_up(false);
+  link.transmit(make_packet());
+  s.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.counters().dropped_down, 1u);
+  link.set_up(true);
+  link.transmit(make_packet());
+  s.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Link, TapCanDropAndMutate) {
+  Scheduler s;
+  std::vector<net::Packet> got;
+  Link link{s, {}, [&](net::Packet p) { got.push_back(std::move(p)); }};
+
+  int seen = 0;
+  link.set_tap([&](net::Packet& p) {
+    ++seen;
+    if (seen % 2 == 0) return TapAction::kDrop;
+    p.ttl = 7;  // MitM mutation
+    return TapAction::kForward;
+  });
+  link.transmit(make_packet());
+  link.transmit(make_packet());
+  link.transmit(make_packet());
+  s.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].ttl, 7);
+  EXPECT_EQ(link.counters().dropped_tap, 1u);
+}
+
+TEST(Link, BacklogReportsQueuedBytes) {
+  Scheduler s;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  Link link{s, cfg, [](net::Packet) {}};
+  EXPECT_DOUBLE_EQ(link.backlog_bytes(), 0.0);
+  link.transmit(make_packet(972));
+  EXPECT_NEAR(link.backlog_bytes(), 1000.0, 1.0);
+}
+
+class EchoNode : public Node {
+ public:
+  using Node::Node;
+  void receive(net::Packet pkt, int port) override {
+    received.push_back({std::move(pkt), port});
+  }
+  std::vector<std::pair<net::Packet, int>> received;
+  void fire(int port, net::Packet p) { send(port, std::move(p)); }
+};
+
+TEST(Network, DuplexWiringDeliversBothWays) {
+  Scheduler s;
+  Network net{s};
+  EchoNode a{"a"}, b{"b"};
+  net.connect(a, 0, b, 0, LinkConfig{});
+
+  a.fire(0, make_packet());
+  b.fire(0, make_packet());
+  s.run();
+  ASSERT_EQ(a.received.size(), 1u);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 0);  // ingress port as wired
+}
+
+TEST(Network, SendOnUnwiredPortIsSilentDrop) {
+  Scheduler s;
+  EchoNode a{"a"};
+  a.fire(3, make_packet());  // no link attached
+  s.run();
+  EXPECT_TRUE(a.received.empty());
+}
+
+}  // namespace
+}  // namespace intox::sim

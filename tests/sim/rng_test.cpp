@@ -1,0 +1,84 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace intox::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkByLabelIsStableAndIndependent) {
+  Rng root{7};
+  Rng a1 = root.fork("alpha");
+  Rng a2 = root.fork("alpha");
+  Rng b = root.fork("beta");
+  EXPECT_DOUBLE_EQ(a1.uniform(), a2.uniform());
+  EXPECT_NE(a1.seed(), b.seed());
+}
+
+TEST(Rng, ForkByIndexDistinct) {
+  Rng root{7};
+  EXPECT_NE(root.fork(std::uint64_t{0}).seed(), root.fork(std::uint64_t{1}).seed());
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r{123};
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.exponential(8.37));
+  EXPECT_NEAR(s.mean(), 8.37, 0.1);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r{9};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = r.uniform_int(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng r{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{11};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.0525);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.0525, 0.005);
+}
+
+TEST(Rng, ExpDurationPositive) {
+  Rng r{3};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.exp_duration(kSecond), 0);
+  }
+}
+
+}  // namespace
+}  // namespace intox::sim

@@ -1,0 +1,91 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::sim {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, HandlesUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.5), 20.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(TimeSeries, StepInterpolation) {
+  TimeSeries ts;
+  ts.record(10, 1.0);
+  ts.record(20, 2.0);
+  ts.record(30, 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(5, -1.0), -1.0);  // before first sample
+  EXPECT_DOUBLE_EQ(ts.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(15), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(20), 2.0);
+  EXPECT_DOUBLE_EQ(ts.at(1000), 3.0);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts;
+  ts.record(0, 1.0);
+  ts.record(10, 3.0);
+  ts.record(20, 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 20), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(5, 15), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(100, 200), 0.0);
+}
+
+TEST(TimeSeries, Resample) {
+  TimeSeries ts;
+  ts.record(0, 1.0);
+  ts.record(10, 2.0);
+  auto grid = ts.resample(0, 20, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[0], 1.0);
+  EXPECT_DOUBLE_EQ(grid[1], 1.0);
+  EXPECT_DOUBLE_EQ(grid[2], 2.0);
+  EXPECT_DOUBLE_EQ(grid[4], 2.0);
+}
+
+TEST(Histogram, BucketsAndQuantile) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (auto c : h.buckets()) EXPECT_EQ(c, 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.5, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+}  // namespace
+}  // namespace intox::sim

@@ -1,0 +1,95 @@
+// §3.2 sketch-pollution attacks: crafted keys beat random traffic at
+// saturating Bloom filters, and flow spraying destroys FlowRadar batches.
+#include <gtest/gtest.h>
+
+#include "net/hash.hpp"
+#include "sketch/attack.hpp"
+
+namespace intox::sketch {
+namespace {
+
+constexpr std::size_t kCells = 2048;
+constexpr std::uint32_t kHashes = 4;
+constexpr std::uint32_t kSeed = 5;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(net::mix64(seed + i));
+  return keys;
+}
+
+TEST(SaturatingKeys, CoverFasterThanRandom) {
+  const std::size_t n = kCells / (2 * kHashes);  // can't saturate, but dent
+  const auto crafted = craft_saturating_keys(kCells, kHashes, kSeed, n);
+  const auto outcome_crafted =
+      run_bloom_pollution(kCells, kHashes, kSeed, {}, crafted);
+  const auto outcome_random =
+      run_bloom_pollution(kCells, kHashes, kSeed, {}, random_keys(n, 42));
+  EXPECT_GT(outcome_crafted.fill_after, outcome_random.fill_after);
+  // Greedy cover with a decent search budget stays near-perfect here:
+  // every key should claim ~all-fresh cells.
+  EXPECT_GT(outcome_crafted.fill_after, 0.45);
+}
+
+TEST(SaturatingKeys, DriveFprTowardsOne) {
+  // 2m/k crafted keys ~ full coverage -> FPR ~ 1.
+  const auto crafted =
+      craft_saturating_keys(kCells, kHashes, kSeed, kCells / 2);
+  const auto outcome = run_bloom_pollution(kCells, kHashes, kSeed,
+                                           random_keys(100, 9), crafted);
+  EXPECT_LT(outcome.fpr_before, 0.05);
+  EXPECT_GT(outcome.fpr_after, 0.9);
+}
+
+TEST(SaturatingKeys, Deterministic) {
+  const auto a = craft_saturating_keys(kCells, kHashes, kSeed, 10);
+  const auto b = craft_saturating_keys(kCells, kHashes, kSeed, 10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FalsePositiveKeys, FoundKeysAreActuallyFalsePositives) {
+  const auto cover = random_keys(300, 17);
+  const auto fps =
+      find_false_positive_keys(kCells, kHashes, kSeed, cover, 5);
+  ASSERT_FALSE(fps.empty());
+  BloomFilter f{kCells, kHashes, kSeed};
+  for (auto k : cover) f.insert(k);
+  for (auto k : fps) {
+    EXPECT_TRUE(f.contains(k));  // filter says yes...
+    EXPECT_EQ(std::find(cover.begin(), cover.end(), k), cover.end());
+  }
+}
+
+TEST(FlowRadarOverflow, AttackFlipsDecodeFromCompleteToStuck) {
+  FlowRadarConfig cfg;
+  cfg.table_cells = 512;
+  const auto outcome = run_flowradar_overflow(cfg, /*legit=*/200,
+                                              /*attack=*/800);
+  EXPECT_TRUE(outcome.decode_complete_before);
+  EXPECT_FALSE(outcome.decode_complete_after);
+  EXPECT_GT(outcome.stuck_cells_after, 0u);
+}
+
+TEST(FlowRadarOverflow, NoAttackNoDamage) {
+  FlowRadarConfig cfg;
+  cfg.table_cells = 512;
+  const auto outcome = run_flowradar_overflow(cfg, 200, 0);
+  EXPECT_TRUE(outcome.decode_complete_before);
+  EXPECT_TRUE(outcome.decode_complete_after);
+  EXPECT_EQ(outcome.decoded_flows_after, 200u);
+}
+
+TEST(FlowRadarOverflow, DamageScalesWithSprayedFlows) {
+  FlowRadarConfig cfg;
+  cfg.table_cells = 512;
+  std::size_t prev_stuck = 0;
+  for (std::size_t attack : {600u, 1200u, 2400u}) {
+    const auto outcome = run_flowradar_overflow(cfg, 200, attack);
+    EXPECT_GE(outcome.stuck_cells_after, prev_stuck);
+    prev_stuck = outcome.stuck_cells_after;
+  }
+  EXPECT_GT(prev_stuck, 100u);
+}
+
+}  // namespace
+}  // namespace intox::sketch

@@ -1,0 +1,77 @@
+#include "sketch/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/hash.hpp"
+
+namespace intox::sketch {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f{1024, 4};
+  for (std::uint64_t k = 0; k < 100; ++k) f.insert(k * 977 + 3);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(f.contains(k * 977 + 3));
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter f{1024, 4};
+  for (std::uint64_t k = 1; k < 100; ++k) EXPECT_FALSE(f.contains(k));
+}
+
+TEST(BloomFilter, EmpiricalFprTracksTheory) {
+  BloomFilter f{4096, 4};
+  const std::uint64_t n = 500;
+  for (std::uint64_t k = 0; k < n; ++k) f.insert(net::mix64(k));
+  const double theory = bloom_theoretical_fpr(4096, 4, n);
+  const double measured = bloom_empirical_fpr(f, 50000);
+  EXPECT_NEAR(measured, theory, std::max(0.01, theory));
+}
+
+TEST(BloomFilter, FillFraction) {
+  BloomFilter f{100, 1};
+  EXPECT_DOUBLE_EQ(f.fill_fraction(), 0.0);
+  f.insert(1);
+  EXPECT_NEAR(f.fill_fraction(), 0.01, 1e-9);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter f{128, 2};
+  f.insert(42);
+  f.clear();
+  EXPECT_FALSE(f.contains(42));
+  EXPECT_EQ(f.inserted(), 0u);
+  EXPECT_DOUBLE_EQ(f.fill_fraction(), 0.0);
+}
+
+TEST(BloomFilter, SeedChangesLayout) {
+  // Same key, different seeds -> different cells (with overwhelming
+  // probability over 4 hashes in 1024 cells).
+  bool any_diff = false;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    any_diff |= bloom_index(12345, i, 1024, 1) != bloom_index(12345, i, 1024, 2);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CountingBloom, SupportsDeletion) {
+  CountingBloom f{512, 3};
+  f.insert(7);
+  f.insert(8);
+  EXPECT_TRUE(f.contains(7));
+  f.remove(7);
+  EXPECT_FALSE(f.contains(7));
+  EXPECT_TRUE(f.contains(8));
+}
+
+TEST(TheoreticalFpr, MonotoneInLoad) {
+  double prev = 0.0;
+  for (std::uint64_t n = 100; n <= 2000; n += 100) {
+    const double p = bloom_theoretical_fpr(4096, 4, n);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(bloom_theoretical_fpr(4096, 4, 100000), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace intox::sketch

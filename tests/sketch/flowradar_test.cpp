@@ -1,0 +1,105 @@
+#include "sketch/flowradar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/hash.hpp"
+#include "sketch/lossradar.hpp"
+
+namespace intox::sketch {
+namespace {
+
+FlowRadarConfig small_config() {
+  FlowRadarConfig c;
+  c.table_cells = 256;
+  return c;
+}
+
+TEST(FlowRadar, DecodesWellDimensionedFlowset) {
+  FlowRadar radar{small_config()};
+  // 256 cells, 3 hashes: ~100 flows decode reliably (IBLT threshold
+  // ~1.22x for 3 hashes means capacity ~210).
+  std::vector<std::uint64_t> flows;
+  for (int i = 0; i < 100; ++i) flows.push_back(net::mix64(i + 1));
+  for (auto f : flows) {
+    radar.add_packet(f);
+    radar.add_packet(f);
+  }
+  const auto result = radar.decode();
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.flows.size(), flows.size());
+  for (const auto& df : result.flows) {
+    EXPECT_EQ(df.packets, 2u);
+    EXPECT_NE(std::find(flows.begin(), flows.end(), df.flow), flows.end());
+  }
+}
+
+TEST(FlowRadar, CountsDistinctFlowsOnce) {
+  FlowRadar radar{small_config()};
+  for (int i = 0; i < 50; ++i) radar.add_packet(net::mix64(7));
+  EXPECT_EQ(radar.distinct_flows(), 1u);
+}
+
+TEST(FlowRadar, OverflowStallsDecoding) {
+  FlowRadar radar{small_config()};
+  // 3x the decoding threshold: peeling must stall.
+  for (int i = 0; i < 700; ++i) radar.add_packet(net::mix64(i + 1));
+  const auto result = radar.decode();
+  EXPECT_FALSE(result.complete());
+  EXPECT_GT(result.stuck_cells, 50u);
+}
+
+TEST(FlowRadar, ClearResets) {
+  FlowRadar radar{small_config()};
+  radar.add_packet(1);
+  radar.clear();
+  EXPECT_EQ(radar.distinct_flows(), 0u);
+  EXPECT_TRUE(radar.decode().complete());
+  EXPECT_TRUE(radar.decode().flows.empty());
+}
+
+TEST(LossRadar, RecoversExactLosses) {
+  LossRadarConfig cfg;
+  LossRadar up{cfg}, down{cfg};
+  std::vector<std::uint64_t> lost;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    const std::uint64_t id = net::mix64(i);
+    up.add(id);
+    if (i % 50 == 0) {
+      lost.push_back(id);  // dropped in the segment
+    } else {
+      down.add(id);
+    }
+  }
+  auto result = up.diff_decode(down);
+  ASSERT_TRUE(result.complete());
+  ASSERT_EQ(result.lost.size(), lost.size());
+  std::sort(result.lost.begin(), result.lost.end());
+  std::sort(lost.begin(), lost.end());
+  EXPECT_EQ(result.lost, lost);
+}
+
+TEST(LossRadar, NoLossDecodesEmpty) {
+  LossRadarConfig cfg;
+  LossRadar up{cfg}, down{cfg};
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    up.add(net::mix64(i));
+    down.add(net::mix64(i));
+  }
+  const auto result = up.diff_decode(down);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.lost.empty());
+}
+
+TEST(LossRadar, MassiveLossOverflowsDigest) {
+  LossRadarConfig cfg;  // 256 cells
+  LossRadar up{cfg}, down{cfg};
+  for (std::uint64_t i = 1; i <= 2000; ++i) up.add(net::mix64(i));
+  // Nothing arrives downstream: 2000 "losses" >> digest capacity.
+  const auto result = up.diff_decode(down);
+  EXPECT_FALSE(result.complete());
+}
+
+}  // namespace
+}  // namespace intox::sketch

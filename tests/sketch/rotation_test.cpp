@@ -1,0 +1,92 @@
+// §5-V obfuscation defense: rotating secret seeds neutralize crafted-key
+// pollution.
+#include "sketch/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/hash.hpp"
+#include "sketch/attack.hpp"
+
+namespace intox::sketch {
+namespace {
+
+TEST(RotatingBloom, BasicMembershipWithinWindow) {
+  RotationConfig cfg;
+  cfg.rotation_period = 1000;
+  RotatingBloom f{cfg};
+  for (std::uint64_t k = 1; k <= 100; ++k) f.insert(net::mix64(k));
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_TRUE(f.contains(net::mix64(k)));
+  }
+  EXPECT_EQ(f.rotations(), 0u);
+}
+
+TEST(RotatingBloom, RotatesOnSchedule) {
+  RotationConfig cfg;
+  cfg.rotation_period = 100;
+  RotatingBloom f{cfg};
+  const auto seed0 = f.current_seed();
+  for (std::uint64_t k = 0; k < 250; ++k) f.insert(net::mix64(k));
+  EXPECT_EQ(f.rotations(), 2u);
+  EXPECT_NE(f.current_seed(), seed0);
+}
+
+TEST(RotatingBloom, RetainedKeysSurviveRotation) {
+  RotationConfig cfg;
+  cfg.rotation_period = 100;
+  cfg.retained_keys = 200;
+  RotatingBloom f{cfg};
+  for (std::uint64_t k = 0; k < 150; ++k) f.insert(net::mix64(k));
+  // One rotation happened; the last 150 keys all fit the retention
+  // window, so membership persists under the new seed.
+  ASSERT_EQ(f.rotations(), 1u);
+  for (std::uint64_t k = 50; k < 150; ++k) {
+    EXPECT_TRUE(f.contains(net::mix64(k))) << k;
+  }
+}
+
+TEST(RotatingBloom, CraftedKeysLoseTheirPowerAfterRotation) {
+  // Attacker crafts keys against the *initial* seed (she learned it
+  // somehow); after one rotation the same keys behave like random ones.
+  RotationConfig cfg;
+  cfg.cells = 4096;
+  cfg.hashes = 4;
+  cfg.rotation_period = 1024;
+  cfg.retained_keys = 512;
+  RotatingBloom defended{cfg};
+
+  const auto crafted = craft_saturating_keys(cfg.cells, cfg.hashes,
+                                             defended.current_seed(), 1024);
+  // A static filter with the same dimensioning, same crafted keys.
+  BloomFilter undefended{cfg.cells, cfg.hashes, defended.current_seed()};
+  for (std::uint64_t k : crafted) undefended.insert(k);
+  const double fpr_static = bloom_empirical_fpr(undefended, 20000);
+
+  // The rotating filter ingests the same stream; one rotation fires
+  // mid-stream, after which the crafted structure is meaningless and the
+  // filter only carries the retained window.
+  for (std::uint64_t k : crafted) defended.insert(k);
+  EXPECT_GE(defended.rotations(), 1u);
+  const double fpr_rotated = bloom_empirical_fpr(defended.filter(), 20000);
+
+  EXPECT_GT(fpr_static, 0.5);          // the attack works on a static filter
+  EXPECT_LT(fpr_rotated, fpr_static / 3.0);  // and fizzles on the rotating one
+}
+
+TEST(RotatingBloom, HonestTrafficUnaffectedByRotation) {
+  RotationConfig cfg;
+  cfg.rotation_period = 500;
+  cfg.retained_keys = 400;
+  RotatingBloom f{cfg};
+  // Recent membership keeps working across many rotations.
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    f.insert(net::mix64(k));
+    if (k >= 100) {
+      EXPECT_TRUE(f.contains(net::mix64(k - 50))) << k;
+    }
+  }
+  EXPECT_GE(f.rotations(), 9u);
+}
+
+}  // namespace
+}  // namespace intox::sketch

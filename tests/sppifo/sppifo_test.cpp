@@ -1,0 +1,132 @@
+#include "sppifo/sppifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "sppifo/pifo.hpp"
+
+namespace intox::sppifo {
+namespace {
+
+SpPifoConfig small() {
+  SpPifoConfig c;
+  c.queues = 2;
+  c.per_queue_capacity = 4;
+  return c;
+}
+
+TEST(IdealPifo, DequeuesInRankOrder) {
+  IdealPifo p{10};
+  p.enqueue({5, 0});
+  p.enqueue({1, 1});
+  p.enqueue({3, 2});
+  EXPECT_EQ(p.dequeue()->rank, 1u);
+  EXPECT_EQ(p.dequeue()->rank, 3u);
+  EXPECT_EQ(p.dequeue()->rank, 5u);
+  EXPECT_FALSE(p.dequeue().has_value());
+}
+
+TEST(IdealPifo, FifoAmongEqualRanks) {
+  IdealPifo p{10};
+  p.enqueue({2, 100});
+  p.enqueue({2, 101});
+  p.enqueue({2, 102});
+  EXPECT_EQ(p.dequeue()->id, 100u);
+  EXPECT_EQ(p.dequeue()->id, 101u);
+}
+
+TEST(IdealPifo, FullDropsWorst) {
+  IdealPifo p{2};
+  p.enqueue({1, 0});
+  p.enqueue({9, 1});
+  EXPECT_TRUE(p.enqueue({2, 2}));  // evicts rank 9
+  EXPECT_EQ(p.drops(), 1u);
+  EXPECT_EQ(p.dequeue()->rank, 1u);
+  EXPECT_EQ(p.dequeue()->rank, 2u);
+}
+
+TEST(IdealPifo, FullRejectsWorseNewcomer) {
+  IdealPifo p{2};
+  p.enqueue({1, 0});
+  p.enqueue({2, 1});
+  EXPECT_FALSE(p.enqueue({9, 2}));
+  EXPECT_EQ(p.drops(), 1u);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(SpPifo, MapsByBoundsBottomUp) {
+  SpPifo sp{small()};
+  // Initially all bounds are 0: everything lands in the bottom queue.
+  EXPECT_EQ(sp.enqueue({7, 0}).value(), 1u);
+  // Push-up: bottom bound is now 7; a rank-3 packet maps to queue 0.
+  EXPECT_EQ(sp.enqueue({3, 1}).value(), 0u);
+}
+
+TEST(SpPifo, PushUpRaisesBound) {
+  SpPifo sp{small()};
+  sp.enqueue({7, 0});
+  EXPECT_EQ(sp.bounds()[1], 7u);
+  sp.enqueue({9, 1});
+  EXPECT_EQ(sp.bounds()[1], 9u);
+}
+
+TEST(SpPifo, PushDownOnInversion) {
+  SpPifo sp{small()};
+  sp.enqueue({7, 0});  // bottom bound 7
+  sp.enqueue({5, 1});  // queue 0, bound 5
+  // Rank 2 undercuts every bound -> inversion, push-down by 3.
+  sp.enqueue({2, 2});
+  EXPECT_EQ(sp.counters().push_downs, 1u);
+  EXPECT_EQ(sp.bounds()[0], 2u);
+  EXPECT_EQ(sp.bounds()[1], 4u);
+}
+
+TEST(SpPifo, StrictPriorityDequeue) {
+  SpPifo sp{small()};
+  sp.enqueue({7, 0});  // queue 1
+  sp.enqueue({3, 1});  // queue 0
+  EXPECT_EQ(sp.dequeue()->rank, 3u);
+  EXPECT_EQ(sp.dequeue()->rank, 7u);
+}
+
+TEST(SpPifo, DropsWhenQueueFull) {
+  SpPifo sp{small()};
+  for (std::uint64_t i = 0; i < 10; ++i) sp.enqueue({7, i});
+  EXPECT_GT(sp.counters().dropped, 0u);
+}
+
+TEST(SpPifo, DequeueInversionCounted) {
+  SpPifo sp{small()};
+  sp.enqueue({7, 0});  // queue 1, bound1 = 7
+  sp.enqueue({5, 1});  // queue 0, bound0 = 5
+  sp.enqueue({2, 2});  // undercuts: push-down, forced into queue 0 behind 5
+  // Queue 0 now holds [5, 2]: dequeuing 5 while 2 waits is an inversion.
+  EXPECT_EQ(sp.dequeue()->rank, 5u);
+  EXPECT_EQ(sp.counters().dequeue_inversions, 1u);
+  EXPECT_EQ(sp.dequeue()->rank, 2u);
+  EXPECT_EQ(sp.dequeue()->rank, 7u);
+  EXPECT_EQ(sp.counters().dequeue_inversions, 1u);
+}
+
+TEST(SpPifo, RandomTrafficHasBoundedInversions) {
+  // Sanity: under uniform random arrival order (SP-PIFO's design
+  // assumption) inversions happen but stay a small fraction.
+  SpPifoConfig cfg;
+  cfg.queues = 8;
+  cfg.per_queue_capacity = 32;
+  SpPifo sp{cfg};
+  sim::Rng rng{1};
+  std::uint64_t id = 0;
+  std::size_t dequeues = 0;
+  for (int round = 0; round < 5000; ++round) {
+    sp.enqueue({static_cast<std::uint32_t>(rng.uniform_int(0, 99)), id++});
+    sp.enqueue({static_cast<std::uint32_t>(rng.uniform_int(0, 99)), id++});
+    if (sp.dequeue()) ++dequeues;
+  }
+  EXPECT_GT(dequeues, 0u);
+  EXPECT_LT(static_cast<double>(sp.counters().dequeue_inversions),
+            0.6 * static_cast<double>(dequeues));
+}
+
+}  // namespace
+}  // namespace intox::sppifo

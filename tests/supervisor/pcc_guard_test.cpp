@@ -1,0 +1,134 @@
+#include "supervisor/pcc_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "supervisor/input_quality.hpp"
+
+namespace intox::supervisor {
+namespace {
+
+using pcc::PccSender;
+
+// Drives a bare sender's observer machinery without a network: we
+// construct outcomes directly.
+struct GuardHarness {
+  sim::Scheduler sched;
+  pcc::PccConfig cfg;
+  PccSender sender{sched, cfg,
+                   net::FiveTuple{net::Ipv4Addr{1, 1, 1, 1},
+                                  net::Ipv4Addr{2, 2, 2, 2}, 10000, 443,
+                                  net::IpProto::kUdp},
+                   [](net::Packet) {}};
+};
+
+PccSender::ExperimentOutcome attack_outcome() {
+  PccSender::ExperimentOutcome o;
+  o.up_loss_mean = 0.03;
+  o.down_loss_mean = 0.02;
+  o.hold_loss = 0.0;
+  o.conclusive = false;
+  o.epsilon = 0.03;
+  return o;
+}
+
+PccSender::ExperimentOutcome benign_outcome() {
+  PccSender::ExperimentOutcome o;
+  // Benign congestion: loss grows with the sending rate, so the +eps arm
+  // sees the most and the -eps arm the least — holds sit in between.
+  o.up_loss_mean = 0.02;
+  o.down_loss_mean = 0.010;
+  o.hold_loss = 0.015;
+  o.conclusive = false;
+  o.epsilon = 0.02;
+  return o;
+}
+
+TEST(PccGuard, DetectsProbeTargetedLossStreak) {
+  GuardHarness h;
+  PccGuard guard{h.sender};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(guard.detected());
+    guard.observe(attack_outcome());
+  }
+  EXPECT_TRUE(guard.detected());
+  EXPECT_DOUBLE_EQ(h.sender.epsilon_cap(), PccGuardConfig{}.clamped_epsilon);
+}
+
+TEST(PccGuard, BenignCongestionDoesNotTrigger) {
+  GuardHarness h;
+  PccGuard guard{h.sender};
+  for (int i = 0; i < 20; ++i) guard.observe(benign_outcome());
+  EXPECT_FALSE(guard.detected());
+  EXPECT_DOUBLE_EQ(h.sender.epsilon_cap(), h.cfg.epsilon_max);
+}
+
+TEST(PccGuard, StreakResetsOnCleanExperiment) {
+  GuardHarness h;
+  PccGuardConfig gcfg;
+  gcfg.streak_to_trigger = 3;
+  PccGuard guard{h.sender, gcfg};
+  guard.observe(attack_outcome());
+  guard.observe(attack_outcome());
+  guard.observe(benign_outcome());  // breaks the streak
+  guard.observe(attack_outcome());
+  guard.observe(attack_outcome());
+  EXPECT_FALSE(guard.detected());
+  guard.observe(attack_outcome());
+  EXPECT_TRUE(guard.detected());
+}
+
+TEST(PccGuard, ConclusiveExperimentsAreNotSuspicious) {
+  GuardHarness h;
+  PccGuard guard{h.sender};
+  auto o = attack_outcome();
+  o.conclusive = true;  // a working experiment, even with probe loss
+  for (int i = 0; i < 10; ++i) guard.observe(o);
+  EXPECT_FALSE(guard.detected());
+}
+
+TEST(SignalVote, QuorumSemantics) {
+  auto yes = [] { return true; };
+  auto no = [] { return false; };
+  EXPECT_TRUE(SignalVote({yes, yes, no}, 2).confirm());
+  EXPECT_FALSE(SignalVote({yes, no, no}, 2).confirm());
+  EXPECT_TRUE(SignalVote({no, no}, 0).confirm());
+}
+
+TEST(ActiveProber, ConfirmsRealFailure) {
+  sim::Scheduler sched;
+  ActiveProber prober{sched, {}, [] { return false; }};  // no probe answered
+  bool confirmed = false;
+  sim::Duration latency = 0;
+  prober.verify([&](bool ok, sim::Duration lat) {
+    confirmed = ok;
+    latency = lat;
+  });
+  sched.run();
+  EXPECT_TRUE(confirmed);
+  EXPECT_EQ(latency, 3 * sim::millis(100));  // the §5 decision-time cost
+}
+
+TEST(ActiveProber, RejectsFakeFailure) {
+  sim::Scheduler sched;
+  ActiveProber prober{sched, {}, [] { return true; }};  // path is fine
+  bool confirmed = true;
+  prober.verify([&](bool ok, sim::Duration) { confirmed = ok; });
+  sched.run();
+  EXPECT_FALSE(confirmed);
+}
+
+TEST(ActiveProber, MixedProbesFollowThreshold) {
+  sim::Scheduler sched;
+  int call = 0;
+  ActiveProber::Config cfg;
+  cfg.probes = 3;
+  cfg.required_failures = 2;
+  ActiveProber prober{sched, cfg, [&] { return ++call == 1; }};  // 1 ok, 2 fail
+  bool confirmed = false;
+  prober.verify([&](bool ok, sim::Duration) { confirmed = ok; });
+  sched.run();
+  EXPECT_TRUE(confirmed);
+}
+
+}  // namespace
+}  // namespace intox::supervisor

@@ -1,0 +1,102 @@
+#include "supervisor/pytheas_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pytheas/experiment.hpp"
+
+namespace intox::supervisor {
+namespace {
+
+using pytheas::QoeReport;
+using pytheas::SessionFeatures;
+
+const SessionFeatures kGroup{.asn = 9, .location = "zrh", .content = "vod"};
+
+TEST(PytheasGuard, AdmitsHonestDistribution) {
+  PytheasGuard guard;
+  sim::Rng rng{1};
+  std::uint64_t admitted = 0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (pytheas::SessionId s = 1; s <= 50; ++s) {
+      QoeReport r{s, 0, 4.5 + rng.normal(0.0, 0.3),
+                  sim::seconds(static_cast<double>(epoch))};
+      admitted += guard.admit(kGroup, r);
+    }
+  }
+  EXPECT_GT(admitted, 950u);  // ~all honest reports pass
+}
+
+TEST(PytheasGuard, RateLimitsAmplifiers) {
+  PytheasGuard guard;
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    admitted += guard.admit(kGroup, {7, 0, 4.5, sim::seconds(1)});
+  }
+  EXPECT_EQ(admitted, 2u);  // default window cap
+  EXPECT_EQ(guard.rate_limited(), 8u);
+}
+
+TEST(PytheasGuard, RateWindowSlides) {
+  PytheasGuard guard;
+  EXPECT_TRUE(guard.admit(kGroup, {7, 0, 4.5, sim::seconds(1)}));
+  EXPECT_TRUE(guard.admit(kGroup, {7, 0, 4.5, sim::seconds(1)}));
+  EXPECT_FALSE(guard.admit(kGroup, {7, 0, 4.5, sim::seconds(1)}));
+  // Next epoch: fresh budget.
+  EXPECT_TRUE(guard.admit(kGroup, {7, 0, 4.5, sim::seconds(2)}));
+}
+
+TEST(PytheasGuard, QuarantinesExtremeLies) {
+  PytheasGuard guard;
+  sim::Rng rng{2};
+  // Warm up with honest reports around 4.5.
+  for (int i = 0; i < 60; ++i) {
+    guard.admit(kGroup, {static_cast<pytheas::SessionId>(100 + i), 0,
+                         4.5 + rng.normal(0.0, 0.2),
+                         sim::seconds(static_cast<double>(i) / 10.0)});
+  }
+  // A bot slams QoE 0 on the same arm.
+  EXPECT_FALSE(guard.admit(kGroup, {999, 0, 0.0, sim::seconds(10)}));
+  EXPECT_GT(guard.quarantined(), 0u);
+  // An honest-looking report still passes.
+  EXPECT_TRUE(guard.admit(kGroup, {998, 0, 4.2, sim::seconds(10)}));
+}
+
+TEST(PytheasGuard, PerArmHistoriesAreIndependent) {
+  PytheasGuard guard;
+  sim::Rng rng{3};
+  for (int i = 0; i < 60; ++i) {
+    guard.admit(kGroup, {static_cast<pytheas::SessionId>(100 + i), 0,
+                         4.5 + rng.normal(0.0, 0.2),
+                         sim::seconds(static_cast<double>(i) / 10.0)});
+  }
+  // Arm 1 has no history: its first (even low) report must be admitted
+  // (warmup), not judged against arm 0's distribution.
+  EXPECT_TRUE(guard.admit(kGroup, {500, 1, 2.8, sim::seconds(10)}));
+}
+
+TEST(PytheasGuard, DefenseRestoresQoeUnderPoisoning) {
+  // End-to-end: the poisoning attack that flips the undefended group is
+  // neutralized by the guard.
+  pytheas::PoisonConfig cfg;
+  cfg.bot_sessions = 40;
+  const auto undefended = pytheas::run_poisoning_experiment(cfg);
+  ASSERT_GT(undefended.flipped_fraction, 0.5);
+
+  auto guard = std::make_shared<PytheasGuard>();
+  const auto defended = pytheas::run_poisoning_experiment(cfg, guard);
+  EXPECT_LT(defended.flipped_fraction, 0.1);
+  EXPECT_GT(defended.mean_qoe_after, undefended.mean_qoe_after + 0.8);
+  EXPECT_GT(defended.filtered_reports, 0u);
+}
+
+TEST(PytheasGuard, DefenseDoesNotHurtCleanOperation) {
+  pytheas::PoisonConfig cfg;
+  cfg.bot_sessions = 0;
+  const auto clean = pytheas::run_poisoning_experiment(cfg);
+  auto guard = std::make_shared<PytheasGuard>();
+  const auto guarded = pytheas::run_poisoning_experiment(cfg, guard);
+  EXPECT_NEAR(guarded.mean_qoe_after, clean.mean_qoe_after, 0.2);
+}
+
+}  // namespace
+}  // namespace intox::supervisor

@@ -1,0 +1,54 @@
+// §5 Pytheas defense vs the §4.1 MitM variant — the scenario the paper's
+// defense paragraph literally describes: "If only a few clients exhibit
+// low throughput while others exhibit high throughput, this is
+// indicative of either groups being ill-formed or malicious inputs from
+// part of the group population. Accordingly, the low-throughput clients
+// can be tackled separately, removing their impact on the larger
+// population."
+//
+// Under the MitM attack the reports are *honest* and bimodal: victims
+// genuinely measure terrible QoE on the good arm, everyone else measures
+// great QoE. The guard's robust outlier quarantine separates exactly the
+// low mode, so the group decision keeps serving the majority well (the
+// victims are collateral the MitM already controls either way).
+#include <gtest/gtest.h>
+
+#include "pytheas/experiment.hpp"
+#include "supervisor/pytheas_guard.hpp"
+
+namespace intox::supervisor {
+namespace {
+
+TEST(PytheasMitmDefense, QuarantineKeepsGroupOnGoodArm) {
+  pytheas::MitmQoeConfig cfg;  // 45% victims: flips the undefended group
+  const auto undefended = pytheas::run_mitm_qoe_experiment(cfg);
+  ASSERT_GT(undefended.flipped_fraction, 0.8);
+
+  auto guard = std::make_shared<PytheasGuard>();
+  const auto defended = pytheas::run_mitm_qoe_experiment(cfg, guard);
+  EXPECT_LT(defended.flipped_fraction, 0.1);
+  EXPECT_GT(guard->quarantined(), 0u);
+}
+
+TEST(PytheasMitmDefense, UntouchedMajorityKeepsItsQoe) {
+  pytheas::MitmQoeConfig cfg;
+  const auto undefended = pytheas::run_mitm_qoe_experiment(cfg);
+  auto guard = std::make_shared<PytheasGuard>();
+  const auto defended = pytheas::run_mitm_qoe_experiment(cfg, guard);
+  // The 55% whose traffic was never touched keep their quality instead
+  // of inheriting the group flip.
+  EXPECT_GT(defended.untouched_after, undefended.untouched_after + 1.0);
+  EXPECT_NEAR(defended.untouched_after, defended.untouched_before, 0.25);
+}
+
+TEST(PytheasMitmDefense, NoAttackNoInterference) {
+  pytheas::MitmQoeConfig cfg;
+  cfg.attack_start_epoch = cfg.epochs + 1;
+  auto guard = std::make_shared<PytheasGuard>();
+  const auto r = pytheas::run_mitm_qoe_experiment(cfg, guard);
+  EXPECT_NEAR(r.untouched_after, r.untouched_before, 0.2);
+  EXPECT_LT(r.flipped_fraction, 0.05);
+}
+
+}  // namespace
+}  // namespace intox::supervisor

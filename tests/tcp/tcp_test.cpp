@@ -1,0 +1,175 @@
+// TCP substrate tests: handshake, transfer, loss recovery, flow control.
+#include "tcp/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+
+namespace intox::tcp {
+namespace {
+
+// Sender and receiver joined by two links (data / ack path).
+struct Pipe {
+  sim::Scheduler sched;
+  TcpConfig cfg;
+  std::unique_ptr<sim::Link> fwd;
+  std::unique_ptr<sim::Link> rev;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+
+  explicit Pipe(double rate_bps = 10e6, sim::Duration delay = sim::millis(10),
+                std::uint32_t queue = 64 * 1024) {
+    sim::LinkConfig fc;
+    fc.rate_bps = rate_bps;
+    fc.prop_delay = delay;
+    fc.queue_limit_bytes = queue;
+    sim::LinkConfig rc;
+    rc.rate_bps = 1e9;
+    rc.prop_delay = delay;
+
+    rev = std::make_unique<sim::Link>(
+        sched, rc, [this](net::Packet p) { sender->on_packet(p); });
+    receiver = std::make_unique<TcpReceiver>(
+        sched, cfg, [this](net::Packet p) { rev->transmit(std::move(p)); });
+    fwd = std::make_unique<sim::Link>(
+        sched, fc, [this](net::Packet p) { receiver->on_packet(p); });
+    net::FiveTuple flow{net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{2, 2, 2, 2},
+                       40000, 80, net::IpProto::kTcp};
+    sender = std::make_unique<TcpSender>(
+        sched, cfg, flow, [this](net::Packet p) { fwd->transmit(std::move(p)); });
+  }
+};
+
+TEST(Tcp, HandshakeEstablishes) {
+  Pipe pipe;
+  pipe.sender->start(100000);
+  pipe.sched.run_until(sim::millis(100));
+  EXPECT_EQ(pipe.sender->state(), TcpState::kEstablished);
+}
+
+TEST(Tcp, TransfersExactByteCount) {
+  Pipe pipe;
+  pipe.sender->start(200000);
+  pipe.sched.run_until(sim::seconds(10));
+  EXPECT_EQ(pipe.receiver->bytes_received(), 200000u);
+  EXPECT_TRUE(pipe.receiver->saw_fin());
+  EXPECT_EQ(pipe.sender->state(), TcpState::kDone);
+}
+
+TEST(Tcp, SlowStartGrowsCwndExponentially) {
+  Pipe pipe{100e6};
+  pipe.sender->start(2'000'000);
+  pipe.sched.run_until(sim::millis(200));  // a few RTTs (RTT = 20 ms)
+  EXPECT_GT(pipe.sender->cwnd_segments(), 8.0);
+}
+
+TEST(Tcp, LostSegmentRecoveredByFastRetransmit) {
+  Pipe pipe;
+  int count = 0;
+  pipe.fwd->set_tap([&](net::Packet& p) {
+    // Drop exactly the 20th data segment.
+    if (p.tcp() && p.payload_bytes > 0 && ++count == 20) {
+      return sim::TapAction::kDrop;
+    }
+    return sim::TapAction::kForward;
+  });
+  pipe.sender->start(500000);
+  pipe.sched.run_until(sim::seconds(20));
+  EXPECT_EQ(pipe.receiver->bytes_received(), 500000u);
+  EXPECT_GE(pipe.sender->counters().fast_retransmits, 1u);
+  EXPECT_GT(pipe.receiver->dup_acks_sent(), 0u);
+}
+
+TEST(Tcp, TotalBlackoutTriggersRtoBackoff) {
+  Pipe pipe;
+  pipe.sender->start(0);  // unbounded stream
+  pipe.sched.run_until(sim::seconds(2));
+  ASSERT_EQ(pipe.sender->state(), TcpState::kEstablished);
+  const auto timeouts_before = pipe.sender->counters().timeouts;
+
+  pipe.fwd->set_up(false);  // hard failure
+  pipe.sched.run_until(sim::seconds(12));
+  // Multiple RTO firings with exponential backoff, cwnd collapsed to 1.
+  EXPECT_GE(pipe.sender->counters().timeouts, timeouts_before + 3);
+  EXPECT_LE(pipe.sender->counters().timeouts, timeouts_before + 8);
+  EXPECT_DOUBLE_EQ(pipe.sender->cwnd_segments(), 1.0);
+
+  pipe.fwd->set_up(true);  // repair
+  const auto delivered_before = pipe.sender->delivered_bytes();
+  pipe.sched.run_until(sim::seconds(40));
+  pipe.sender->stop();
+  EXPECT_GT(pipe.sender->delivered_bytes(), delivered_before + 100000);
+}
+
+TEST(Tcp, RandomLossStillCompletes) {
+  Pipe pipe;
+  sim::Rng rng{42};
+  pipe.fwd->set_tap([&](net::Packet& p) {
+    if (p.payload_bytes > 0 && rng.bernoulli(0.02)) {
+      return sim::TapAction::kDrop;
+    }
+    return sim::TapAction::kForward;
+  });
+  pipe.sender->start(300000);
+  pipe.sched.run_until(sim::seconds(60));
+  EXPECT_EQ(pipe.receiver->bytes_received(), 300000u);
+  EXPECT_EQ(pipe.sender->state(), TcpState::kDone);
+}
+
+TEST(Tcp, CongestionSettlesNearBottleneck) {
+  Pipe pipe{5e6, sim::millis(10), 32 * 1024};
+  pipe.sender->start(0);
+  pipe.sched.run_until(sim::seconds(30));
+  pipe.sender->stop();
+  // Goodput over the run approaches the 5 Mb/s bottleneck.
+  const double goodput_bps =
+      static_cast<double>(pipe.sender->delivered_bytes()) * 8.0 / 30.0;
+  EXPECT_GT(goodput_bps, 3.0e6);
+  EXPECT_LT(goodput_bps, 5.2e6);
+  // AIMD sawtooth: at least a few multiplicative decreases happened.
+  EXPECT_GE(pipe.sender->counters().fast_retransmits +
+                pipe.sender->counters().rto_retransmits,
+            3u);
+}
+
+TEST(Tcp, RttEstimateTracksPath) {
+  Pipe pipe{10e6, sim::millis(25)};
+  pipe.sender->start(0);
+  pipe.sched.run_until(sim::seconds(5));
+  pipe.sender->stop();
+  // RTT = 50 ms propagation + queueing.
+  EXPECT_GT(pipe.sender->srtt_seconds(), 0.045);
+  EXPECT_LT(pipe.sender->srtt_seconds(), 0.15);
+}
+
+TEST(Tcp, ReceiverWindowThrottlesSender) {
+  Pipe fast{100e6};
+  fast.receiver->set_advertised_window(8 * 1448);  // 8 segments max
+  fast.sender->start(0);
+  fast.sched.run_until(sim::seconds(5));
+  fast.sender->stop();
+  // Throughput pinned at ~rwnd/RTT = 8*1448*8/0.02 = 4.6 Mb/s, far below
+  // the 100 Mb/s link.
+  const double goodput_bps =
+      static_cast<double>(fast.sender->delivered_bytes()) * 8.0 / 5.0;
+  EXPECT_LT(goodput_bps, 8e6);
+  EXPECT_GT(goodput_bps, 2e6);
+}
+
+TEST(Tcp, SynLossRecovered) {
+  Pipe pipe;
+  int syns = 0;
+  pipe.fwd->set_tap([&](net::Packet& p) {
+    if (p.tcp() && p.tcp()->syn && ++syns == 1) {
+      return sim::TapAction::kDrop;  // lose the first SYN
+    }
+    return sim::TapAction::kForward;
+  });
+  pipe.sender->start(50000);
+  pipe.sched.run_until(sim::seconds(10));
+  EXPECT_EQ(pipe.receiver->bytes_received(), 50000u);
+  EXPECT_EQ(syns, 2);
+}
+
+}  // namespace
+}  // namespace intox::tcp

@@ -1,0 +1,173 @@
+#include "trafficgen/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace intox::trafficgen {
+namespace {
+
+FlowSpec legit_spec() {
+  FlowSpec f;
+  f.id = 1;
+  f.tuple = {net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{10, 0, 0, 1}, 5555, 80,
+             net::IpProto::kTcp};
+  f.start = sim::seconds(1);
+  f.duration = sim::seconds(5);
+  f.pkt_interval = sim::millis(100);
+  return f;
+}
+
+TEST(LegitFlowDriver, SendsDuringLifetimeThenFin) {
+  sim::Scheduler s;
+  std::vector<net::Packet> pkts;
+  LegitFlowDriver d{s, sim::Rng{1}, legit_spec(),
+                    [&](net::Packet p) { pkts.push_back(std::move(p)); }};
+  d.start();
+  s.run();
+  ASSERT_GT(pkts.size(), 10u);
+  EXPECT_TRUE(pkts.back().tcp()->fin);
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+    EXPECT_FALSE(pkts[i].tcp()->fin);
+  }
+  EXPECT_TRUE(d.finished());
+}
+
+TEST(LegitFlowDriver, FreshSequenceNumbersWhenHealthy) {
+  sim::Scheduler s;
+  std::vector<std::uint32_t> seqs;
+  LegitFlowDriver d{s, sim::Rng{2}, legit_spec(),
+                    [&](net::Packet p) { seqs.push_back(p.tcp()->seq); }};
+  d.start();
+  s.run();
+  for (std::size_t i = 1; i + 1 < seqs.size(); ++i) {  // skip FIN
+    EXPECT_GT(seqs[i], seqs[i - 1]);
+  }
+}
+
+TEST(LegitFlowDriver, FailureModeRetransmitsWithBackoff) {
+  sim::Scheduler s;
+  std::vector<std::pair<sim::Time, std::uint32_t>> sent;
+  auto spec = legit_spec();
+  spec.duration = sim::seconds(100);
+  LegitFlowDriver d{s, sim::Rng{3}, spec, [&](net::Packet p) {
+                      sent.push_back({s.now(), p.tcp()->seq});
+                    }};
+  d.start();
+  s.run_until(sim::seconds(3));
+  const auto healthy_count = sent.size();
+  d.enter_failure_mode();
+  s.run_until(sim::seconds(3) + sim::seconds(7));  // 1+2+4 = 7s of RTOs
+  ASSERT_GE(sent.size(), healthy_count + 3);
+
+  // All post-failure packets carry the same (retransmitted) seq.
+  const std::uint32_t frozen = sent[healthy_count].second;
+  for (std::size_t i = healthy_count; i < sent.size(); ++i) {
+    EXPECT_EQ(sent[i].second, frozen);
+  }
+  // Inter-retransmit gaps double: 1 s then 2 s then 4 s.
+  const auto gap1 = sent[healthy_count + 1].first - sent[healthy_count].first;
+  const auto gap2 = sent[healthy_count + 2].first - sent[healthy_count + 1].first;
+  EXPECT_EQ(gap1, sim::seconds(1));
+  EXPECT_EQ(gap2, sim::seconds(2));
+}
+
+TEST(LegitFlowDriver, ExitFailureModeResumesFreshSeqs) {
+  sim::Scheduler s;
+  std::vector<std::uint32_t> seqs;
+  auto spec = legit_spec();
+  spec.duration = sim::seconds(60);
+  LegitFlowDriver d{s, sim::Rng{4}, spec,
+                    [&](net::Packet p) { seqs.push_back(p.tcp()->seq); }};
+  d.start();
+  s.run_until(sim::seconds(2));
+  d.enter_failure_mode();
+  s.run_until(sim::seconds(5));
+  d.exit_failure_mode();
+  const auto resumed_at = seqs.size();
+  s.run_until(sim::seconds(8));
+  ASSERT_GT(seqs.size(), resumed_at + 2);
+  EXPECT_GT(seqs.back(), seqs[resumed_at]);
+}
+
+TEST(MaliciousFlowDriver, EmitsDuplicatePairsForever) {
+  sim::Scheduler s;
+  std::map<std::uint32_t, int> seq_counts;
+  std::vector<sim::Time> times;
+  FlowSpec f;
+  f.id = 9;
+  f.tuple = {net::Ipv4Addr{6, 6, 6, 6}, net::Ipv4Addr{10, 0, 0, 2}, 6666, 80,
+             net::IpProto::kTcp};
+  f.start = 0;
+  f.pkt_interval = sim::millis(100);
+  MaliciousFlowDriver d{s, sim::Rng{5}, f, [&](net::Packet p) {
+                          ++seq_counts[p.tcp()->seq];
+                          times.push_back(s.now());
+                        }};
+  d.start();
+  s.run_until(sim::seconds(10));
+  d.stop();
+
+  EXPECT_GE(seq_counts.size(), 18u);  // ~20 seqs in 10 s at 250 ms spacing
+  std::size_t singles = 0;
+  for (const auto& [seq, count] : seq_counts) {
+    EXPECT_LE(count, 2) << "seq " << seq;
+    singles += (count == 1);
+  }
+  // Every seq is sent exactly twice, except possibly the one in flight
+  // when the driver was stopped.
+  EXPECT_LE(singles, 1u);
+  // Activity gaps never exceed Blink's 2 s eviction timeout.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i] - times[i - 1], sim::seconds(2));
+  }
+}
+
+TEST(MaliciousFlowDriver, StopHalts) {
+  sim::Scheduler s;
+  int count = 0;
+  FlowSpec f;
+  f.tuple = {net::Ipv4Addr{6, 6, 6, 6}, net::Ipv4Addr{10, 0, 0, 2}, 1, 2,
+             net::IpProto::kTcp};
+  MaliciousFlowDriver d{s, sim::Rng{6}, f, [&](net::Packet) { ++count; }};
+  d.start();
+  s.run_until(sim::seconds(2));
+  const int at_stop = count;
+  d.stop();
+  s.run_until(sim::seconds(10));
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(FlowPopulation, RunsMixedPopulation) {
+  sim::Scheduler s;
+  std::uint64_t legit_pkts = 0, bad_pkts = 0;
+  FlowPopulation pop{s, sim::Rng{7}, [&](net::Packet p) {
+                       if (p.flow_tag >= 1000) {
+                         ++bad_pkts;
+                       } else {
+                         ++legit_pkts;
+                       }
+                     }};
+  for (int i = 0; i < 10; ++i) {
+    auto f = legit_spec();
+    f.id = static_cast<std::uint64_t>(i);
+    f.tuple.src_port = static_cast<std::uint16_t>(10000 + i);
+    pop.add_legit(f);
+  }
+  FlowSpec bad;
+  bad.id = 1000;
+  bad.tuple = {net::Ipv4Addr{6, 6, 6, 6}, net::Ipv4Addr{10, 0, 0, 9}, 7, 8,
+               net::IpProto::kTcp};
+  pop.add_malicious(bad);
+  EXPECT_EQ(pop.legit_count(), 10u);
+  EXPECT_EQ(pop.malicious_count(), 1u);
+
+  pop.start_all();
+  s.run_until(sim::seconds(8));
+  pop.stop_all();
+  EXPECT_GT(legit_pkts, 100u);
+  EXPECT_GT(bad_pkts, 10u);
+}
+
+}  // namespace
+}  // namespace intox::trafficgen

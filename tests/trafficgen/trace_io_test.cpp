@@ -1,0 +1,99 @@
+#include "trafficgen/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trafficgen/synth.hpp"
+
+namespace intox::trafficgen {
+namespace {
+
+std::vector<FlowSpec> sample_flows() {
+  TraceConfig cfg;
+  cfg.active_flows = 50;
+  cfg.horizon = sim::seconds(10);
+  sim::Rng rng{12};
+  auto flows = synthesize_trace(cfg, rng);
+  sim::Rng rng2{13};
+  auto bad = synthesize_malicious_flows(cfg, 5, sim::seconds(1), rng2, 900000);
+  flows.insert(flows.end(), bad.begin(), bad.end());
+  return flows;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto flows = sample_flows();
+  const auto parsed = from_csv(to_csv(flows));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, flows[i].id);
+    EXPECT_EQ((*parsed)[i].tuple, flows[i].tuple);
+    EXPECT_EQ((*parsed)[i].start, flows[i].start);
+    EXPECT_EQ((*parsed)[i].duration, flows[i].duration);
+    EXPECT_EQ((*parsed)[i].pkt_interval, flows[i].pkt_interval);
+    EXPECT_EQ((*parsed)[i].payload_bytes, flows[i].payload_bytes);
+    EXPECT_EQ((*parsed)[i].malicious, flows[i].malicious);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const auto parsed = from_csv(to_csv({}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  EXPECT_FALSE(from_csv("1,1.2.3.4,5.6.7.8,1,2,6,0,1,1,512,0\n").has_value());
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  const std::string csv = to_csv({}) + "1,1.2.3.4,5.6.7.8,1,2,6,0,1,1,512\n";
+  EXPECT_FALSE(from_csv(csv).has_value());
+}
+
+TEST(TraceIo, RejectsBadAddress) {
+  const std::string csv =
+      to_csv({}) + "1,999.2.3.4,5.6.7.8,1,2,6,0,1,1,512,0\n";
+  EXPECT_FALSE(from_csv(csv).has_value());
+}
+
+TEST(TraceIo, RejectsBadProtocolAndFlags) {
+  EXPECT_FALSE(
+      from_csv(to_csv({}) + "1,1.2.3.4,5.6.7.8,1,2,7,0,1,1,512,0\n")
+          .has_value());
+  EXPECT_FALSE(
+      from_csv(to_csv({}) + "1,1.2.3.4,5.6.7.8,1,2,6,0,1,1,512,2\n")
+          .has_value());
+}
+
+TEST(TraceIo, ToleratesCrLfAndBlankLines) {
+  std::string csv = to_csv(sample_flows());
+  // Convert to CRLF and sprinkle blank lines.
+  std::string crlf;
+  for (char c : csv) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  crlf += "\r\n\r\n";
+  const auto parsed = from_csv(crlf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), sample_flows().size());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto flows = sample_flows();
+  const std::string path = "/tmp/intox_trace_io_test.csv";
+  ASSERT_TRUE(write_csv_file(path, flows));
+  const auto parsed = read_csv_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), flows.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_csv_file("/nonexistent/path/trace.csv").has_value());
+}
+
+}  // namespace
+}  // namespace intox::trafficgen
