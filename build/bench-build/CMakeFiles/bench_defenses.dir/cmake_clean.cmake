@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_defenses"
+  "../bench/bench_defenses.pdb"
+  "CMakeFiles/bench_defenses.dir/bench_defenses.cpp.o"
+  "CMakeFiles/bench_defenses.dir/bench_defenses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nethide"
+  "../bench/bench_nethide.pdb"
+  "CMakeFiles/bench_nethide.dir/bench_nethide.cpp.o"
+  "CMakeFiles/bench_nethide.dir/bench_nethide.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nethide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pcc_fleet"
+  "../bench/bench_pcc_fleet.pdb"
+  "CMakeFiles/bench_pcc_fleet.dir/bench_pcc_fleet.cpp.o"
+  "CMakeFiles/bench_pcc_fleet.dir/bench_pcc_fleet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcc_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

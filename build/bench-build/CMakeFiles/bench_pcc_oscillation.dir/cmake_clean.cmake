@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pcc_oscillation"
+  "../bench/bench_pcc_oscillation.pdb"
+  "CMakeFiles/bench_pcc_oscillation.dir/bench_pcc_oscillation.cpp.o"
+  "CMakeFiles/bench_pcc_oscillation.dir/bench_pcc_oscillation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcc_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pytheas_cdn"
+  "../bench/bench_pytheas_cdn.pdb"
+  "CMakeFiles/bench_pytheas_cdn.dir/bench_pytheas_cdn.cpp.o"
+  "CMakeFiles/bench_pytheas_cdn.dir/bench_pytheas_cdn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pytheas_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pytheas_poison"
+  "../bench/bench_pytheas_poison.pdb"
+  "CMakeFiles/bench_pytheas_poison.dir/bench_pytheas_poison.cpp.o"
+  "CMakeFiles/bench_pytheas_poison.dir/bench_pytheas_poison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pytheas_poison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

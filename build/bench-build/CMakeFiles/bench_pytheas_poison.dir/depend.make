@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pytheas_poison.
+# This may be replaced when dependencies are built.

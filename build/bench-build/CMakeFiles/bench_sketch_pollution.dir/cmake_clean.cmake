@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sketch_pollution"
+  "../bench/bench_sketch_pollution.pdb"
+  "CMakeFiles/bench_sketch_pollution.dir/bench_sketch_pollution.cpp.o"
+  "CMakeFiles/bench_sketch_pollution.dir/bench_sketch_pollution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

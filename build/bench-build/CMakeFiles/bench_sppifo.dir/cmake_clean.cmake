@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sppifo"
+  "../bench/bench_sppifo.pdb"
+  "CMakeFiles/bench_sppifo.dir/bench_sppifo.cpp.o"
+  "CMakeFiles/bench_sppifo.dir/bench_sppifo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sppifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_synthesis.dir/attack_synthesis.cpp.o"
+  "CMakeFiles/attack_synthesis.dir/attack_synthesis.cpp.o.d"
+  "attack_synthesis"
+  "attack_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

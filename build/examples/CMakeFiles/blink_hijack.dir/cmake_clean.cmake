@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blink_hijack.dir/blink_hijack.cpp.o"
+  "CMakeFiles/blink_hijack.dir/blink_hijack.cpp.o.d"
+  "blink_hijack"
+  "blink_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blink_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

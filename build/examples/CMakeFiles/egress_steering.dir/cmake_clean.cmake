@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egress_steering.dir/egress_steering.cpp.o"
+  "CMakeFiles/egress_steering.dir/egress_steering.cpp.o.d"
+  "egress_steering"
+  "egress_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egress_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for egress_steering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nethide_traceroute.dir/nethide_traceroute.cpp.o"
+  "CMakeFiles/nethide_traceroute.dir/nethide_traceroute.cpp.o.d"
+  "nethide_traceroute"
+  "nethide_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nethide_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_mitm.dir/pcc_mitm.cpp.o"
+  "CMakeFiles/pcc_mitm.dir/pcc_mitm.cpp.o.d"
+  "pcc_mitm"
+  "pcc_mitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_mitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytheas_streaming.dir/pytheas_streaming.cpp.o"
+  "CMakeFiles/pytheas_streaming.dir/pytheas_streaming.cpp.o.d"
+  "pytheas_streaming"
+  "pytheas_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytheas_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("sim")
+subdirs("trafficgen")
+subdirs("dataplane")
+subdirs("blink")
+subdirs("pcc")
+subdirs("pytheas")
+subdirs("sppifo")
+subdirs("sketch")
+subdirs("nethide")
+subdirs("supervisor")
+subdirs("ron")
+subdirs("dapper")
+subdirs("tcp")
+subdirs("egress")
+subdirs("innet")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blink/analysis.cpp" "src/blink/CMakeFiles/intox_blink.dir/analysis.cpp.o" "gcc" "src/blink/CMakeFiles/intox_blink.dir/analysis.cpp.o.d"
+  "/root/repo/src/blink/attacker.cpp" "src/blink/CMakeFiles/intox_blink.dir/attacker.cpp.o" "gcc" "src/blink/CMakeFiles/intox_blink.dir/attacker.cpp.o.d"
+  "/root/repo/src/blink/blink_node.cpp" "src/blink/CMakeFiles/intox_blink.dir/blink_node.cpp.o" "gcc" "src/blink/CMakeFiles/intox_blink.dir/blink_node.cpp.o.d"
+  "/root/repo/src/blink/cell_process.cpp" "src/blink/CMakeFiles/intox_blink.dir/cell_process.cpp.o" "gcc" "src/blink/CMakeFiles/intox_blink.dir/cell_process.cpp.o.d"
+  "/root/repo/src/blink/flow_selector.cpp" "src/blink/CMakeFiles/intox_blink.dir/flow_selector.cpp.o" "gcc" "src/blink/CMakeFiles/intox_blink.dir/flow_selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/intox_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

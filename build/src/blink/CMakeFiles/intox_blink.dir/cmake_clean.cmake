@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_blink.dir/analysis.cpp.o"
+  "CMakeFiles/intox_blink.dir/analysis.cpp.o.d"
+  "CMakeFiles/intox_blink.dir/attacker.cpp.o"
+  "CMakeFiles/intox_blink.dir/attacker.cpp.o.d"
+  "CMakeFiles/intox_blink.dir/blink_node.cpp.o"
+  "CMakeFiles/intox_blink.dir/blink_node.cpp.o.d"
+  "CMakeFiles/intox_blink.dir/cell_process.cpp.o"
+  "CMakeFiles/intox_blink.dir/cell_process.cpp.o.d"
+  "CMakeFiles/intox_blink.dir/flow_selector.cpp.o"
+  "CMakeFiles/intox_blink.dir/flow_selector.cpp.o.d"
+  "libintox_blink.a"
+  "libintox_blink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_blink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

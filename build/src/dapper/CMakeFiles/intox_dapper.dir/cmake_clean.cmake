@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_dapper.dir/attack.cpp.o"
+  "CMakeFiles/intox_dapper.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_dapper.dir/diagnoser.cpp.o"
+  "CMakeFiles/intox_dapper.dir/diagnoser.cpp.o.d"
+  "libintox_dapper.a"
+  "libintox_dapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_dapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

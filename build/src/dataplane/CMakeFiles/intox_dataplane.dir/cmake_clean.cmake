@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_dataplane.dir/switch.cpp.o"
+  "CMakeFiles/intox_dataplane.dir/switch.cpp.o.d"
+  "libintox_dataplane.a"
+  "libintox_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_egress.dir/attack.cpp.o"
+  "CMakeFiles/intox_egress.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_egress.dir/selector.cpp.o"
+  "CMakeFiles/intox_egress.dir/selector.cpp.o.d"
+  "libintox_egress.a"
+  "libintox_egress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_egress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_innet.dir/attack.cpp.o"
+  "CMakeFiles/intox_innet.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_innet.dir/classifier.cpp.o"
+  "CMakeFiles/intox_innet.dir/classifier.cpp.o.d"
+  "CMakeFiles/intox_innet.dir/mlp.cpp.o"
+  "CMakeFiles/intox_innet.dir/mlp.cpp.o.d"
+  "libintox_innet.a"
+  "libintox_innet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_innet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_net.dir/checksum.cpp.o"
+  "CMakeFiles/intox_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/intox_net.dir/hash.cpp.o"
+  "CMakeFiles/intox_net.dir/hash.cpp.o.d"
+  "CMakeFiles/intox_net.dir/ipv4.cpp.o"
+  "CMakeFiles/intox_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/intox_net.dir/lpm.cpp.o"
+  "CMakeFiles/intox_net.dir/lpm.cpp.o.d"
+  "CMakeFiles/intox_net.dir/packet.cpp.o"
+  "CMakeFiles/intox_net.dir/packet.cpp.o.d"
+  "libintox_net.a"
+  "libintox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_nethide.dir/metrics.cpp.o"
+  "CMakeFiles/intox_nethide.dir/metrics.cpp.o.d"
+  "CMakeFiles/intox_nethide.dir/obfuscate.cpp.o"
+  "CMakeFiles/intox_nethide.dir/obfuscate.cpp.o.d"
+  "CMakeFiles/intox_nethide.dir/topology.cpp.o"
+  "CMakeFiles/intox_nethide.dir/topology.cpp.o.d"
+  "CMakeFiles/intox_nethide.dir/traceroute.cpp.o"
+  "CMakeFiles/intox_nethide.dir/traceroute.cpp.o.d"
+  "libintox_nethide.a"
+  "libintox_nethide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_nethide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for intox_nethide.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for intox_nethide.
+# This may be replaced when dependencies are built.

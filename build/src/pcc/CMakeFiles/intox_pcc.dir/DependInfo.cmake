@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcc/attacker.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/attacker.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/attacker.cpp.o.d"
+  "/root/repo/src/pcc/baseline_reno.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/baseline_reno.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/baseline_reno.cpp.o.d"
+  "/root/repo/src/pcc/experiment.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/experiment.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/experiment.cpp.o.d"
+  "/root/repo/src/pcc/receiver.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/receiver.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/receiver.cpp.o.d"
+  "/root/repo/src/pcc/sender.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/sender.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/sender.cpp.o.d"
+  "/root/repo/src/pcc/utility.cpp" "src/pcc/CMakeFiles/intox_pcc.dir/utility.cpp.o" "gcc" "src/pcc/CMakeFiles/intox_pcc.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_pcc.dir/attacker.cpp.o"
+  "CMakeFiles/intox_pcc.dir/attacker.cpp.o.d"
+  "CMakeFiles/intox_pcc.dir/baseline_reno.cpp.o"
+  "CMakeFiles/intox_pcc.dir/baseline_reno.cpp.o.d"
+  "CMakeFiles/intox_pcc.dir/experiment.cpp.o"
+  "CMakeFiles/intox_pcc.dir/experiment.cpp.o.d"
+  "CMakeFiles/intox_pcc.dir/receiver.cpp.o"
+  "CMakeFiles/intox_pcc.dir/receiver.cpp.o.d"
+  "CMakeFiles/intox_pcc.dir/sender.cpp.o"
+  "CMakeFiles/intox_pcc.dir/sender.cpp.o.d"
+  "CMakeFiles/intox_pcc.dir/utility.cpp.o"
+  "CMakeFiles/intox_pcc.dir/utility.cpp.o.d"
+  "libintox_pcc.a"
+  "libintox_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

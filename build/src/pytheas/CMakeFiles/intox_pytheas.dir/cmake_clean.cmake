@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_pytheas.dir/engine.cpp.o"
+  "CMakeFiles/intox_pytheas.dir/engine.cpp.o.d"
+  "CMakeFiles/intox_pytheas.dir/experiment.cpp.o"
+  "CMakeFiles/intox_pytheas.dir/experiment.cpp.o.d"
+  "CMakeFiles/intox_pytheas.dir/ucb.cpp.o"
+  "CMakeFiles/intox_pytheas.dir/ucb.cpp.o.d"
+  "libintox_pytheas.a"
+  "libintox_pytheas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_pytheas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

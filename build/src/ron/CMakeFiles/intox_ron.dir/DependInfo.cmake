@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ron/attack.cpp" "src/ron/CMakeFiles/intox_ron.dir/attack.cpp.o" "gcc" "src/ron/CMakeFiles/intox_ron.dir/attack.cpp.o.d"
+  "/root/repo/src/ron/overlay.cpp" "src/ron/CMakeFiles/intox_ron.dir/overlay.cpp.o" "gcc" "src/ron/CMakeFiles/intox_ron.dir/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

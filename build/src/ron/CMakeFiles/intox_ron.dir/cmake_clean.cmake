@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_ron.dir/attack.cpp.o"
+  "CMakeFiles/intox_ron.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_ron.dir/overlay.cpp.o"
+  "CMakeFiles/intox_ron.dir/overlay.cpp.o.d"
+  "libintox_ron.a"
+  "libintox_ron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_ron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/intox_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/intox_sim.dir/link.cpp.o"
+  "CMakeFiles/intox_sim.dir/link.cpp.o.d"
+  "CMakeFiles/intox_sim.dir/network.cpp.o"
+  "CMakeFiles/intox_sim.dir/network.cpp.o.d"
+  "CMakeFiles/intox_sim.dir/rng.cpp.o"
+  "CMakeFiles/intox_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/intox_sim.dir/stats.cpp.o"
+  "CMakeFiles/intox_sim.dir/stats.cpp.o.d"
+  "libintox_sim.a"
+  "libintox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/attack.cpp" "src/sketch/CMakeFiles/intox_sketch.dir/attack.cpp.o" "gcc" "src/sketch/CMakeFiles/intox_sketch.dir/attack.cpp.o.d"
+  "/root/repo/src/sketch/bloom.cpp" "src/sketch/CMakeFiles/intox_sketch.dir/bloom.cpp.o" "gcc" "src/sketch/CMakeFiles/intox_sketch.dir/bloom.cpp.o.d"
+  "/root/repo/src/sketch/flowradar.cpp" "src/sketch/CMakeFiles/intox_sketch.dir/flowradar.cpp.o" "gcc" "src/sketch/CMakeFiles/intox_sketch.dir/flowradar.cpp.o.d"
+  "/root/repo/src/sketch/lossradar.cpp" "src/sketch/CMakeFiles/intox_sketch.dir/lossradar.cpp.o" "gcc" "src/sketch/CMakeFiles/intox_sketch.dir/lossradar.cpp.o.d"
+  "/root/repo/src/sketch/rotation.cpp" "src/sketch/CMakeFiles/intox_sketch.dir/rotation.cpp.o" "gcc" "src/sketch/CMakeFiles/intox_sketch.dir/rotation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

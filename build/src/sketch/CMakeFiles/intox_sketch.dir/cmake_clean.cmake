@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_sketch.dir/attack.cpp.o"
+  "CMakeFiles/intox_sketch.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_sketch.dir/bloom.cpp.o"
+  "CMakeFiles/intox_sketch.dir/bloom.cpp.o.d"
+  "CMakeFiles/intox_sketch.dir/flowradar.cpp.o"
+  "CMakeFiles/intox_sketch.dir/flowradar.cpp.o.d"
+  "CMakeFiles/intox_sketch.dir/lossradar.cpp.o"
+  "CMakeFiles/intox_sketch.dir/lossradar.cpp.o.d"
+  "CMakeFiles/intox_sketch.dir/rotation.cpp.o"
+  "CMakeFiles/intox_sketch.dir/rotation.cpp.o.d"
+  "libintox_sketch.a"
+  "libintox_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

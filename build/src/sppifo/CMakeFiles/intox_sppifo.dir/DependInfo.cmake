@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppifo/attack.cpp" "src/sppifo/CMakeFiles/intox_sppifo.dir/attack.cpp.o" "gcc" "src/sppifo/CMakeFiles/intox_sppifo.dir/attack.cpp.o.d"
+  "/root/repo/src/sppifo/sppifo.cpp" "src/sppifo/CMakeFiles/intox_sppifo.dir/sppifo.cpp.o" "gcc" "src/sppifo/CMakeFiles/intox_sppifo.dir/sppifo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

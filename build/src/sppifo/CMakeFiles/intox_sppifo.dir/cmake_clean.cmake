@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_sppifo.dir/attack.cpp.o"
+  "CMakeFiles/intox_sppifo.dir/attack.cpp.o.d"
+  "CMakeFiles/intox_sppifo.dir/sppifo.cpp.o"
+  "CMakeFiles/intox_sppifo.dir/sppifo.cpp.o.d"
+  "libintox_sppifo.a"
+  "libintox_sppifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_sppifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libintox_sppifo.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supervisor/attack_synth.cpp" "src/supervisor/CMakeFiles/intox_supervisor.dir/attack_synth.cpp.o" "gcc" "src/supervisor/CMakeFiles/intox_supervisor.dir/attack_synth.cpp.o.d"
+  "/root/repo/src/supervisor/blink_guard.cpp" "src/supervisor/CMakeFiles/intox_supervisor.dir/blink_guard.cpp.o" "gcc" "src/supervisor/CMakeFiles/intox_supervisor.dir/blink_guard.cpp.o.d"
+  "/root/repo/src/supervisor/input_quality.cpp" "src/supervisor/CMakeFiles/intox_supervisor.dir/input_quality.cpp.o" "gcc" "src/supervisor/CMakeFiles/intox_supervisor.dir/input_quality.cpp.o.d"
+  "/root/repo/src/supervisor/pcc_guard.cpp" "src/supervisor/CMakeFiles/intox_supervisor.dir/pcc_guard.cpp.o" "gcc" "src/supervisor/CMakeFiles/intox_supervisor.dir/pcc_guard.cpp.o.d"
+  "/root/repo/src/supervisor/pytheas_guard.cpp" "src/supervisor/CMakeFiles/intox_supervisor.dir/pytheas_guard.cpp.o" "gcc" "src/supervisor/CMakeFiles/intox_supervisor.dir/pytheas_guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blink/CMakeFiles/intox_blink.dir/DependInfo.cmake"
+  "/root/repo/build/src/pytheas/CMakeFiles/intox_pytheas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/intox_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/intox_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

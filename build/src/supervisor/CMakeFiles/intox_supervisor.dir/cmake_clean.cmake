@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_supervisor.dir/attack_synth.cpp.o"
+  "CMakeFiles/intox_supervisor.dir/attack_synth.cpp.o.d"
+  "CMakeFiles/intox_supervisor.dir/blink_guard.cpp.o"
+  "CMakeFiles/intox_supervisor.dir/blink_guard.cpp.o.d"
+  "CMakeFiles/intox_supervisor.dir/input_quality.cpp.o"
+  "CMakeFiles/intox_supervisor.dir/input_quality.cpp.o.d"
+  "CMakeFiles/intox_supervisor.dir/pcc_guard.cpp.o"
+  "CMakeFiles/intox_supervisor.dir/pcc_guard.cpp.o.d"
+  "CMakeFiles/intox_supervisor.dir/pytheas_guard.cpp.o"
+  "CMakeFiles/intox_supervisor.dir/pytheas_guard.cpp.o.d"
+  "libintox_supervisor.a"
+  "libintox_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/intox_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/intox_tcp.dir/sender.cpp.o"
+  "CMakeFiles/intox_tcp.dir/sender.cpp.o.d"
+  "libintox_tcp.a"
+  "libintox_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intox_trafficgen.dir/driver.cpp.o"
+  "CMakeFiles/intox_trafficgen.dir/driver.cpp.o.d"
+  "CMakeFiles/intox_trafficgen.dir/synth.cpp.o"
+  "CMakeFiles/intox_trafficgen.dir/synth.cpp.o.d"
+  "CMakeFiles/intox_trafficgen.dir/trace_io.cpp.o"
+  "CMakeFiles/intox_trafficgen.dir/trace_io.cpp.o.d"
+  "libintox_trafficgen.a"
+  "libintox_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intox_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blink/analysis_test.cpp" "tests/CMakeFiles/test_blink.dir/blink/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_blink.dir/blink/analysis_test.cpp.o.d"
+  "/root/repo/tests/blink/attack_test.cpp" "tests/CMakeFiles/test_blink.dir/blink/attack_test.cpp.o" "gcc" "tests/CMakeFiles/test_blink.dir/blink/attack_test.cpp.o.d"
+  "/root/repo/tests/blink/blink_node_test.cpp" "tests/CMakeFiles/test_blink.dir/blink/blink_node_test.cpp.o" "gcc" "tests/CMakeFiles/test_blink.dir/blink/blink_node_test.cpp.o.d"
+  "/root/repo/tests/blink/flow_selector_test.cpp" "tests/CMakeFiles/test_blink.dir/blink/flow_selector_test.cpp.o" "gcc" "tests/CMakeFiles/test_blink.dir/blink/flow_selector_test.cpp.o.d"
+  "/root/repo/tests/blink/multi_prefix_test.cpp" "tests/CMakeFiles/test_blink.dir/blink/multi_prefix_test.cpp.o" "gcc" "tests/CMakeFiles/test_blink.dir/blink/multi_prefix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blink/CMakeFiles/intox_blink.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/intox_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

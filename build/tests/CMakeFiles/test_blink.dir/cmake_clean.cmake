@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blink.dir/blink/analysis_test.cpp.o"
+  "CMakeFiles/test_blink.dir/blink/analysis_test.cpp.o.d"
+  "CMakeFiles/test_blink.dir/blink/attack_test.cpp.o"
+  "CMakeFiles/test_blink.dir/blink/attack_test.cpp.o.d"
+  "CMakeFiles/test_blink.dir/blink/blink_node_test.cpp.o"
+  "CMakeFiles/test_blink.dir/blink/blink_node_test.cpp.o.d"
+  "CMakeFiles/test_blink.dir/blink/flow_selector_test.cpp.o"
+  "CMakeFiles/test_blink.dir/blink/flow_selector_test.cpp.o.d"
+  "CMakeFiles/test_blink.dir/blink/multi_prefix_test.cpp.o"
+  "CMakeFiles/test_blink.dir/blink/multi_prefix_test.cpp.o.d"
+  "test_blink"
+  "test_blink.pdb"
+  "test_blink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

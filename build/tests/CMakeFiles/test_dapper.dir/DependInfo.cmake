@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dapper/attack_test.cpp" "tests/CMakeFiles/test_dapper.dir/dapper/attack_test.cpp.o" "gcc" "tests/CMakeFiles/test_dapper.dir/dapper/attack_test.cpp.o.d"
+  "/root/repo/tests/dapper/diagnoser_test.cpp" "tests/CMakeFiles/test_dapper.dir/dapper/diagnoser_test.cpp.o" "gcc" "tests/CMakeFiles/test_dapper.dir/dapper/diagnoser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dapper/CMakeFiles/intox_dapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dapper.dir/dapper/attack_test.cpp.o"
+  "CMakeFiles/test_dapper.dir/dapper/attack_test.cpp.o.d"
+  "CMakeFiles/test_dapper.dir/dapper/diagnoser_test.cpp.o"
+  "CMakeFiles/test_dapper.dir/dapper/diagnoser_test.cpp.o.d"
+  "test_dapper"
+  "test_dapper.pdb"
+  "test_dapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataplane.dir/dataplane/pipeline_order_test.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/pipeline_order_test.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/register_array_test.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/register_array_test.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/switch_test.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/switch_test.cpp.o.d"
+  "test_dataplane"
+  "test_dataplane.pdb"
+  "test_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

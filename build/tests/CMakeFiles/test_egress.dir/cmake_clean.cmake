@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egress.dir/egress/selector_test.cpp.o"
+  "CMakeFiles/test_egress.dir/egress/selector_test.cpp.o.d"
+  "test_egress"
+  "test_egress.pdb"
+  "test_egress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

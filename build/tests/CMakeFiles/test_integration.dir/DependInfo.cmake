@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/tcp_blink_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/tcp_blink_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/tcp_blink_test.cpp.o.d"
+  "/root/repo/tests/integration/tcp_dapper_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/tcp_dapper_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/tcp_dapper_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/supervisor/CMakeFiles/intox_supervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/intox_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dapper/CMakeFiles/intox_dapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/blink/CMakeFiles/intox_blink.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/intox_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pytheas/CMakeFiles/intox_pytheas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/intox_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nethide.dir/nethide/obfuscate_test.cpp.o"
+  "CMakeFiles/test_nethide.dir/nethide/obfuscate_test.cpp.o.d"
+  "CMakeFiles/test_nethide.dir/nethide/topology_test.cpp.o"
+  "CMakeFiles/test_nethide.dir/nethide/topology_test.cpp.o.d"
+  "CMakeFiles/test_nethide.dir/nethide/traceroute_test.cpp.o"
+  "CMakeFiles/test_nethide.dir/nethide/traceroute_test.cpp.o.d"
+  "test_nethide"
+  "test_nethide.pdb"
+  "test_nethide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nethide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

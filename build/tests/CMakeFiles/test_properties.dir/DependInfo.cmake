@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/analysis_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/analysis_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/analysis_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/bandit_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/bandit_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/bandit_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/link_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/link_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/link_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/lpm_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/lpm_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/lpm_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/nethide_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/nethide_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/nethide_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/pcc_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/pcc_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/pcc_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/pifo_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/pifo_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/pifo_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/scheduler_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/selector_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/selector_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/selector_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/sketch_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/sketch_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/sketch_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/tcp_properties_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/tcp_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/tcp_properties_test.cpp.o.d"
+  "/root/repo/tests/properties/wire_fuzz_test.cpp" "tests/CMakeFiles/test_properties.dir/properties/wire_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/wire_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blink/CMakeFiles/intox_blink.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/intox_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pytheas/CMakeFiles/intox_pytheas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppifo/CMakeFiles/intox_sppifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/intox_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nethide/CMakeFiles/intox_nethide.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/intox_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/intox_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/intox_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

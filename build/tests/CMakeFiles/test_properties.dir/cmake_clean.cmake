@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/analysis_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/analysis_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/bandit_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/bandit_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/link_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/link_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/lpm_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/lpm_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/nethide_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/nethide_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/pcc_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/pcc_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/pifo_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/pifo_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/selector_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/selector_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/sketch_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/sketch_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/tcp_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/tcp_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/wire_fuzz_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/wire_fuzz_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pytheas.dir/pytheas/attack_test.cpp.o"
+  "CMakeFiles/test_pytheas.dir/pytheas/attack_test.cpp.o.d"
+  "CMakeFiles/test_pytheas.dir/pytheas/engine_test.cpp.o"
+  "CMakeFiles/test_pytheas.dir/pytheas/engine_test.cpp.o.d"
+  "CMakeFiles/test_pytheas.dir/pytheas/mitm_test.cpp.o"
+  "CMakeFiles/test_pytheas.dir/pytheas/mitm_test.cpp.o.d"
+  "CMakeFiles/test_pytheas.dir/pytheas/ucb_test.cpp.o"
+  "CMakeFiles/test_pytheas.dir/pytheas/ucb_test.cpp.o.d"
+  "test_pytheas"
+  "test_pytheas.pdb"
+  "test_pytheas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pytheas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ron.dir/ron/attack_test.cpp.o"
+  "CMakeFiles/test_ron.dir/ron/attack_test.cpp.o.d"
+  "CMakeFiles/test_ron.dir/ron/overlay_test.cpp.o"
+  "CMakeFiles/test_ron.dir/ron/overlay_test.cpp.o.d"
+  "test_ron"
+  "test_ron.pdb"
+  "test_ron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

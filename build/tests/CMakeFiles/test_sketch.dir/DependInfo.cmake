@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sketch/attack_test.cpp" "tests/CMakeFiles/test_sketch.dir/sketch/attack_test.cpp.o" "gcc" "tests/CMakeFiles/test_sketch.dir/sketch/attack_test.cpp.o.d"
+  "/root/repo/tests/sketch/bloom_test.cpp" "tests/CMakeFiles/test_sketch.dir/sketch/bloom_test.cpp.o" "gcc" "tests/CMakeFiles/test_sketch.dir/sketch/bloom_test.cpp.o.d"
+  "/root/repo/tests/sketch/flowradar_test.cpp" "tests/CMakeFiles/test_sketch.dir/sketch/flowradar_test.cpp.o" "gcc" "tests/CMakeFiles/test_sketch.dir/sketch/flowradar_test.cpp.o.d"
+  "/root/repo/tests/sketch/rotation_test.cpp" "tests/CMakeFiles/test_sketch.dir/sketch/rotation_test.cpp.o" "gcc" "tests/CMakeFiles/test_sketch.dir/sketch/rotation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/intox_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/intox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/intox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

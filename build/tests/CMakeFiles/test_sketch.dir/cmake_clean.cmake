@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch.dir/sketch/attack_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/attack_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/bloom_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/bloom_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/flowradar_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/flowradar_test.cpp.o.d"
+  "CMakeFiles/test_sketch.dir/sketch/rotation_test.cpp.o"
+  "CMakeFiles/test_sketch.dir/sketch/rotation_test.cpp.o.d"
+  "test_sketch"
+  "test_sketch.pdb"
+  "test_sketch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

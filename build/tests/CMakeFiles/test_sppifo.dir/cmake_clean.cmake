@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sppifo.dir/sppifo/attack_test.cpp.o"
+  "CMakeFiles/test_sppifo.dir/sppifo/attack_test.cpp.o.d"
+  "CMakeFiles/test_sppifo.dir/sppifo/sppifo_test.cpp.o"
+  "CMakeFiles/test_sppifo.dir/sppifo/sppifo_test.cpp.o.d"
+  "test_sppifo"
+  "test_sppifo.pdb"
+  "test_sppifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sppifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supervisor.dir/supervisor/attack_synth_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/attack_synth_test.cpp.o.d"
+  "CMakeFiles/test_supervisor.dir/supervisor/blink_guard_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/blink_guard_test.cpp.o.d"
+  "CMakeFiles/test_supervisor.dir/supervisor/pcc_defense_e2e_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/pcc_defense_e2e_test.cpp.o.d"
+  "CMakeFiles/test_supervisor.dir/supervisor/pcc_guard_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/pcc_guard_test.cpp.o.d"
+  "CMakeFiles/test_supervisor.dir/supervisor/pytheas_guard_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/pytheas_guard_test.cpp.o.d"
+  "CMakeFiles/test_supervisor.dir/supervisor/pytheas_mitm_defense_test.cpp.o"
+  "CMakeFiles/test_supervisor.dir/supervisor/pytheas_mitm_defense_test.cpp.o.d"
+  "test_supervisor"
+  "test_supervisor.pdb"
+  "test_supervisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

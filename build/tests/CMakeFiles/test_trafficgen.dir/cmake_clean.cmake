@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trafficgen.dir/trafficgen/driver_test.cpp.o"
+  "CMakeFiles/test_trafficgen.dir/trafficgen/driver_test.cpp.o.d"
+  "CMakeFiles/test_trafficgen.dir/trafficgen/synth_test.cpp.o"
+  "CMakeFiles/test_trafficgen.dir/trafficgen/synth_test.cpp.o.d"
+  "CMakeFiles/test_trafficgen.dir/trafficgen/trace_io_test.cpp.o"
+  "CMakeFiles/test_trafficgen.dir/trafficgen/trace_io_test.cpp.o.d"
+  "test_trafficgen"
+  "test_trafficgen.pdb"
+  "test_trafficgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_trafficgen[1]_include.cmake")
+include("/root/repo/build/tests/test_dataplane[1]_include.cmake")
+include("/root/repo/build/tests/test_blink[1]_include.cmake")
+include("/root/repo/build/tests/test_pcc[1]_include.cmake")
+include("/root/repo/build/tests/test_pytheas[1]_include.cmake")
+include("/root/repo/build/tests/test_sppifo[1]_include.cmake")
+include("/root/repo/build/tests/test_sketch[1]_include.cmake")
+include("/root/repo/build/tests/test_nethide[1]_include.cmake")
+include("/root/repo/build/tests/test_supervisor[1]_include.cmake")
+include("/root/repo/build/tests/test_ron[1]_include.cmake")
+include("/root/repo/build/tests/test_dapper[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_innet[1]_include.cmake")
+include("/root/repo/build/tests/test_egress[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
