@@ -8,7 +8,10 @@
 // real BlinkNode, exactly like the figure overlays 50 mininet runs.
 //
 // Run with --runs N to change the simulation count (default 12 keeps the
-// default bench sweep fast; the figure used 50).
+// default bench sweep fast; the figure used 50) and --threads N to pick
+// the worker count (default: INTOX_THREADS, then hardware concurrency).
+// The printed statistics are byte-identical for any thread count; only
+// the perf line on stderr varies.
 #include <cstdlib>
 #include <cstring>
 
@@ -26,20 +29,28 @@ int main(int argc, char** argv) {
       runs = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     }
   }
+  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
 
   bench::header("FIG2", "malicious flows in Blink's sample over time");
   const double tr = 8.37, qm = 0.0525;
   const std::size_t n = 64, majority = 32;
 
-  // Packet-level simulations (2000 legit + 105 malicious flows each).
-  std::vector<sim::TimeSeries> sims;
-  sim::RunningStats majority_times, measured_tr;
-  std::size_t reroutes = 0;
-  for (std::size_t r = 0; r < runs; ++r) {
+  // Packet-level simulations (2000 legit + 105 malicious flows each),
+  // sharded across the runner. Each trial is seeded by its index alone
+  // and the aggregates are folded in trial order below, so the output
+  // does not depend on scheduling.
+  const auto trials = runner.map(runs, [](std::size_t r) {
     Fig2Config cfg;
     cfg.seed = 1000 + r;
-    const Fig2Result result = run_fig2_experiment(cfg);
-    sims.push_back(result.malicious_sampled);
+    return run_fig2_experiment(cfg);
+  });
+  bench::perf("FIG2", runner.last_report());
+
+  sim::SeriesStats sampled{0, sim::seconds(500), sim::seconds(25)};
+  sim::RunningStats majority_times, measured_tr;
+  std::size_t reroutes = 0;
+  for (const Fig2Result& result : trials) {
+    sampled.add(result.malicious_sampled);
     if (result.time_to_majority_seconds >= 0) {
       majority_times.add(result.time_to_majority_seconds);
     }
@@ -49,13 +60,13 @@ int main(int argc, char** argv) {
 
   bench::row("%6s  %8s  %6s  %6s  | packet-level sim (mean of %zu runs, min, max)",
              "t[s]", "calc-avg", "p5", "p95", runs);
-  for (int t = 0; t <= 500; t += 25) {
+  for (std::size_t i = 0; i < sampled.points(); ++i) {
+    const int t = static_cast<int>(i) * 25;
     const double p = cell_malicious_probability(qm, t, tr);
     const double mean = static_cast<double>(n) * p;
     const auto p5 = binomial_quantile(n, p, 0.05);
     const auto p95 = binomial_quantile(n, p, 0.95);
-    sim::RunningStats at_t;
-    for (const auto& s : sims) at_t.add(s.at(sim::seconds(t)));
+    const sim::RunningStats& at_t = sampled.at(i);
     bench::row("%6d  %8.1f  %6zu  %6zu  | %8.1f  %6.0f  %6.0f", t, mean, p5,
                p95, at_t.mean(), at_t.min(), at_t.max());
   }

@@ -5,7 +5,8 @@
 //      sit squarely in the attackable regime.
 //
 // Sweeps t_R x q_m over the closed-form model, cross-checks a column
-// against the cell-process Monte-Carlo, and ablates Blink's design
+// against the cell-process Monte-Carlo (sharded over --threads workers;
+// statistics are thread-count-invariant), and ablates Blink's design
 // parameters (cell count, reset period) as DESIGN.md calls out.
 #include <cmath>
 
@@ -16,7 +17,8 @@
 using namespace intox;
 using namespace intox::blink;
 
-int main() {
+int main(int argc, char** argv) {
+  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
   bench::header("BLINK-TR",
                 "attack feasibility vs sampled-flow residency t_R");
   const std::size_t n = 64, majority = 32;
@@ -47,16 +49,21 @@ int main() {
   bench::row("%8s  %14s  %14s", "t_R[s]", "theory P[win]", "monte-carlo");
   bool agree = true;
   sim::Rng rng{7};
+  sim::RunReport mc_perf;
   for (double tr : {5.0, 8.37, 15.0, 30.0}) {
     const double theory =
         attack_success_probability(n, 0.0525, budget, tr, majority);
     CellProcessConfig cfg;
     cfg.tr_seconds = tr;
     sim::Rng sub = rng.fork(static_cast<std::uint64_t>(tr * 100));
-    const double mc = empirical_success_rate(cfg, majority, 400, sub);
+    const double mc = empirical_success_rate(cfg, majority, 400, sub, runner);
+    mc_perf.trials += runner.last_report().trials;
+    mc_perf.threads = runner.last_report().threads;
+    mc_perf.wall_seconds += runner.last_report().wall_seconds;
     bench::row("%8.2f  %13.3f  %13.3f", tr, theory, mc);
     agree &= std::abs(theory - mc) < 0.08;
   }
+  bench::perf("BLINK-TR-MC", mc_perf);
   bench::claim(agree, "Monte-Carlo matches the closed form within 0.08");
 
   // Part 3: ablations of Blink's own parameters (DESIGN.md §6).

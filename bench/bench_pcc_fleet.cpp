@@ -2,38 +2,63 @@
 // towards the same destination, the attacker can create sizable traffic
 // fluctuations at the destination, causing challenges with managing this
 // variable traffic."
+//
+// Every (fleet size, clean/attacked) cell of the table is an independent
+// seeded experiment, so the sweep fans out across the runner's workers
+// (--threads / INTOX_THREADS) and folds back in fleet order.
+#include <vector>
+
 #include "bench_util.hpp"
 #include "pcc/experiment.hpp"
 
 using namespace intox;
 using namespace intox::pcc;
 
-int main() {
+namespace {
+
+PccExperimentConfig fleet_config(std::size_t flows, bool attack) {
+  PccExperimentConfig cfg;
+  cfg.flows = flows;
+  cfg.bottleneck_bps = 10e6 * static_cast<double>(flows);
+  cfg.queue_limit_bytes = 64 * 1024 * static_cast<std::uint32_t>(flows);
+  cfg.red_max_bytes = cfg.queue_limit_bytes;
+  cfg.duration = sim::seconds(50);
+  cfg.seed = 9;
+  cfg.attack = attack;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+
   bench::header("PCC-FLEET",
                 "aggregate traffic fluctuation at a victim destination");
+
+  const std::vector<std::size_t> fleet_sizes{1, 4, 16, 48};
+  // Trials 2k / 2k+1 are fleet k clean / attacked.
+  const auto results = runner.map(2 * fleet_sizes.size(), [&](std::size_t i) {
+    return run_pcc_experiment(fleet_config(fleet_sizes[i / 2], i % 2 == 1));
+  });
+  bench::perf("PCC-FLEET", runner.last_report());
 
   bench::row("%6s | %14s %14s | %14s %14s", "flows", "clean agg[Mb]",
              "clean agg-cv", "attacked[Mb]", "attacked-cv");
   bool cv_grows = true;
   double last_clean_cv = 0.0, last_attacked_cv = 0.0;
-  for (std::size_t flows : {1u, 4u, 16u, 48u}) {
-    PccExperimentConfig cfg;
-    cfg.flows = flows;
-    cfg.bottleneck_bps = 10e6 * static_cast<double>(flows);
-    cfg.queue_limit_bytes = 64 * 1024 * static_cast<std::uint32_t>(flows);
-    cfg.red_max_bytes = cfg.queue_limit_bytes;
-    cfg.duration = sim::seconds(50);
-    cfg.seed = 9;
-    const auto clean = run_pcc_experiment(cfg);
-    cfg.attack = true;
-    const auto attacked = run_pcc_experiment(cfg);
+  for (std::size_t k = 0; k < fleet_sizes.size(); ++k) {
+    const std::size_t flows = fleet_sizes[k];
+    const PccExperimentResult& clean = results[2 * k];
+    const PccExperimentResult& attacked = results[2 * k + 1];
+    const sim::Duration duration = fleet_config(flows, false).duration;
 
     sim::RunningStats clean_late, attacked_late;
     for (const auto& [t, v] : clean.delivered_bps.points()) {
-      if (t >= cfg.duration * 2 / 3) clean_late.add(v);
+      if (t >= duration * 2 / 3) clean_late.add(v);
     }
     for (const auto& [t, v] : attacked.delivered_bps.points()) {
-      if (t >= cfg.duration * 2 / 3) attacked_late.add(v);
+      if (t >= duration * 2 / 3) attacked_late.add(v);
     }
     bench::row("%6zu | %14.1f %13.2f%% | %14.1f %13.2f%%", flows,
                clean_late.mean() / 1e6, clean.delivered_cv * 100.0,

@@ -5,7 +5,12 @@
 //
 // Compares a clean PCC flow against the same flow under the
 // utility-equalizing MitM (omniscient and shaper variants) and a Reno
-// baseline, then ablates epsilon_max (a DESIGN.md knob).
+// baseline, then ablates epsilon_max (a DESIGN.md knob). Each scenario
+// is an independent seeded experiment, so the whole table is one
+// parallel sweep (--threads / INTOX_THREADS); results print in scenario
+// order regardless of which worker finishes first.
+#include <vector>
+
 #include "bench_util.hpp"
 #include "pcc/experiment.hpp"
 
@@ -35,30 +40,40 @@ void print(const char* label, const PccExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+
   bench::header("PCC-OSC", "PCC rate oscillation under a utility-equalizing MitM");
   bench::row("%-22s %9s %9s %9s %8s %8s %10s", "scenario", "rate[Mb]",
              "rate-cv", "amp", "inconcl", "decide", "drop-share");
 
-  const auto clean = run_pcc_experiment(base());
-  print("pcc clean", clean);
+  std::vector<std::pair<const char*, PccExperimentConfig>> scenarios;
+  scenarios.emplace_back("pcc clean", base());
+  {
+    auto atk = base();
+    atk.attack = true;
+    scenarios.emplace_back("pcc + mitm(omnisc.)", atk);
+    atk.mitm.mode = PccMitmConfig::Mode::kShaper;
+    scenarios.emplace_back("pcc + mitm(shaper)", atk);
+  }
+  {
+    auto reno = base();
+    reno.kind = SenderKind::kReno;
+    scenarios.emplace_back("reno clean", reno);
+    reno.attack = true;
+    scenarios.emplace_back("reno + mitm(omnisc.)", reno);
+  }
 
-  auto atk = base();
-  atk.attack = true;
-  const auto omniscient = run_pcc_experiment(atk);
-  print("pcc + mitm(omnisc.)", omniscient);
+  const auto results = runner.map(scenarios.size(), [&](std::size_t i) {
+    return run_pcc_experiment(scenarios[i].second);
+  });
+  bench::perf("PCC-OSC", runner.last_report());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    print(scenarios[i].first, results[i]);
+  }
 
-  atk.mitm.mode = PccMitmConfig::Mode::kShaper;
-  const auto shaper = run_pcc_experiment(atk);
-  print("pcc + mitm(shaper)", shaper);
-
-  auto reno = base();
-  reno.kind = SenderKind::kReno;
-  const auto reno_clean = run_pcc_experiment(reno);
-  print("reno clean", reno_clean);
-  reno.attack = true;
-  const auto reno_atk = run_pcc_experiment(reno);
-  print("reno + mitm(omnisc.)", reno_atk);
+  const PccExperimentResult& clean = results[0];
+  const PccExperimentResult& omniscient = results[1];
 
   bench::claim(clean.rate_cv < 0.08,
                "clean PCC converges (rate CV < 8% in steady state)");
@@ -78,13 +93,18 @@ int main() {
   // for free is exactly PCC's own experiment range.
   bench::row("");
   bench::row("ablation: epsilon_max under attack");
-  for (double emax : {0.02, 0.05, 0.10}) {
+  const std::vector<double> emaxes{0.02, 0.05, 0.10};
+  const auto ablations = runner.map(emaxes.size(), [&](std::size_t i) {
     auto cfg = base();
     cfg.attack = true;
-    cfg.pcc.epsilon_max = emax;
-    const auto r = run_pcc_experiment(cfg);
-    bench::row("  eps_max %.2f -> rate-cv %5.2f%%, amp %5.2f%%", emax,
-               r.rate_cv * 100.0, r.osc_amplitude * 100.0);
+    cfg.pcc.epsilon_max = emaxes[i];
+    return run_pcc_experiment(cfg);
+  });
+  bench::perf("PCC-OSC-ABLATION", runner.last_report());
+  for (std::size_t i = 0; i < emaxes.size(); ++i) {
+    bench::row("  eps_max %.2f -> rate-cv %5.2f%%, amp %5.2f%%", emaxes[i],
+               ablations[i].rate_cv * 100.0,
+               ablations[i].osc_amplitude * 100.0);
   }
   bench::note("epsilon_max bounds the attacker-induced oscillation — the "
               "paper's own countermeasure suggestion (cf. bench_defenses).");

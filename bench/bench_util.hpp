@@ -6,10 +6,37 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "sim/runner.hpp"
+
 namespace intox::bench {
+
+/// Parses `--threads N` (0 if absent, deferring to INTOX_THREADS and then
+/// hardware concurrency — see sim::resolve_threads).
+inline std::size_t threads_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int v = std::atoi(argv[i + 1]);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+  }
+  return 0;
+}
+
+/// Per-sweep perf record (wall clock + throughput), one JSON line. Emitted
+/// on stderr so stdout — the statistics — stays byte-identical across
+/// thread counts; only this line is allowed to vary.
+inline void perf(const char* sweep, const sim::RunReport& r) {
+  std::fprintf(stderr,
+               "{\"sweep\":\"%s\",\"trials\":%zu,\"threads\":%zu,"
+               "\"wall_s\":%.3f,\"trials_per_s\":%.1f}\n",
+               sweep, r.trials, r.threads, r.wall_seconds,
+               r.trials_per_second());
+}
 
 inline void header(const char* exp_id, const char* what) {
   std::printf("\n================================================================\n");

@@ -7,18 +7,34 @@
 // sample grow until Blink "detects a failure" and hands the prefix to
 // the attacker's next-hop.
 //
-// Usage: blink_hijack [bots]          (default 105)
+// The narrated run is trial 0 of a seeded Monte-Carlo batch that is
+// sharded across a ParallelRunner — the summary statistics are identical
+// for any worker count.
+//
+// Usage: blink_hijack [bots] [--trials N] [--threads N]
+//        (defaults: 105 bots, 8 trials, INTOX_THREADS/hardware workers)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "blink/attacker.hpp"
+#include "sim/runner.hpp"
 
 using namespace intox;
 using namespace intox::blink;
 
 int main(int argc, char** argv) {
-  const std::size_t bots =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 105;
+  std::size_t bots = 105, trials = 8, threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (argv[i][0] != '-') {
+      bots = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
+  if (trials == 0) trials = 1;
 
   // Plan the attack with the closed-form model first, like an attacker
   // sizing a botnet rental.
@@ -31,14 +47,20 @@ int main(int argc, char** argv) {
               plan.malicious_flows, plan.qm * 100.0,
               plan.expected_majority_time_s);
 
-  Fig2Config cfg;
-  cfg.malicious_flows = bots;
-  cfg.trace.horizon = sim::seconds(300);
-  cfg.seed = 42;
+  sim::ParallelRunner runner{threads};
   std::printf("launching %zu malicious flows against 2000 legitimate ones "
-              "(t_R = 8.37 s)...\n\n", bots);
-  const Fig2Result result = run_fig2_experiment(cfg);
+              "(t_R = 8.37 s), %zu seeded trials on %zu worker(s)...\n\n",
+              bots, trials, runner.threads());
+  const auto results = runner.map(trials, [bots](std::size_t trial) {
+    Fig2Config cfg;
+    cfg.malicious_flows = bots;
+    cfg.trace.horizon = sim::seconds(300);
+    cfg.seed = 42 + trial;
+    return run_fig2_experiment(cfg);
+  });
 
+  // Narrate trial 0, the run the original walk-through showed.
+  const Fig2Result& result = results.front();
   std::printf("%8s  %22s\n", "time[s]", "malicious cells (of 64)");
   for (int t = 0; t <= 300; t += 30) {
     const int cells = static_cast<int>(result.malicious_sampled.at(sim::seconds(t)));
@@ -59,5 +81,23 @@ int main(int argc, char** argv) {
   } else {
     std::printf("no reroute was triggered.\n");
   }
+
+  // Fold the whole batch, in trial order, into the summary.
+  sim::RunningStats majority_times;
+  std::size_t hijacked = 0;
+  for (const Fig2Result& r : results) {
+    if (r.time_to_majority_seconds >= 0) majority_times.add(r.time_to_majority_seconds);
+    hijacked += !r.reroutes.empty();
+  }
+  std::printf("\nacross %zu trials: %zu hijacks; majority after %.0f s mean "
+              "(min %.0f, max %.0f)\n",
+              trials, hijacked, majority_times.mean(), majority_times.min(),
+              majority_times.max());
+  std::fprintf(stderr,
+               "{\"sweep\":\"BLINK-HIJACK\",\"trials\":%zu,\"threads\":%zu,"
+               "\"wall_s\":%.3f,\"trials_per_s\":%.1f}\n",
+               runner.last_report().trials, runner.last_report().threads,
+               runner.last_report().wall_seconds,
+               runner.last_report().trials_per_second());
   return 0;
 }

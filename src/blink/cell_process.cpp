@@ -71,4 +71,17 @@ double empirical_success_rate(const CellProcessConfig& config,
   return static_cast<double>(ok) / static_cast<double>(runs);
 }
 
+double empirical_success_rate(const CellProcessConfig& config,
+                              std::size_t target, std::size_t runs,
+                              const sim::Rng& rng,
+                              sim::ParallelRunner& runner) {
+  const auto wins =
+      runner.run(rng, runs, [&](std::size_t, sim::Rng& sub) -> std::size_t {
+        return time_to_majority(config, target, sub) >= 0.0;
+      });
+  std::size_t ok = 0;
+  for (std::size_t w : wins) ok += w;
+  return static_cast<double>(ok) / static_cast<double>(runs);
+}
+
 }  // namespace intox::blink

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "sim/rng.hpp"
+#include "sim/runner.hpp"
 #include "sim/stats.hpp"
 
 namespace intox::blink {
@@ -38,5 +39,13 @@ double time_to_majority(const CellProcessConfig& config, std::size_t target,
 double empirical_success_rate(const CellProcessConfig& config,
                               std::size_t target, std::size_t runs,
                               sim::Rng& rng);
+
+/// Parallel variant: shards the runs across `runner`'s workers. Returns
+/// exactly the serial overload's value for any thread count (both fork
+/// run r's stream as `rng.fork(r)`).
+double empirical_success_rate(const CellProcessConfig& config,
+                              std::size_t target, std::size_t runs,
+                              const sim::Rng& rng,
+                              sim::ParallelRunner& runner);
 
 }  // namespace intox::blink

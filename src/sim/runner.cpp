@@ -1,0 +1,63 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace intox::sim {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("INTOX_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelRunner::dispatch(std::size_t n_trials,
+                              const std::function<void(std::size_t)>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t workers =
+      n_trials > 0 ? std::min(threads_, n_trials) : std::size_t{1};
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n_trials; ++i) body(i);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_trials) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          // Drain the remaining trials so peers exit promptly.
+          cursor.store(n_trials, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  report_ = RunReport{n_trials, workers, elapsed.count()};
+}
+
+}  // namespace intox::sim

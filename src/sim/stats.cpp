@@ -18,6 +18,23 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::size_t n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
@@ -63,9 +80,43 @@ std::vector<double> TimeSeries::resample(Time from, Time to,
   return out;
 }
 
+SeriesStats::SeriesStats(Time from, Time to, Duration step)
+    : from_(from), step_(step) {
+  std::size_t points = 0;
+  for (Time t = from; t <= to; t += step) ++points;
+  cells_.resize(points);
+}
+
+void SeriesStats::add(const TimeSeries& series) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].add(series.at(time_at(i)));
+  }
+  ++series_;
+}
+
+void SeriesStats::merge(const SeriesStats& other) {
+  // Grids must match; cheap structural check only.
+  if (other.cells_.size() != cells_.size()) return;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i]);
+  }
+  series_ += other.series_;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0) {}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
 
 void Histogram::add(double x) {
   std::size_t i;

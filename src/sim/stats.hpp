@@ -13,6 +13,10 @@ namespace intox::sim {
 class RunningStats {
  public:
   void add(double x);
+  /// Folds another accumulator in (Chan et al. parallel Welford merge):
+  /// the result is what a single accumulator would hold after seeing both
+  /// sample sets. Used to combine per-trial stats from parallel sweeps.
+  void merge(const RunningStats& other);
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  // sample variance (n-1)
@@ -58,12 +62,40 @@ class TimeSeries {
   std::vector<std::pair<Time, double>> points_;
 };
 
+/// Cross-trial aggregate of many (time, value) series: a RunningStats per
+/// grid point. Each added series is step-resampled onto the grid, so
+/// ragged per-trial sampling is fine. `merge` combines two aggregates
+/// built on the same grid — the reduction step of parallel sweeps.
+class SeriesStats {
+ public:
+  SeriesStats(Time from, Time to, Duration step);
+  void add(const TimeSeries& series);
+  void merge(const SeriesStats& other);
+  [[nodiscard]] std::size_t points() const { return cells_.size(); }
+  [[nodiscard]] Time time_at(std::size_t i) const {
+    return from_ + step_ * static_cast<Time>(i);
+  }
+  [[nodiscard]] const RunningStats& at(std::size_t i) const {
+    return cells_[i];
+  }
+  /// Number of series folded in so far.
+  [[nodiscard]] std::size_t series_count() const { return series_; }
+
+ private:
+  Time from_;
+  Duration step_;
+  std::vector<RunningStats> cells_;
+  std::size_t series_ = 0;
+};
+
 /// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
 /// edge buckets.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
   void add(double x);
+  /// Adds another histogram's counts; the bucket layouts must match.
+  void merge(const Histogram& other);
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
