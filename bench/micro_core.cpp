@@ -79,7 +79,8 @@ void BM_BlinkObserve(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     now += sim::millis(1);
-    auto v = selector.observe(flows[i++ & 255], 0,
+    ++i;
+    auto v = selector.observe(flows[(i - 1) & 255], 0,
                               static_cast<std::uint32_t>(i & 7), false, now);
     benchmark::DoNotOptimize(v);
   }

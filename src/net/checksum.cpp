@@ -4,16 +4,23 @@ namespace intox::net {
 
 std::uint32_t checksum_partial(std::span<const std::byte> data,
                                std::uint32_t initial) {
-  std::uint32_t sum = initial;
+  // Accumulate into 64 bits and fold the carries down before returning.
+  // A 32-bit accumulator wraps once the running sum exceeds 2^32 — with
+  // 0xffff per word plus a chained `initial`, that silently corrupts
+  // checksums on spans >= ~128 KiB. One's-complement addition commutes
+  // with carry folding, so deferring the fold to the end is exact; the
+  // 64-bit accumulator itself cannot wrap below 2^48 bytes of input.
+  std::uint64_t sum = initial;
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2) {
-    sum += (static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8) |
-           static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + 1]));
+    sum += (static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i])) << 8) |
+           static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i + 1]));
   }
   if (i < data.size()) {
-    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8;
+    sum += static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i])) << 8;
   }
-  return sum;
+  while (sum >> 32) sum = (sum & 0xffffffffu) + (sum >> 32);
+  return static_cast<std::uint32_t>(sum);
 }
 
 std::uint16_t internet_checksum(std::span<const std::byte> data,

@@ -14,7 +14,9 @@ namespace intox::net {
 std::uint16_t internet_checksum(std::span<const std::byte> data,
                                 std::uint32_t initial = 0);
 
-/// Unfolded partial sum for chaining.
+/// Unfolded partial sum for chaining. Internally accumulates in 64 bits
+/// and folds carries before returning, so the result is exact for spans
+/// of any length (a 32-bit accumulator would wrap beyond ~128 KiB).
 std::uint32_t checksum_partial(std::span<const std::byte> data,
                                std::uint32_t initial = 0);
 

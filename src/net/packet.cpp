@@ -5,6 +5,7 @@
 
 #include "net/checksum.hpp"
 #include "net/hash.hpp"
+#include "validate/invariant.hpp"
 
 namespace intox::net {
 
@@ -101,6 +102,11 @@ std::uint32_t Packet::size_bytes() const {
 std::vector<std::byte> serialize(const Packet& p) {
   const std::size_t l4_len = l4_header_len(p) + p.payload_bytes;
   const std::size_t total = kIpv4HeaderLen + l4_len;
+  // The IPv4 total-length field is 16 bits; a larger modeled payload
+  // would silently truncate on the wire and fail to round-trip.
+  INTOX_INVARIANT(total <= 0xffff,
+                  "packet of %zu bytes does not fit the 16-bit IPv4 total "
+                  "length field", total);
   std::vector<std::byte> out;
   out.reserve(total);
 
@@ -162,6 +168,14 @@ std::vector<std::byte> serialize(const Packet& p) {
       patch_u16(out, l4_off + 2, internet_checksum(l4_span));
       break;
   }
+  INTOX_INVARIANT(out.size() == total,
+                  "serialize emitted %zu bytes for a %zu-byte packet",
+                  out.size(), total);
+  // A receiver verifies by summing the header including the patched
+  // checksum field and expecting zero; check we produce exactly that.
+  INTOX_INVARIANT(
+      internet_checksum(std::span{out}.subspan(0, kIpv4HeaderLen)) == 0,
+      "serialized IPv4 header fails its own checksum");
   return out;
 }
 

@@ -1,8 +1,14 @@
 #include "sim/event_queue.hpp"
 
+#include "validate/invariant.hpp"
+
 namespace intox::sim {
 
 Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
+  INTOX_INVARIANT(static_cast<bool>(cb),
+                  "null callback scheduled at t=%lld would crash at fire "
+                  "time", static_cast<long long>(t));
+  if (!cb) return EventId{};  // counter-only mode: refuse, return invalid id
   if (t < now_) t = now_;
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{t, next_seq_++, id});
@@ -38,8 +44,20 @@ std::size_t Scheduler::run(std::size_t limit) {
   std::size_t n = 0;
   Entry e;
   while (n < limit && pop_next(e)) {
-    now_ = e.time;
+    // The heap must hand back entries in non-decreasing time order; a
+    // violation means heap corruption (or an externally-forced clock)
+    // and every subsequent timestamp would be wrong.
+    INTOX_INVARIANT(e.time >= now_,
+                    "scheduler time went backwards: popped t=%lld with "
+                    "now=%lld", static_cast<long long>(e.time),
+                    static_cast<long long>(now_));
     auto it = callbacks_.find(e.id);
+    INTOX_INVARIANT(it != callbacks_.end(),
+                    "live heap entry id=%llu has no callback (tombstone "
+                    "bookkeeping leak)",
+                    static_cast<unsigned long long>(e.id));
+    if (it == callbacks_.end()) continue;  // counter-only mode: skip
+    if (e.time > now_) now_ = e.time;
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     cb();
@@ -61,8 +79,17 @@ std::size_t Scheduler::run_until(Time t) {
     }
     if (top.time > t) break;
     heap_.pop();
-    now_ = top.time;
+    INTOX_INVARIANT(top.time >= now_,
+                    "scheduler time went backwards: popped t=%lld with "
+                    "now=%lld", static_cast<long long>(top.time),
+                    static_cast<long long>(now_));
     auto it = callbacks_.find(top.id);
+    INTOX_INVARIANT(it != callbacks_.end(),
+                    "live heap entry id=%llu has no callback (tombstone "
+                    "bookkeeping leak)",
+                    static_cast<unsigned long long>(top.id));
+    if (it == callbacks_.end()) continue;  // counter-only mode: skip
+    if (top.time > now_) now_ = top.time;
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     cb();

@@ -50,6 +50,10 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  /// Cancelled-but-not-yet-popped entries still occupying the heap.
+  /// Tests assert this drains back to zero (no tombstone leak) once the
+  /// clock passes the cancelled events' deadlines.
+  [[nodiscard]] std::size_t tombstones() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -73,6 +77,11 @@ class Scheduler {
   std::priority_queue<Entry> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::unordered_set<std::uint64_t> cancelled_;
+
+  // Test-only seam: lets the integrity tests corrupt internal state
+  // (e.g. force the clock past a pending event) and assert that the
+  // INTOX_INVARIANT checks in run()/run_until() catch it.
+  friend class SchedulerTestPeer;
 };
 
 /// A restartable one-shot timer bound to a scheduler — the common pattern

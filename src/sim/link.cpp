@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "validate/invariant.hpp"
+
 namespace intox::sim {
 
 double Link::backlog_bytes() const {
@@ -11,6 +13,9 @@ double Link::backlog_bytes() const {
 }
 
 void Link::transmit(net::Packet pkt) {
+  INTOX_INVARIANT(config_.rate_bps > 0,
+                  "link rate must be positive (got %g bps)",
+                  config_.rate_bps);
   ++counters_.tx_packets;
   counters_.tx_bytes += pkt.size_bytes();
 
@@ -52,6 +57,16 @@ void Link::transmit(net::Packet pkt) {
   const Time start = std::max(now, next_free_);
   next_free_ = start + std::max<Duration>(serialization, 1);
   const Time arrival = next_free_ + config_.prop_delay;
+  // The transmitter can only move forward in time; a regression here
+  // means the serialization-time arithmetic overflowed (negative rate,
+  // absurd packet size) and every later delivery time would be wrong.
+  INTOX_INVARIANT(next_free_ > start && arrival > now,
+                  "link time arithmetic went backwards: start=%lld "
+                  "next_free=%lld arrival=%lld now=%lld",
+                  static_cast<long long>(start),
+                  static_cast<long long>(next_free_),
+                  static_cast<long long>(arrival),
+                  static_cast<long long>(now));
 
   sched_.schedule_at(arrival, [this, pkt = std::move(pkt)]() mutable {
     ++counters_.delivered_packets;

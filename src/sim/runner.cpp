@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "validate/invariant.hpp"
+
 namespace intox::sim {
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -22,8 +24,10 @@ std::size_t resolve_threads(std::size_t requested) {
 void ParallelRunner::dispatch(std::size_t n_trials,
                               const std::function<void(std::size_t)>& body) {
   const auto start = std::chrono::steady_clock::now();
+  INTOX_INVARIANT(threads_ >= 1, "runner resolved to zero workers");
   const std::size_t workers =
-      n_trials > 0 ? std::min(threads_, n_trials) : std::size_t{1};
+      n_trials > 0 ? std::min(std::max<std::size_t>(threads_, 1), n_trials)
+                   : std::size_t{1};
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < n_trials; ++i) body(i);

@@ -1,4 +1,10 @@
 // Lightweight statistics helpers used by tests and benchmark harnesses.
+//
+// All aggregation paths here raise INTOX_INVARIANT violations instead of
+// silently degrading: mismatched shard merges, non-monotonic series
+// timestamps, NaN samples, and non-conserved histogram totals are the
+// internal equivalent of the paper's "intoxicated inputs" — they corrupt
+// every downstream sweep statistic if allowed through quietly.
 #pragma once
 
 #include <cstdint>
@@ -36,10 +42,12 @@ class RunningStats {
 double percentile(std::vector<double> values, double q);
 
 /// A (time, value) series sampled during a run, e.g. "number of malicious
-/// flows in Blink's sample" or "PCC sending rate".
+/// flows in Blink's sample" or "PCC sending rate". Timestamps must be
+/// non-decreasing (they are recorded as the simulation advances); a
+/// backwards `record` raises an invariant violation.
 class TimeSeries {
  public:
-  void record(Time t, double value) { points_.push_back({t, value}); }
+  void record(Time t, double value);
   [[nodiscard]] const std::vector<std::pair<Time, double>>& points() const {
     return points_;
   }
@@ -50,7 +58,12 @@ class TimeSeries {
   /// Returns `before` if t precedes the first sample.
   [[nodiscard]] double at(Time t, double before = 0.0) const;
 
-  /// Mean of values with timestamps in [from, to].
+  /// Time-weighted mean of the step function over [from, to]: the
+  /// integral of `at(t)` divided by the window length. (Before the
+  /// integrity pass this was an unweighted average of the points that
+  /// happened to fall in the window, which biased bursty series toward
+  /// whichever level was sampled most often.) For an empty window
+  /// (from == to) returns `at(from)`.
   [[nodiscard]] double mean_over(Time from, Time to) const;
 
   /// Resamples onto a fixed grid (step interpolation) — handy for
@@ -66,6 +79,8 @@ class TimeSeries {
 /// grid point. Each added series is step-resampled onto the grid, so
 /// ragged per-trial sampling is fine. `merge` combines two aggregates
 /// built on the same grid — the reduction step of parallel sweeps.
+/// Merging mismatched grids raises an invariant violation (and, in
+/// counter-only mode, skips the merge rather than mixing grids).
 class SeriesStats {
  public:
   SeriesStats(Time from, Time to, Duration step);
@@ -88,23 +103,43 @@ class SeriesStats {
   std::size_t series_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
-/// edge buckets.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted
+/// in dedicated underflow/overflow counters — NOT clamped into the edge
+/// buckets (clamping used to shift the edge-bucket mass and silently
+/// corrupt tail quantiles). `total()` counts every added sample,
+/// in-range or not, and is conserved across `merge`.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
   void add(double x);
-  /// Adds another histogram's counts; the bucket layouts must match.
+  /// Adds another histogram's counts. The bucket layouts must match;
+  /// a mismatch raises an invariant violation (and, in counter-only
+  /// mode, skips the merge rather than mixing layouts).
   void merge(const Histogram& other);
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  /// All samples ever added, including under/overflow.
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi.
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// Exact observed extremes (valid when total() > 0).
+  [[nodiscard]] double min() const { return min_seen_; }
+  [[nodiscard]] double max() const { return max_seen_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  /// Bucket-resolution quantile over ALL samples (out-of-range mass
+  /// included). q <= 0 returns the observed min, q >= 1 the observed max
+  /// — never a mid-bucket value below the true extreme. Mid-range
+  /// results are bucket centers clamped to the observed range.
   [[nodiscard]] double quantile(double q) const;
 
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
 };
 
 }  // namespace intox::sim

@@ -1,6 +1,7 @@
 #include "sketch/rotation.hpp"
 
 #include "net/hash.hpp"
+#include "validate/invariant.hpp"
 
 namespace intox::sketch {
 
@@ -16,6 +17,14 @@ void RotatingBloom::insert(std::uint64_t key) {
   recent_.push_back(key);
   if (recent_.size() > config_.retained_keys) recent_.pop_front();
   if (++since_rotation_ >= config_.rotation_period) rotate();
+  INTOX_INVARIANT(recent_.size() <= config_.retained_keys,
+                  "retention window leaked: %zu keys retained, limit %zu",
+                  recent_.size(), config_.retained_keys);
+  INTOX_INVARIANT(since_rotation_ < config_.rotation_period,
+                  "missed a seed rotation: %llu inserts since rotation, "
+                  "period %llu",
+                  static_cast<unsigned long long>(since_rotation_),
+                  static_cast<unsigned long long>(config_.rotation_period));
 }
 
 void RotatingBloom::rotate() {

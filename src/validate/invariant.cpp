@@ -1,0 +1,84 @@
+#include "validate/invariant.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace intox::validate {
+
+namespace {
+
+InvariantMode default_mode() {
+  if (const char* env = std::getenv("INTOX_INVARIANTS")) {
+    if (std::strcmp(env, "fatal") == 0) return InvariantMode::kFatal;
+    if (std::strcmp(env, "count") == 0) return InvariantMode::kCount;
+    if (std::strcmp(env, "throw") == 0) return InvariantMode::kThrow;
+  }
+#if defined(NDEBUG)
+  return InvariantMode::kCount;
+#else
+  return InvariantMode::kFatal;
+#endif
+}
+
+std::atomic<InvariantMode> g_mode{default_mode()};
+std::atomic<std::uint64_t> g_violations{0};
+std::mutex g_message_mutex;
+std::string g_last_message;  // guarded by g_message_mutex
+
+}  // namespace
+
+InvariantMode invariant_mode() {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void set_invariant_mode(InvariantMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t invariant_violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_invariant_violations() {
+  g_violations.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_message_mutex);
+  g_last_message.clear();
+}
+
+std::string last_invariant_message() {
+  std::lock_guard<std::mutex> lock(g_message_mutex);
+  return g_last_message;
+}
+
+void invariant_failed(const char* file, int line, const char* fmt, ...) {
+  char detail[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(detail, sizeof(detail), fmt, args);
+  va_end(args);
+
+  std::string message = std::string(file) + ":" + std::to_string(line) +
+                        ": invariant violated: " + detail;
+
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_message_mutex);
+    g_last_message = message;
+  }
+
+  switch (g_mode.load(std::memory_order_relaxed)) {
+    case InvariantMode::kFatal:
+      std::fprintf(stderr, "%s\n", message.c_str());
+      std::abort();
+    case InvariantMode::kThrow:
+      throw InvariantError(message);
+    case InvariantMode::kCount:
+      return;
+  }
+}
+
+}  // namespace intox::validate

@@ -1,0 +1,100 @@
+// Simulation-integrity invariants.
+//
+// The paper's thesis is that data-driven systems mis-decide when their
+// inputs are subtly wrong. Our reproduction has the same exposure
+// *internally*: a silently-dropped shard merge or a wrapped checksum
+// accumulator corrupts the very statistics the Fig. 2 validation rests
+// on. INTOX_INVARIANT turns those silent-failure paths into loud,
+// diagnosable errors.
+//
+// Behavior by mode (see InvariantMode):
+//   kFatal — print the violation and abort. Default in Debug builds
+//            (the sanitizer presets), so a violated invariant fails the
+//            test run immediately.
+//   kCount — bump a global counter, record the message, continue on the
+//            code's defined degraded path. Default in Release builds
+//            (NDEBUG), so bench throughput is unaffected beyond the
+//            predicate itself; harnesses assert the counter is zero.
+//   kThrow — throw InvariantError. Tests use this (via
+//            ScopedInvariantMode) to assert that injected corruption is
+//            caught; it also composes with ParallelRunner, which
+//            rethrows the first trial exception.
+//
+// The default can be overridden with the INTOX_INVARIANTS environment
+// variable ("fatal", "count", or "throw"), and the checks compile out
+// entirely under -DINTOX_INVARIANTS_DISABLED.
+//
+// Call sites must treat invariant_failed() as possibly returning (kCount
+// mode): after raising, continue on a defined degraded path — typically
+// the pre-invariant behavior (e.g. skip a mismatched merge).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace intox::validate {
+
+enum class InvariantMode {
+  kFatal,  // print + abort
+  kCount,  // count + continue
+  kThrow,  // throw InvariantError
+};
+
+/// Thrown in kThrow mode; `what()` carries file:line and the message.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Current dispatch mode. Initial value: INTOX_INVARIANTS env var if set,
+/// else kFatal in Debug builds and kCount under NDEBUG.
+InvariantMode invariant_mode();
+void set_invariant_mode(InvariantMode mode);
+
+/// Number of violations raised since start / last reset (all modes bump
+/// it, including kThrow/kFatal before dispatching).
+std::uint64_t invariant_violations();
+void reset_invariant_violations();
+
+/// Human-readable "file:line: invariant violated: ..." for the most
+/// recent violation; empty if none since the last reset.
+std::string last_invariant_message();
+
+/// Formats and dispatches a violation per the current mode. Returns (to
+/// the caller's degraded path) only in kCount mode.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void invariant_failed(const char* file, int line, const char* fmt, ...);
+
+/// RAII mode override for tests.
+class ScopedInvariantMode {
+ public:
+  explicit ScopedInvariantMode(InvariantMode mode) : prev_(invariant_mode()) {
+    set_invariant_mode(mode);
+  }
+  ~ScopedInvariantMode() { set_invariant_mode(prev_); }
+  ScopedInvariantMode(const ScopedInvariantMode&) = delete;
+  ScopedInvariantMode& operator=(const ScopedInvariantMode&) = delete;
+
+ private:
+  InvariantMode prev_;
+};
+
+}  // namespace intox::validate
+
+#if defined(INTOX_INVARIANTS_DISABLED)
+#define INTOX_INVARIANT(cond, ...) ((void)0)
+#else
+/// INTOX_INVARIANT(cond, "fmt", args...) — raises a violation when `cond`
+/// is false. The condition is always evaluated exactly once; the format
+/// arguments only on failure.
+#define INTOX_INVARIANT(cond, ...)                                       \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      ::intox::validate::invariant_failed(__FILE__, __LINE__,            \
+                                          __VA_ARGS__);                  \
+    }                                                                    \
+  } while (0)
+#endif

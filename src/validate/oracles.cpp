@@ -1,0 +1,122 @@
+#include "validate/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intox::validate {
+
+namespace {
+
+inline std::uint32_t fold16(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
+std::uint32_t reference_checksum_partial(std::span<const std::byte> data,
+                                         std::uint32_t initial) {
+  std::uint32_t sum = fold16(initial);
+  bool high = true;  // big-endian 16-bit words: even offsets are the high byte
+  for (std::byte b : data) {
+    const auto v = static_cast<std::uint32_t>(static_cast<std::uint8_t>(b));
+    sum += high ? (v << 8) : v;
+    sum = fold16(sum);
+    high = !high;
+  }
+  return sum;
+}
+
+std::uint16_t reference_internet_checksum(std::span<const std::byte> data,
+                                          std::uint32_t initial) {
+  return static_cast<std::uint16_t>(
+      ~reference_checksum_partial(data, initial) & 0xffffu);
+}
+
+ExactStats exact_stats(const std::vector<double>& xs) {
+  ExactStats out;
+  out.n = xs.size();
+  if (xs.empty()) return out;
+  double sum = 0.0;
+  out.min = out.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    out.min = std::min(out.min, x);
+    out.max = std::max(out.max, x);
+  }
+  out.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double sq = 0.0;
+    for (double x : xs) sq += (x - out.mean) * (x - out.mean);
+    out.variance = sq / static_cast<double>(xs.size() - 1);
+  }
+  return out;
+}
+
+double exact_quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::uint64_t ReferenceQueue::schedule_at(sim::Time t) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  entries_.push_back(Entry{t, next_seq_++, id});
+  return id;
+}
+
+bool ReferenceQueue::cancel(std::uint64_t id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const Entry& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<ReferenceQueue::Fired> ReferenceQueue::pop_next() {
+  if (entries_.empty()) return std::nullopt;
+  auto it = std::min_element(entries_.begin(), entries_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               if (a.time != b.time) return a.time < b.time;
+                               return a.seq < b.seq;
+                             });
+  Fired f{it->id, it->time};
+  entries_.erase(it);
+  return f;
+}
+
+std::vector<ReferenceQueue::Fired> ReferenceQueue::run_until(sim::Time t) {
+  std::vector<Fired> fired;
+  for (;;) {
+    auto it = std::min_element(entries_.begin(), entries_.end(),
+                               [](const Entry& a, const Entry& b) {
+                                 if (a.time != b.time) return a.time < b.time;
+                                 return a.seq < b.seq;
+                               });
+    if (it == entries_.end() || it->time > t) break;
+    now_ = it->time;
+    fired.push_back(Fired{it->id, it->time});
+    entries_.erase(it);
+  }
+  if (now_ < t) now_ = t;
+  return fired;
+}
+
+std::vector<ReferenceQueue::Fired> ReferenceQueue::run(std::size_t limit) {
+  std::vector<Fired> fired;
+  while (fired.size() < limit) {
+    auto next = pop_next();
+    if (!next) break;
+    now_ = next->time;
+    fired.push_back(*next);
+  }
+  return fired;
+}
+
+}  // namespace intox::validate

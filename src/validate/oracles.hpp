@@ -1,0 +1,103 @@
+// Differential oracles: slow, obviously-correct reference implementations
+// of the hot-path components the Monte-Carlo benches aggregate through.
+//
+// Each oracle recomputes a result a second way — byte-at-a-time RFC 1071
+// folding for the internet checksum, a sorted-vector queue for the event
+// scheduler, single-/two-pass recomputation for the streaming statistics,
+// exact sorted quantiles for the histogram — so tests (and the
+// `validate_sweep` binary) can cross-check the fast paths instead of
+// trusting them. None of these are meant for production speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace intox::validate {
+
+// --- RFC 1071 reference checksum --------------------------------------
+//
+// Byte-at-a-time one's-complement sum that folds the end-around carry
+// after every addition, so the accumulator never exceeds 17 bits and the
+// result is exact for spans of any length. This is the oracle the fast
+// word-at-a-time `net::checksum_partial` is checked against (the fast
+// path used to wrap its 32-bit accumulator on spans >= 128 KiB).
+
+/// Fully-folded (<= 16-bit) partial sum; chainable via `initial` exactly
+/// like `net::checksum_partial` (any unfolded partial sum is accepted).
+std::uint32_t reference_checksum_partial(std::span<const std::byte> data,
+                                         std::uint32_t initial = 0);
+
+/// Complemented final checksum, as `net::internet_checksum`.
+std::uint16_t reference_internet_checksum(std::span<const std::byte> data,
+                                          std::uint32_t initial = 0);
+
+// --- Exact statistics --------------------------------------------------
+
+/// Two-pass recomputation of what RunningStats holds after seeing `xs`:
+/// the oracle for Welford/Chan merge paths.
+struct ExactStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1), 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+};
+ExactStats exact_stats(const std::vector<double>& xs);
+
+/// Exact q-quantile of the raw samples with the same linear-interpolation
+/// convention as `sim::percentile` — the oracle for Histogram::quantile
+/// (which must agree to within one bucket width on in-range data).
+double exact_quantile(std::vector<double> xs, double q);
+
+// --- Reference event queue --------------------------------------------
+//
+// A sorted-vector mirror of sim::Scheduler's ordering contract: events
+// fire in (time, scheduling order); past times clamp to `now`; cancel
+// removes eagerly (no tombstones to get wrong). Tests drive a Scheduler
+// and a ReferenceQueue with the same operation sequence and compare the
+// firing logs.
+class ReferenceQueue {
+ public:
+  struct Fired {
+    std::uint64_t id = 0;
+    sim::Time time = 0;
+    friend bool operator==(const Fired&, const Fired&) = default;
+  };
+
+  /// Mirrors Scheduler::schedule_at (including clamp-to-now); returns the
+  /// event id, which matches the Scheduler's id sequence when both are
+  /// driven identically (ids start at 1 and increment per schedule).
+  std::uint64_t schedule_at(sim::Time t);
+
+  /// Mirrors Scheduler::cancel. Returns false for unknown/fired ids.
+  bool cancel(std::uint64_t id);
+
+  /// Fires everything with time <= t in order and advances the clock.
+  std::vector<Fired> run_until(sim::Time t);
+
+  /// Fires the next `limit` events regardless of time.
+  std::vector<Fired> run(std::size_t limit = SIZE_MAX);
+
+  [[nodiscard]] sim::Time now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    sim::Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  std::optional<Fired> pop_next();
+
+  sim::Time now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Entry> entries_;  // unsorted; pop scans for min (time, seq)
+};
+
+}  // namespace intox::validate

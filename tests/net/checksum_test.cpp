@@ -1,0 +1,92 @@
+// RFC 1071 checksum: unit vectors plus the large-span regression.
+//
+// The word-at-a-time fast path used to accumulate into 32 bits without
+// folding; with 0xffff per 16-bit word the accumulator wraps once a span
+// (plus any chained `initial`) crosses ~128 KiB, silently corrupting the
+// checksum. These tests pin the fix against the byte-at-a-time
+// fold-every-add reference oracle.
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "validate/oracles.hpp"
+
+namespace intox::net {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> xs) {
+  std::vector<std::byte> out;
+  for (int x : xs) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // The example from RFC 1071 §3: words 0x0001 0xf203 0xf4f5 0xf6f7
+  // sum (with end-around carries) to 0xddf2; the checksum is ~0xddf2.
+  const auto data = bytes({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  EXPECT_EQ(internet_checksum(data), 0xffff - 0xddf2);
+  EXPECT_EQ(internet_checksum(data),
+            validate::reference_internet_checksum(data));
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const auto data = bytes({0xab, 0xcd, 0xef});
+  EXPECT_EQ(internet_checksum(data),
+            validate::reference_internet_checksum(data));
+}
+
+TEST(InternetChecksum, VerifiesToZeroWithChecksumIncluded) {
+  auto data = bytes({0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00,
+                     0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+                     0xc0, 0xa8, 0x00, 0xc7});
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::byte>(csum >> 8);
+  data[11] = static_cast<std::byte>(csum & 0xff);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(ChecksumPartial, LargeSpanDoesNotWrapAccumulator) {
+  // Regression for the 32-bit accumulator overflow: 512 KiB of 0xff
+  // bytes is 256 Ki words of 0xffff — an unfolded 32-bit sum would need
+  // 34 bits. The fixed fast path must agree with the fold-every-add
+  // reference exactly.
+  const std::vector<std::byte> big(512 * 1024, std::byte{0xff});
+  const std::uint32_t fast = checksum_partial(big);
+  const std::uint32_t ref = validate::reference_checksum_partial(big);
+  // Both are valid partial sums; they must FOLD to the same 16 bits.
+  auto fold = [](std::uint32_t s) {
+    while (s >> 16) s = (s & 0xffffu) + (s >> 16);
+    return s;
+  };
+  EXPECT_EQ(fold(fast), fold(ref));
+  EXPECT_EQ(internet_checksum(big), validate::reference_internet_checksum(big));
+}
+
+TEST(ChecksumPartial, LargeSpanWithChainedInitialAgreesWithReference) {
+  std::vector<std::byte> big(300 * 1024 + 1);  // odd length too
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>((i * 31 + 7) & 0xff);
+  }
+  const std::uint32_t initial = 0xfffe1234u;  // a large unfolded carry-in
+  EXPECT_EQ(internet_checksum(big, initial),
+            validate::reference_internet_checksum(big, initial));
+}
+
+TEST(ChecksumPartial, ChainingSplitSpansMatchesWholeSpan) {
+  std::vector<std::byte> data(200 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 131) & 0xff);
+  }
+  const std::span<const std::byte> whole{data};
+  // Split on an even boundary so word alignment is preserved.
+  const auto first = whole.subspan(0, 100 * 1024);
+  const auto second = whole.subspan(100 * 1024);
+  const std::uint32_t partial = checksum_partial(first);
+  EXPECT_EQ(internet_checksum(second, partial), internet_checksum(whole));
+}
+
+}  // namespace
+}  // namespace intox::net

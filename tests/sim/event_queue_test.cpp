@@ -4,7 +4,21 @@
 
 #include <vector>
 
+#include "validate/invariant.hpp"
+#include "validate/oracles.hpp"
+
 namespace intox::sim {
+
+/// Test-only peer (friended by Scheduler): injects internal-state
+/// corruption so the integrity tests can prove INTOX_INVARIANT catches it.
+class SchedulerTestPeer {
+ public:
+  static void force_clock(Scheduler& s, Time t) { s.now_ = t; }
+  static void drop_callback(Scheduler& s, Scheduler::EventId id) {
+    s.callbacks_.erase(id.value);  // heap entry stays: bookkeeping leak
+  }
+};
+
 namespace {
 
 TEST(Scheduler, FiresInTimeOrder) {
@@ -133,6 +147,137 @@ TEST(Timer, CancelStopsExpiry) {
   EXPECT_FALSE(t.armed());
   s.run();
   EXPECT_EQ(fires, 0);
+}
+
+TEST(Scheduler, CancelThenRunUntilDrainsTombstones) {
+  // Cancelled entries are tombstoned in the heap; once run_until passes
+  // their deadlines every tombstone must be reclaimed — a leak here grows
+  // cancelled_ without bound in timer-heavy workloads (Timer re-arms
+  // cancel on every re-arm).
+  Scheduler s;
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 1; i <= 50; ++i) {
+    ids.push_back(s.schedule_at(i * 10, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.tombstones(), 25u);
+  s.run_until(1000);
+  EXPECT_EQ(s.tombstones(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 25u);
+}
+
+TEST(Scheduler, TimerRearmStormLeavesNoTombstonesBehind) {
+  Scheduler s;
+  int fires = 0;
+  Timer t{s, [&] { ++fires; }};
+  for (int i = 0; i < 100; ++i) t.arm_after(10 + i);  // 99 cancels
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.tombstones(), 0u);
+}
+
+TEST(Scheduler, ScheduleAtPastFromCallbackClampsAndFiresInSameRun) {
+  Scheduler s;
+  std::vector<Time> fired;
+  s.schedule_at(100, [&] {
+    fired.push_back(s.now());
+    s.schedule_at(1, [&] { fired.push_back(s.now()); });  // clamped to 100
+  });
+  s.schedule_at(200, [&] { fired.push_back(s.now()); });
+  s.run_until(150);
+  // The clamped event fires at t=100, within the same run_until window,
+  // before the t=200 event.
+  EXPECT_EQ(fired, (std::vector<Time>{100, 100}));
+  EXPECT_EQ(s.now(), 150);
+}
+
+TEST(Scheduler, CallbackSchedulingAtNowRunsAfterAlreadyQueuedPeers) {
+  // FIFO-within-instant must hold even for events created *during* the
+  // instant: the late arrival gets a larger seq and fires last.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(50, [&] {
+    order.push_back(0);
+    s.schedule_at(50, [&] { order.push_back(2); });
+  });
+  s.schedule_at(50, [&] { order.push_back(1); });
+  s.run_until(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerOracle, RandomWorkloadMatchesReferenceQueue) {
+  // Differential check against the sorted-vector reference queue: drive
+  // both with an identical schedule/cancel/run_until sequence (a simple
+  // deterministic LCG; no nested scheduling) and compare firing logs.
+  Scheduler s;
+  validate::ReferenceQueue ref;
+  std::vector<validate::ReferenceQueue::Fired> got;
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  std::vector<Scheduler::EventId> live;
+  Time boundary = 0;
+  std::uint64_t expected_id = 1;  // Scheduler ids start at 1, +1 per schedule
+  for (int round = 0; round < 20; ++round) {
+    for (int k = 0; k < 50; ++k) {
+      const Time t = static_cast<Time>(next() % 10000);
+      const std::uint64_t my_id = expected_id++;
+      const auto id = s.schedule_at(t, [&got, &s, my_id] {
+        got.push_back({my_id, s.now()});
+      });
+      const std::uint64_t ref_id = ref.schedule_at(t);
+      ASSERT_EQ(id.value, my_id);
+      ASSERT_EQ(ref_id, my_id);
+      live.push_back(id);
+    }
+    for (int k = 0; k < 10 && !live.empty(); ++k) {
+      const std::size_t pick = next() % live.size();
+      const bool a = s.cancel(live[pick]);
+      const bool b = ref.cancel(live[pick].value);
+      EXPECT_EQ(a, b);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    boundary += static_cast<Time>(next() % 2000);
+    got.clear();
+    s.run_until(boundary);
+    const auto want = ref.run_until(boundary);
+    ASSERT_EQ(got.size(), want.size()) << "round " << round;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "round " << round << " i " << i;
+      EXPECT_EQ(got[i].time, want[i].time) << "round " << round << " i " << i;
+    }
+    EXPECT_EQ(s.now(), ref.now());
+    EXPECT_EQ(s.pending(), ref.pending());
+  }
+}
+
+TEST(SchedulerIntegrity, ForcedClockCorruptionIsCaught) {
+  // Inject the exact failure the monotonic-now_ invariant exists for:
+  // the clock jumps past a pending event (heap-order corruption as seen
+  // by run()). The invariant must trip instead of silently rewinding.
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Scheduler s;
+  s.schedule_at(10, [] {});
+  SchedulerTestPeer::force_clock(s, 500);
+  EXPECT_THROW(s.run(), validate::InvariantError);
+}
+
+TEST(SchedulerIntegrity, DroppedCallbackBookkeepingIsCaught) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Scheduler s;
+  const auto id = s.schedule_at(10, [] {});
+  SchedulerTestPeer::drop_callback(s, id);  // heap/cancelled_ leak
+  EXPECT_THROW(s.run(), validate::InvariantError);
+}
+
+TEST(SchedulerIntegrity, NullCallbackIsRejected) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(10, Scheduler::Callback{}),
+               validate::InvariantError);
 }
 
 TEST(Timer, CanRearmFromCallback) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/rng.hpp"
+#include "validate/invariant.hpp"
 
 namespace intox::sim {
 namespace {
@@ -124,13 +127,29 @@ TEST(SeriesStats, ResamplesOntoGridAndMerges) {
   EXPECT_EQ(left.time_at(2), seconds(20));
 }
 
-TEST(SeriesStats, MismatchedGridMergeIsIgnored) {
+TEST(SeriesStats, MismatchedGridMergeRaisesInvariant) {
+  // A silent no-op merge would drop the other shard's trials from the
+  // sweep aggregate; the integrity layer makes it loud instead.
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  SeriesStats a{0, seconds(20), seconds(10)};
+  SeriesStats b{0, seconds(30), seconds(10)};
+  TimeSeries s;
+  s.record(0, 1.0);
+  b.add(s);
+  EXPECT_THROW(a.merge(b), validate::InvariantError);
+}
+
+TEST(SeriesStats, MismatchedGridMergeCountsAndSkipsInCounterMode) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kCount};
+  validate::reset_invariant_violations();
   SeriesStats a{0, seconds(20), seconds(10)};
   SeriesStats b{0, seconds(30), seconds(10)};
   TimeSeries s;
   s.record(0, 1.0);
   b.add(s);
   a.merge(b);
+  EXPECT_EQ(validate::invariant_violations(), 1u);
+  // Degraded path: the mismatched shard is still skipped, not mixed in.
   EXPECT_EQ(a.series_count(), 0u);
   EXPECT_EQ(a.at(0).count(), 0u);
 }
@@ -146,10 +165,34 @@ TEST(HistogramMerge, AddsCountsBucketwise) {
   EXPECT_EQ(a.buckets()[9], 1u);
 }
 
-TEST(HistogramMerge, MismatchedLayoutIsIgnored) {
+TEST(HistogramMerge, PreservesTotalsAndExtremes) {
+  Histogram a{0.0, 10.0, 10}, b{0.0, 10.0, 10};
+  a.add(-3.0);   // underflow shard a
+  a.add(4.2);
+  b.add(99.0);   // overflow shard b
+  b.add(7.7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 99.0);
+}
+
+TEST(HistogramMerge, MismatchedLayoutRaisesInvariant) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Histogram a{0.0, 10.0, 10}, b{0.0, 20.0, 10};
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), validate::InvariantError);
+}
+
+TEST(HistogramMerge, MismatchedLayoutCountsAndSkipsInCounterMode) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kCount};
+  validate::reset_invariant_violations();
   Histogram a{0.0, 10.0, 10}, b{0.0, 20.0, 10};
   b.add(1.0);
   a.merge(b);
+  EXPECT_EQ(validate::invariant_violations(), 1u);
   EXPECT_EQ(a.total(), 0u);
 }
 
@@ -180,14 +223,46 @@ TEST(TimeSeries, StepInterpolation) {
   EXPECT_DOUBLE_EQ(ts.at(1000), 3.0);
 }
 
-TEST(TimeSeries, MeanOverWindow) {
+TEST(TimeSeries, MeanOverIsTimeWeighted) {
+  // Regression pin for the time-weighted semantics: the step function is
+  // 1 on [0,10), 3 on [10,20), 5 from 20 on. The old implementation
+  // averaged whichever *points* fell in the window, so a burst of
+  // closely-spaced samples at one level dragged the mean toward it.
   TimeSeries ts;
   ts.record(0, 1.0);
   ts.record(10, 3.0);
   ts.record(20, 5.0);
-  EXPECT_DOUBLE_EQ(ts.mean_over(0, 20), 3.0);
-  EXPECT_DOUBLE_EQ(ts.mean_over(5, 15), 3.0);
-  EXPECT_DOUBLE_EQ(ts.mean_over(100, 200), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 20), 2.0);    // (10*1 + 10*3) / 20
+  EXPECT_DOUBLE_EQ(ts.mean_over(5, 15), 2.0);    // (5*1 + 5*3) / 10
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 40), 3.5);    // (10*1 + 10*3 + 20*5) / 40
+  EXPECT_DOUBLE_EQ(ts.mean_over(100, 200), 5.0); // step-extended last value
+  EXPECT_DOUBLE_EQ(ts.mean_over(15, 15), 3.0);   // empty window: at(15)
+}
+
+TEST(TimeSeries, MeanOverIgnoresBurstySamplingBias) {
+  // Level 10 for 100 ns sampled once; level 0 for the last 10 ns sampled
+  // ten times. An unweighted point average would report ~0.9; the true
+  // time-weighted mean is (100*10 + 10*0) / 110.
+  TimeSeries ts;
+  ts.record(0, 10.0);
+  for (Time t = 100; t < 110; ++t) ts.record(t, 0.0);
+  EXPECT_NEAR(ts.mean_over(0, 110), 1000.0 / 110.0, 1e-12);
+}
+
+TEST(TimeSeries, MeanOverWindowBeforeFirstSampleUsesZero) {
+  TimeSeries ts;
+  ts.record(100, 4.0);
+  // [0,100) is before any sample (value 0), then 4 for the last half.
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 200), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 50), 0.0);
+}
+
+TEST(TimeSeries, RecordBackwardsRaisesInvariant) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  TimeSeries ts;
+  ts.record(10, 1.0);
+  ts.record(10, 2.0);  // equal timestamps are fine (last wins)
+  EXPECT_THROW(ts.record(5, 3.0), validate::InvariantError);
 }
 
 TEST(TimeSeries, Resample) {
@@ -210,12 +285,47 @@ TEST(Histogram, BucketsAndQuantile) {
   EXPECT_NEAR(h.quantile(0.5), 5.5, 1.0);
 }
 
-TEST(Histogram, ClampsOutOfRange) {
+TEST(Histogram, CountsOutOfRangeInDedicatedCounters) {
+  // Clamping out-of-range samples into the edge buckets used to inflate
+  // the edge mass and corrupt tail quantiles; they now land in dedicated
+  // underflow/overflow counters and the buckets stay clean.
   Histogram h{0.0, 10.0, 10};
   h.add(-5.0);
   h.add(50.0);
-  EXPECT_EQ(h.buckets().front(), 1u);
-  EXPECT_EQ(h.buckets().back(), 1u);
+  h.add(0.5);
+  EXPECT_EQ(h.buckets().front(), 1u);  // only the in-range 0.5
+  EXPECT_EQ(h.buckets().back(), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(Histogram, QuantileExtremesMatchObservedRange) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(2.2);
+  h.add(4.4);
+  h.add(9.9);
+  // q=1.0 must not return a mid-bucket value below the observed max, and
+  // q=0.0 must not exceed the observed min.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.2);
+}
+
+TEST(Histogram, QuantileAccountsForOutOfRangeMass) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 90; ++i) h.add(5.5);  // bucket 5
+  for (int i = 0; i < 10; ++i) h.add(1e6);  // overflow tail
+  EXPECT_NEAR(h.quantile(0.5), 5.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e6);  // rank 99 is overflow mass
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e6);
+}
+
+TEST(Histogram, NanSampleRaisesInvariant) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Histogram h{0.0, 10.0, 10};
+  EXPECT_THROW(h.add(std::nan("")), validate::InvariantError);
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#include "validate/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace intox::validate {
+namespace {
+
+TEST(Invariant, PassingConditionIsFree) {
+  ScopedInvariantMode guard{InvariantMode::kThrow};
+  reset_invariant_violations();
+  INTOX_INVARIANT(1 + 1 == 2, "arithmetic broke");
+  EXPECT_EQ(invariant_violations(), 0u);
+  EXPECT_EQ(last_invariant_message(), "");
+}
+
+TEST(Invariant, ThrowModeThrowsWithFormattedMessage) {
+  ScopedInvariantMode guard{InvariantMode::kThrow};
+  reset_invariant_violations();
+  try {
+    INTOX_INVARIANT(false, "lost %d of %d shards", 3, 8);
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant violated"), std::string::npos);
+    EXPECT_NE(what.find("lost 3 of 8 shards"), std::string::npos);
+    EXPECT_NE(what.find("invariant_test.cpp"), std::string::npos);
+  }
+  EXPECT_EQ(invariant_violations(), 1u);
+}
+
+TEST(Invariant, CountModeAccumulatesAndContinues) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  reset_invariant_violations();
+  bool reached = false;
+  INTOX_INVARIANT(false, "first");
+  INTOX_INVARIANT(false, "second");
+  reached = true;  // control flow continues past violations
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(invariant_violations(), 2u);
+  EXPECT_NE(last_invariant_message().find("second"), std::string::npos);
+}
+
+TEST(Invariant, ResetClearsCounterAndMessage) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  INTOX_INVARIANT(false, "stale");
+  reset_invariant_violations();
+  EXPECT_EQ(invariant_violations(), 0u);
+  EXPECT_EQ(last_invariant_message(), "");
+}
+
+TEST(Invariant, ConditionEvaluatedExactlyOnce) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  int evals = 0;
+  auto touch = [&evals] {
+    ++evals;
+    return true;
+  };
+  INTOX_INVARIANT(touch(), "side effects must not double-fire");
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(Invariant, ScopedModeRestoresPrevious) {
+  const InvariantMode before = invariant_mode();
+  {
+    ScopedInvariantMode guard{InvariantMode::kThrow};
+    EXPECT_EQ(invariant_mode(), InvariantMode::kThrow);
+    {
+      ScopedInvariantMode inner{InvariantMode::kCount};
+      EXPECT_EQ(invariant_mode(), InvariantMode::kCount);
+    }
+    EXPECT_EQ(invariant_mode(), InvariantMode::kThrow);
+  }
+  EXPECT_EQ(invariant_mode(), before);
+}
+
+TEST(Invariant, FatalModeAborts) {
+  ASSERT_DEATH(
+      {
+        set_invariant_mode(InvariantMode::kFatal);
+        INTOX_INVARIANT(false, "fatal mode must abort, message=%s", "boom");
+      },
+      "invariant violated: fatal mode must abort");
+}
+
+}  // namespace
+}  // namespace intox::validate

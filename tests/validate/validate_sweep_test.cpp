@@ -1,0 +1,327 @@
+// validate_sweep — the simulation-integrity sweep.
+//
+// Runs each bench family's configuration (scaled down so the sweep stays
+// in test-suite time) with invariants armed in throw mode, so any silent
+// corruption the integrity layer guards against — dropped shard merges,
+// wrapped checksums, non-monotonic clocks, lost histogram mass — fails
+// the suite loudly. Where a differential oracle exists, the fast path is
+// cross-checked against it on the same inputs the benches use.
+//
+// Future perf PRs must keep this green: it is the harness that says the
+// hot paths still compute the statistics the Fig. 2 validation rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blink/cell_process.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "pcc/experiment.hpp"
+#include "pytheas/experiment.hpp"
+#include "sim/rng.hpp"
+#include "sim/runner.hpp"
+#include "sim/stats.hpp"
+#include "sketch/attack.hpp"
+#include "sketch/rotation.hpp"
+#include "validate/invariant.hpp"
+#include "validate/oracles.hpp"
+
+namespace intox {
+namespace {
+
+/// Arms throw-mode invariants for the duration of a test and asserts at
+/// scope exit that no violation fired (a throw would already have failed
+/// the test; the counter catches violations swallowed on other threads).
+class ArmedInvariants {
+ public:
+  ArmedInvariants() : guard_(validate::InvariantMode::kThrow) {
+    validate::reset_invariant_violations();
+  }
+  ~ArmedInvariants() {
+    EXPECT_EQ(validate::invariant_violations(), 0u)
+        << validate::last_invariant_message();
+  }
+
+ private:
+  validate::ScopedInvariantMode guard_;
+};
+
+// --- BLINK (FIG2 / BLINK-TR configurations) ----------------------------
+
+TEST(ValidateSweep, BlinkFig2GridUnderStatsOracle) {
+  ArmedInvariants armed;
+  // The FIG2 aggregation shape: flow-level cell-process trials resampled
+  // onto the bench's 25 s grid, SeriesStats folded in trial order, then
+  // every grid cell cross-checked against two-pass exact recomputation.
+  blink::CellProcessConfig cfg;  // defaults are the paper's tR/qm
+  const std::size_t trials = 24;
+  sim::Rng base{42};
+  sim::SeriesStats agg{0, sim::seconds(500), sim::seconds(25)};
+  std::vector<std::vector<double>> resampled(trials);
+  for (std::size_t r = 0; r < trials; ++r) {
+    sim::Rng rng = base.fork(r);
+    const sim::TimeSeries series = blink::simulate_cell_process(cfg, rng);
+    agg.add(series);
+    resampled[r] = series.resample(0, sim::seconds(500), sim::seconds(25));
+  }
+  ASSERT_EQ(agg.points(), resampled[0].size());
+  for (std::size_t i = 0; i < agg.points(); ++i) {
+    std::vector<double> column;
+    for (const auto& row : resampled) column.push_back(row[i]);
+    const validate::ExactStats ex = validate::exact_stats(column);
+    const sim::RunningStats& cell = agg.at(i);
+    ASSERT_EQ(cell.count(), ex.n);
+    EXPECT_NEAR(cell.mean(), ex.mean, 1e-9 + std::abs(ex.mean) * 1e-9);
+    EXPECT_NEAR(cell.variance(), ex.variance,
+                1e-7 + std::abs(ex.variance) * 1e-7);
+    EXPECT_DOUBLE_EQ(cell.min(), ex.min);
+    EXPECT_DOUBLE_EQ(cell.max(), ex.max);
+  }
+}
+
+TEST(ValidateSweep, BlinkTrSweepParallelMatchesSerial) {
+  ArmedInvariants armed;
+  // The BLINK-TR Monte-Carlo column: the sharded runner must reproduce
+  // the serial fold bit-for-bit (determinism is itself an invariant —
+  // thread count may change wall clock and nothing else).
+  blink::CellProcessConfig cfg;
+  cfg.tr_seconds = 4.0;
+  cfg.horizon_seconds = 200.0;
+  const std::size_t runs = 64;
+  sim::Rng base{7};
+  sim::Rng serial_rng{7};
+  const double serial =
+      blink::empirical_success_rate(cfg, 32, runs, serial_rng);
+  for (std::size_t threads : {1u, 4u}) {
+    sim::ParallelRunner runner{threads};
+    const double parallel =
+        blink::empirical_success_rate(cfg, 32, runs, base, runner);
+    EXPECT_DOUBLE_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+// --- PCC (PCC-OSC / PCC-FLEET configurations) --------------------------
+
+TEST(ValidateSweep, PccOscillationCleanAndAttacked) {
+  ArmedInvariants armed;
+  pcc::PccExperimentConfig cfg;
+  cfg.duration = sim::seconds(20);  // bench uses 90 s; same shape
+  cfg.seed = 4;
+  const auto clean = pcc::run_pcc_experiment(cfg);
+  cfg.attack = true;
+  const auto attacked = pcc::run_pcc_experiment(cfg);
+  // The full event-loop ran under armed invariants: monotonic clock,
+  // conserved link time arithmetic, ordered TimeSeries. Sanity on top:
+  EXPECT_GT(clean.mean_rate_bps, 0.0);
+  EXPECT_GT(clean.decisions, 0u);
+  EXPECT_GT(attacked.attacker_observed, 0u);
+  // The time-weighted mean of the recorded rate series must agree with
+  // the step-function integral over the same window recomputed here.
+  const auto& pts = clean.rate.points();
+  ASSERT_FALSE(pts.empty());
+  const sim::Time from = 0, to = pts.back().first;
+  if (to > from) {
+    double integral = 0.0;
+    sim::Time prev_t = from;
+    double prev_v = 0.0;
+    for (const auto& [t, v] : pts) {
+      if (t > to) break;
+      if (t > prev_t) integral += prev_v * static_cast<double>(t - prev_t);
+      prev_t = std::max(prev_t, t);
+      prev_v = v;
+    }
+    integral += prev_v * static_cast<double>(to - prev_t);
+    EXPECT_NEAR(clean.rate.mean_over(from, to),
+                integral / static_cast<double>(to - from),
+                1e-6 * std::abs(integral / static_cast<double>(to - from)));
+  }
+}
+
+TEST(ValidateSweep, PccFleetSharedBottleneck) {
+  ArmedInvariants armed;
+  pcc::PccExperimentConfig cfg;
+  cfg.flows = 3;
+  cfg.duration = sim::seconds(15);
+  cfg.seed = 11;
+  const auto r = pcc::run_pcc_experiment(cfg);
+  EXPECT_GT(r.mean_rate_bps, 0.0);
+  EXPECT_FALSE(r.delivered_bps.empty());
+}
+
+// --- Pytheas (PYTH-QOE configuration) ----------------------------------
+
+TEST(ValidateSweep, PytheasPoisoningEpochLoop) {
+  ArmedInvariants armed;
+  pytheas::PoisonConfig cfg;
+  cfg.legit_sessions = 60;
+  cfg.bot_sessions = 8;
+  cfg.epochs = 40;
+  cfg.warmup_epochs = 10;
+  const auto r = pytheas::run_poisoning_experiment(cfg);
+  EXPECT_EQ(r.legit_qoe.size(), cfg.epochs);
+  EXPECT_GT(r.mean_qoe_before, 0.0);
+}
+
+// --- Sketch (SKETCH-POLLUTE configuration) -----------------------------
+
+TEST(ValidateSweep, SketchPollutionAndRotation) {
+  ArmedInvariants armed;
+  const std::size_t cells = 1024;
+  const std::uint32_t hashes = 3, seed = 99;
+  std::vector<std::uint64_t> legit;
+  for (std::uint64_t k = 1; k <= 200; ++k) legit.push_back(k * 1000003);
+  const auto attack =
+      sketch::craft_saturating_keys(cells, hashes, seed, 150, 32);
+  const auto outcome =
+      sketch::run_bloom_pollution(cells, hashes, seed, legit, attack);
+  EXPECT_GE(outcome.fill_after, outcome.fill_before);
+
+  sketch::RotationConfig rot;
+  rot.cells = 2048;
+  rot.rotation_period = 512;
+  rot.retained_keys = 256;
+  sketch::RotatingBloom rotating{rot};
+  for (std::uint64_t k = 0; k < 4096; ++k) rotating.insert(k * 2654435761u);
+  EXPECT_EQ(rotating.rotations(), 8u);
+}
+
+// --- net: checksum + wire codec under the RFC 1071 oracle --------------
+
+TEST(ValidateSweep, ChecksumFuzzAgainstReference) {
+  ArmedInvariants armed;
+  sim::Rng rng{123};
+  for (int round = 0; round < 40; ++round) {
+    // Cover the overflow regime: spans up to 256 KiB, odd sizes included.
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(0, round < 30 ? 2048 : 256 * 1024));
+    std::vector<std::byte> buf(size);
+    for (auto& b : buf) {
+      b = static_cast<std::byte>(rng.uniform_int(0, 255));
+    }
+    const auto initial =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffu));
+    ASSERT_EQ(net::internet_checksum(buf, initial),
+              validate::reference_internet_checksum(buf, initial))
+        << "size=" << size << " initial=" << initial;
+  }
+}
+
+TEST(ValidateSweep, PacketRoundTripAndCorruptionDetection) {
+  ArmedInvariants armed;
+  sim::Rng rng{321};
+  for (int round = 0; round < 60; ++round) {
+    net::Packet p;
+    p.src = net::Ipv4Addr{static_cast<std::uint32_t>(
+        rng.uniform_int(1, 0xfffffffeu))};
+    p.dst = net::Ipv4Addr{static_cast<std::uint32_t>(
+        rng.uniform_int(1, 0xfffffffeu))};
+    p.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    p.payload_bytes =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 60000));
+    switch (round % 3) {
+      case 0: {
+        net::TcpHeader t;
+        t.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+        t.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+        t.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffu));
+        t.ack = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffu));
+        t.syn = rng.bernoulli(0.5);
+        t.ack_flag = rng.bernoulli(0.5);
+        p.l4 = t;
+        break;
+      }
+      case 1: {
+        net::UdpHeader u;
+        u.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+        u.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+        p.l4 = u;
+        break;
+      }
+      default: {
+        net::IcmpHeader ic;
+        ic.id = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+        ic.seq = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+        p.l4 = ic;
+        break;
+      }
+    }
+
+    const auto wire = net::serialize(p);
+    const auto parsed = net::parse(wire);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->src.value(), p.src.value());
+    EXPECT_EQ(parsed->dst.value(), p.dst.value());
+    EXPECT_EQ(parsed->ttl, p.ttl);
+    EXPECT_EQ(parsed->proto(), p.proto());
+    EXPECT_EQ(parsed->payload_bytes, p.payload_bytes);
+    if (const auto* t = p.tcp()) {
+      ASSERT_NE(parsed->tcp(), nullptr);
+      EXPECT_EQ(parsed->tcp()->seq, t->seq);
+      EXPECT_EQ(parsed->tcp()->src_port, t->src_port);
+    }
+
+    // Every wire byte is covered by either the IP or the L4 checksum, so
+    // any single-bit flip must be rejected (one's-complement sums detect
+    // all single-bit errors).
+    auto corrupted = wire;
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, corrupted.size() - 1));
+    const auto bit = static_cast<int>(rng.uniform_int(0, 7));
+    corrupted[at] ^= static_cast<std::byte>(1 << bit);
+    EXPECT_FALSE(net::parse(corrupted).has_value())
+        << "flip at byte " << at << " bit " << bit << " went undetected";
+  }
+}
+
+// --- Histogram vs exact sorted quantiles -------------------------------
+
+TEST(ValidateSweep, HistogramQuantilesTrackExactQuantiles) {
+  ArmedInvariants armed;
+  sim::Rng rng{55};
+  sim::Histogram h{0.0, 50.0, 100};  // width 0.5
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(2.0, 0.8);  // some mass beyond hi=50
+    samples.push_back(x);
+    h.add(x);
+  }
+  EXPECT_EQ(h.total(), samples.size());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double exact = validate::exact_quantile(samples, q);
+    const double approx = h.quantile(q);
+    if (exact < 50.0) {
+      EXPECT_NEAR(approx, exact, 0.5 + 1e-9) << "q=" << q;
+    } else {
+      EXPECT_GE(approx, 50.0) << "q=" << q;
+    }
+  }
+  // The extremes are exact by construction now.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), validate::exact_quantile(samples, 1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), validate::exact_quantile(samples, 0.0));
+}
+
+// --- RunningStats shard merging vs exact recomputation -----------------
+
+TEST(ValidateSweep, ShardedMergeMatchesExactRecomputation) {
+  ArmedInvariants armed;
+  sim::Rng rng{77};
+  std::vector<double> all;
+  std::vector<sim::RunningStats> shards(8);
+  for (int i = 0; i < 8000; ++i) {
+    const double x = 1e5 + rng.normal(0.0, 25.0);
+    all.push_back(x);
+    shards[static_cast<std::size_t>(i) % shards.size()].add(x);
+  }
+  sim::RunningStats folded;
+  for (const auto& s : shards) folded.merge(s);
+  const validate::ExactStats ex = validate::exact_stats(all);
+  EXPECT_EQ(folded.count(), ex.n);
+  EXPECT_NEAR(folded.mean(), ex.mean, std::abs(ex.mean) * 1e-12);
+  EXPECT_NEAR(folded.variance(), ex.variance, ex.variance * 1e-8);
+  EXPECT_DOUBLE_EQ(folded.min(), ex.min);
+  EXPECT_DOUBLE_EQ(folded.max(), ex.max);
+}
+
+}  // namespace
+}  // namespace intox
