@@ -12,7 +12,8 @@
 
 using namespace intox;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "BLINK-E2E"};
   bench::header("BLINK-E2E", "traffic hijack via fake retransmissions");
 
   sim::Scheduler sched;

@@ -23,13 +23,14 @@ using namespace intox;
 using namespace intox::blink;
 
 int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "FIG2"};
   std::size_t runs = 12;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0) {
       runs = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     }
   }
-  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+  sim::ParallelRunner runner{session.threads()};
 
   bench::header("FIG2", "malicious flows in Blink's sample over time");
   const double tr = 8.37, qm = 0.0525;
@@ -39,11 +40,15 @@ int main(int argc, char** argv) {
   // sharded across the runner. Each trial is seeded by its index alone
   // and the aggregates are folded in trial order below, so the output
   // does not depend on scheduling.
-  const auto trials = runner.map(runs, [](std::size_t r) {
-    Fig2Config cfg;
-    cfg.seed = 1000 + r;
-    return run_fig2_experiment(cfg);
-  });
+  std::vector<Fig2Result> trials;
+  {
+    bench::Phase phase{"FIG2.simulate", "bench"};
+    trials = runner.map(runs, [](std::size_t r) {
+      Fig2Config cfg;
+      cfg.seed = 1000 + r;
+      return run_fig2_experiment(cfg);
+    });
+  }
   bench::perf("FIG2", runner.last_report());
 
   sim::SeriesStats sampled{0, sim::seconds(500), sim::seconds(25)};

@@ -18,7 +18,8 @@ using namespace intox;
 using namespace intox::blink;
 
 int main(int argc, char** argv) {
-  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+  bench::Session session{argc, argv, "BLINK-TR"};
+  sim::ParallelRunner runner{session.threads()};
   bench::header("BLINK-TR",
                 "attack feasibility vs sampled-flow residency t_R");
   const std::size_t n = 64, majority = 32;

@@ -134,7 +134,8 @@ PccRun run_pcc(bool attack, bool with_guard, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "DEFENSE"};
   bench::header("DEFENSE", "§5 supervisors vs the three case-study attacks");
 
   // ---- Blink RTO-plausibility guard ----------------------------------

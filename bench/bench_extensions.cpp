@@ -18,7 +18,8 @@
 
 using namespace intox;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "EXT"};
   bench::header("EXT-RON", "diverting a resilient overlay by dropping probes");
 
   ron::RonExperimentConfig clean_cfg;

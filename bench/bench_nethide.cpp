@@ -34,7 +34,8 @@ Topology dumbbell() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "NETHIDE"};
   bench::header("NETHIDE", "topology presented to traceroute: honest, "
                            "obfuscated, maliciously faked");
 

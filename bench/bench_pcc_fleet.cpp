@@ -31,16 +31,21 @@ PccExperimentConfig fleet_config(std::size_t flows, bool attack) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+  bench::Session session{argc, argv, "PCC-FLEET"};
+  sim::ParallelRunner runner{session.threads()};
 
   bench::header("PCC-FLEET",
                 "aggregate traffic fluctuation at a victim destination");
 
   const std::vector<std::size_t> fleet_sizes{1, 4, 16, 48};
   // Trials 2k / 2k+1 are fleet k clean / attacked.
-  const auto results = runner.map(2 * fleet_sizes.size(), [&](std::size_t i) {
-    return run_pcc_experiment(fleet_config(fleet_sizes[i / 2], i % 2 == 1));
-  });
+  std::vector<PccExperimentResult> results;
+  {
+    bench::Phase phase{"PCC-FLEET.sweep", "bench"};
+    results = runner.map(2 * fleet_sizes.size(), [&](std::size_t i) {
+      return run_pcc_experiment(fleet_config(fleet_sizes[i / 2], i % 2 == 1));
+    });
+  }
   bench::perf("PCC-FLEET", runner.last_report());
 
   bench::row("%6s | %14s %14s | %14s %14s", "flows", "clean agg[Mb]",

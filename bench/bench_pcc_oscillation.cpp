@@ -41,7 +41,8 @@ void print(const char* label, const PccExperimentResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+  bench::Session session{argc, argv, "PCC-OSC"};
+  sim::ParallelRunner runner{session.threads()};
 
   bench::header("PCC-OSC", "PCC rate oscillation under a utility-equalizing MitM");
   bench::row("%-22s %9s %9s %9s %8s %8s %10s", "scenario", "rate[Mb]",
@@ -64,9 +65,13 @@ int main(int argc, char** argv) {
     scenarios.emplace_back("reno + mitm(omnisc.)", reno);
   }
 
-  const auto results = runner.map(scenarios.size(), [&](std::size_t i) {
-    return run_pcc_experiment(scenarios[i].second);
-  });
+  std::vector<PccExperimentResult> results;
+  {
+    bench::Phase phase{"PCC-OSC.scenarios", "bench"};
+    results = runner.map(scenarios.size(), [&](std::size_t i) {
+      return run_pcc_experiment(scenarios[i].second);
+    });
+  }
   bench::perf("PCC-OSC", runner.last_report());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     print(scenarios[i].first, results[i]);
@@ -94,12 +99,16 @@ int main(int argc, char** argv) {
   bench::row("");
   bench::row("ablation: epsilon_max under attack");
   const std::vector<double> emaxes{0.02, 0.05, 0.10};
-  const auto ablations = runner.map(emaxes.size(), [&](std::size_t i) {
-    auto cfg = base();
-    cfg.attack = true;
-    cfg.pcc.epsilon_max = emaxes[i];
-    return run_pcc_experiment(cfg);
-  });
+  std::vector<PccExperimentResult> ablations;
+  {
+    bench::Phase phase{"PCC-OSC.ablation", "bench"};
+    ablations = runner.map(emaxes.size(), [&](std::size_t i) {
+      auto cfg = base();
+      cfg.attack = true;
+      cfg.pcc.epsilon_max = emaxes[i];
+      return run_pcc_experiment(cfg);
+    });
+  }
   bench::perf("PCC-OSC-ABLATION", runner.last_report());
   for (std::size_t i = 0; i < emaxes.size(); ++i) {
     bench::row("  eps_max %.2f -> rate-cv %5.2f%%, amp %5.2f%%", emaxes[i],

@@ -19,7 +19,8 @@ CdnConfig scenario() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "PYTH-CDN"};
   bench::header("PYTH-CDN", "CDN-site overload via MitM throttling");
 
   auto clean_cfg = scenario();

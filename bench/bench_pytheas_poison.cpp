@@ -17,7 +17,8 @@ using namespace intox;
 using namespace intox::pytheas;
 
 int main(int argc, char** argv) {
-  sim::ParallelRunner runner{bench::threads_from_args(argc, argv)};
+  bench::Session session{argc, argv, "PYTH-QOE"};
+  sim::ParallelRunner runner{session.threads()};
 
   bench::header("PYTH-QOE", "group QoE poisoning by lying clients");
 

@@ -10,7 +10,8 @@
 using namespace intox;
 using namespace intox::sketch;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "SKETCH"};
   bench::header("SKETCH", "polluting probabilistic telemetry structures");
 
   constexpr std::size_t kCells = 4096;

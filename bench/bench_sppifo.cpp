@@ -30,7 +30,8 @@ void print(const char* label, const SchedulingResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{argc, argv, "SPPIFO"};
   bench::header("SPPIFO", "SP-PIFO scheduling quality: random vs "
                           "adversarial rank order (same rank multiset)");
 

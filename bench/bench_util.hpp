@@ -2,40 +2,52 @@
 // prints (a) the paper artifact it regenerates, (b) the series/rows, and
 // (c) a PASS/CHECK verdict on the qualitative claim, so `for b in
 // build/bench/*; do $b; done` reads as an experiment report.
+//
+// Observability: every bench opens a bench::Session naming its family.
+// The session routes --threads / --metrics-out / --trace-out (and the
+// INTOX_METRICS / INTOX_TRACE environment variables), and at exit writes
+// the BENCH_<family>.json run report: per-sweep perf, the full metrics
+// registry, and the invariant counters. Everything machine-readable goes
+// to stderr or files — stdout stays byte-identical across --threads.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
-#include <vector>
 
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/runner.hpp"
 
 namespace intox::bench {
 
-/// Parses `--threads N` (0 if absent, deferring to INTOX_THREADS and then
-/// hardware concurrency — see sim::resolve_threads).
+/// The per-bench observability scope; construct one at the top of main.
+using Session = obs::BenchSession;
+/// RAII trace span for a bench phase ("FIG2.simulate", ...).
+using Phase = obs::TraceSpan;
+
+/// Strictly parses `--threads N` (0 if absent or explicitly 0, deferring
+/// to INTOX_THREADS and then hardware concurrency — see
+/// sim::resolve_threads). A malformed or negative value prints an error
+/// on stderr and exits with status 2; it must never silently fall
+/// through to the default and taint a perf comparison.
 inline std::size_t threads_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      const int v = std::atoi(argv[i + 1]);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-  }
-  return 0;
+  return obs::parse_threads_arg(argc, argv);
 }
 
-/// Per-sweep perf record (wall clock + throughput), one JSON line. Emitted
-/// on stderr so stdout — the statistics — stays byte-identical across
-/// thread counts; only this line is allowed to vary.
+/// Per-sweep perf record (wall clock + throughput). Emits the legacy
+/// one-line JSON on stderr — kept, with proper escaping, for transition
+/// compatibility; stdout stays reserved for the statistics — and records
+/// the sweep (including per-shard timing) into the current Session's
+/// run report.
 inline void perf(const char* sweep, const sim::RunReport& r) {
-  std::fprintf(stderr,
-               "{\"sweep\":\"%s\",\"trials\":%zu,\"threads\":%zu,"
-               "\"wall_s\":%.3f,\"trials_per_s\":%.1f}\n",
-               sweep, r.trials, r.threads, r.wall_seconds,
-               r.trials_per_second());
+  obs::SweepPerf record;
+  record.name = sweep;
+  record.trials = r.trials;
+  record.threads = r.threads;
+  record.wall_seconds = r.wall_seconds;
+  record.shard_seconds = r.shard_seconds;
+  obs::emit_sweep_perf(record);
 }
 
 inline void header(const char* exp_id, const char* what) {

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "blink/flow_selector.hpp"
+#include "obs/report.hpp"
 #include "innet/classifier.hpp"
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
@@ -136,4 +137,13 @@ BENCHMARK(BM_PacketSerializeParse);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with an env-only observability session
+// (INTOX_METRICS / INTOX_TRACE; no flag parsing, so google-benchmark's
+// own --benchmark_* flags pass through untouched).
+int main(int argc, char** argv) {
+  intox::obs::BenchSession session{0, nullptr, "MICRO"};
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

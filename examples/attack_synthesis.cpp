@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "blink/blink_node.hpp"
+#include "obs/report.hpp"
 #include "supervisor/attack_synth.hpp"
 
 using namespace intox;
@@ -14,7 +15,8 @@ using namespace intox::supervisor;
 
 constexpr net::Prefix kVictim{net::Ipv4Addr{10, 0, 0, 0}, 8};
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "ATTACK-SYNTH"};
   SynthConfig cfg;
   cfg.flow_pool = 64;
   cfg.sequence_length = 1200;

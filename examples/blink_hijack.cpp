@@ -18,12 +18,17 @@
 #include <cstring>
 
 #include "blink/attacker.hpp"
+#include "obs/report.hpp"
 #include "sim/runner.hpp"
 
 using namespace intox;
 using namespace intox::blink;
 
 int main(int argc, char** argv) {
+  // Env-only observability session (INTOX_METRICS / INTOX_TRACE): this
+  // example treats any bare argument as the bots count, so it cannot
+  // safely claim --metrics-out and friends.
+  obs::BenchSession session{0, nullptr, "BLINK-HIJACK"};
   std::size_t bots = 105, trials = 8, threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
@@ -93,11 +98,12 @@ int main(int argc, char** argv) {
               "(min %.0f, max %.0f)\n",
               trials, hijacked, majority_times.mean(), majority_times.min(),
               majority_times.max());
-  std::fprintf(stderr,
-               "{\"sweep\":\"BLINK-HIJACK\",\"trials\":%zu,\"threads\":%zu,"
-               "\"wall_s\":%.3f,\"trials_per_s\":%.1f}\n",
-               runner.last_report().trials, runner.last_report().threads,
-               runner.last_report().wall_seconds,
-               runner.last_report().trials_per_second());
+  obs::SweepPerf perf;
+  perf.name = "BLINK-HIJACK";
+  perf.trials = runner.last_report().trials;
+  perf.threads = runner.last_report().threads;
+  perf.wall_seconds = runner.last_report().wall_seconds;
+  perf.shard_seconds = runner.last_report().shard_seconds;
+  obs::emit_sweep_perf(perf);
   return 0;
 }

@@ -9,11 +9,13 @@
 #include <cstring>
 
 #include "egress/attack.hpp"
+#include "obs/report.hpp"
 
 using namespace intox;
 using namespace intox::egress;
 
 int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "EGRESS-STEER"};
   bool attack = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--attack") == 0) attack = true;

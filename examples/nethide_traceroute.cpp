@@ -12,6 +12,7 @@
 
 #include "dataplane/switch.hpp"
 #include "nethide/obfuscate.hpp"
+#include "obs/report.hpp"
 #include "sim/network.hpp"
 
 using namespace intox;
@@ -30,7 +31,8 @@ void show_route(const char* label, const Topology& topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "NETHIDE-TR"};
   std::printf("== Part 1: one network, three presented topologies ==\n");
   const Topology topo = Topology::grid(3, 3);
   const PathTable honest = PathTable::all_shortest_paths(topo);

@@ -8,12 +8,14 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/report.hpp"
 #include "pcc/experiment.hpp"
 
 using namespace intox;
 using namespace intox::pcc;
 
 int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "PCC-MITM"};
   bool attack = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--attack") == 0) attack = true;

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/report.hpp"
 #include "pytheas/experiment.hpp"
 #include "supervisor/pytheas_guard.hpp"
 
@@ -16,6 +17,7 @@ using namespace intox;
 using namespace intox::pytheas;
 
 int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "PYTH-STREAM"};
   bool defend = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--defend") == 0) defend = true;

@@ -6,13 +6,15 @@
 #include <cstdio>
 
 #include "dataplane/switch.hpp"
+#include "obs/report.hpp"
 #include "sim/network.hpp"
 #include "trafficgen/driver.hpp"
 #include "trafficgen/synth.hpp"
 
 using namespace intox;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchSession session{argc, argv, "QUICKSTART"};
   sim::Scheduler sched;
   sim::Network net{sched};
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validates intox.bench_report.v1 documents (and, with --trace, Chrome
+trace-event files) emitted by the observability layer.
+
+Usage:
+    scripts/check_metrics_schema.py BENCH_FIG2.json [more.json ...]
+    scripts/check_metrics_schema.py --trace out.trace.json
+
+Stdlib-only on purpose: CI runs it right after `python3 -m json.tool`,
+so a schema drift fails the pipeline with a pointed message instead of
+surfacing weeks later in a plotting notebook.
+"""
+
+import json
+import sys
+
+SCHEMA = "intox.bench_report.v1"
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, msg):
+    if not cond:
+        raise SchemaError(f"{path}: {msg}")
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def is_uint(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+
+def check_sweep(sweep, path):
+    expect(isinstance(sweep, dict), path, "sweep must be an object")
+    for key, pred, what in (
+        ("sweep", lambda v: isinstance(v, str) and v, "non-empty string"),
+        ("trials", is_uint, "non-negative integer"),
+        ("threads", is_uint, "non-negative integer"),
+        ("wall_s", is_num, "number"),
+        ("trials_per_s", is_num, "number"),
+    ):
+        expect(key in sweep, path, f"missing key '{key}'")
+        expect(pred(sweep[key]), f"{path}.{key}", f"must be a {what}")
+    if "shard_wall_s" in sweep:
+        shard = sweep["shard_wall_s"]
+        spath = f"{path}.shard_wall_s"
+        expect(isinstance(shard, dict), spath, "must be an object")
+        for key in ("min", "max", "imbalance"):
+            expect(is_num(shard.get(key)), f"{spath}.{key}", "must be a number")
+        expect(shard["min"] <= shard["max"], spath, "min must be <= max")
+        expect(shard["imbalance"] >= 1.0 or shard["imbalance"] == 0.0, spath,
+               "imbalance is max/mean, so >= 1 (or 0 for unknown)")
+
+
+def check_histogram(hist, path):
+    expect(isinstance(hist, dict), path, "histogram must be an object")
+    for key in ("lo", "hi", "buckets", "underflow", "overflow", "total",
+                "sum", "min", "max"):
+        expect(key in hist, path, f"missing key '{key}'")
+    expect(is_num(hist["lo"]) and is_num(hist["hi"]), path,
+           "lo/hi must be numbers")
+    expect(hist["lo"] < hist["hi"], path, "lo must be < hi")
+    buckets = hist["buckets"]
+    expect(isinstance(buckets, list) and buckets, f"{path}.buckets",
+           "must be a non-empty array")
+    expect(all(is_uint(b) for b in buckets), f"{path}.buckets",
+           "entries must be non-negative integers")
+    for key in ("underflow", "overflow", "total"):
+        expect(is_uint(hist[key]), f"{path}.{key}",
+               "must be a non-negative integer")
+    expect(sum(buckets) + hist["underflow"] + hist["overflow"]
+           == hist["total"],
+           path, "bucket mass + under/overflow must equal total")
+    # min/max are null exactly when the histogram is empty.
+    if hist["total"] == 0:
+        expect(hist["min"] is None and hist["max"] is None, path,
+               "empty histogram must have null min/max")
+    else:
+        expect(is_num(hist["min"]) and is_num(hist["max"]), path,
+               "non-empty histogram must have numeric min/max")
+
+
+def check_report(doc, path):
+    expect(isinstance(doc, dict), path, "report must be an object")
+    expect(doc.get("schema") == SCHEMA, f"{path}.schema",
+           f"must be '{SCHEMA}' (got {doc.get('schema')!r})")
+    expect(isinstance(doc.get("family"), str) and doc["family"],
+           f"{path}.family", "must be a non-empty string")
+    expect(is_uint(doc.get("threads_requested")), f"{path}.threads_requested",
+           "must be a non-negative integer")
+
+    expect(isinstance(doc.get("sweeps"), list), f"{path}.sweeps",
+           "must be an array")
+    for i, sweep in enumerate(doc["sweeps"]):
+        check_sweep(sweep, f"{path}.sweeps[{i}]")
+
+    metrics = doc.get("metrics")
+    expect(isinstance(metrics, dict), f"{path}.metrics", "must be an object")
+    for section, pred, what in (
+        ("counters", is_uint, "non-negative integer"),
+        ("gauges", is_num, "number"),
+    ):
+        block = metrics.get(section)
+        expect(isinstance(block, dict), f"{path}.metrics.{section}",
+               "must be an object")
+        for name, value in block.items():
+            expect(pred(value), f"{path}.metrics.{section}.{name}",
+                   f"must be a {what}")
+    hists = metrics.get("histograms")
+    expect(isinstance(hists, dict), f"{path}.metrics.histograms",
+           "must be an object")
+    for name, hist in hists.items():
+        check_histogram(hist, f"{path}.metrics.histograms.{name}")
+
+    inv = doc.get("invariants")
+    expect(isinstance(inv, dict), f"{path}.invariants", "must be an object")
+    expect(inv.get("mode") in ("fatal", "count", "throw"),
+           f"{path}.invariants.mode", "must be fatal|count|throw")
+    expect(is_uint(inv.get("violations")), f"{path}.invariants.violations",
+           "must be a non-negative integer")
+    expect(isinstance(inv.get("last_message"), str),
+           f"{path}.invariants.last_message", "must be a string")
+
+
+def check_trace(doc, path):
+    expect(isinstance(doc, dict), path, "trace must be an object")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list), f"{path}.traceEvents", "must be an array")
+    expect(events, f"{path}.traceEvents", "must contain at least one event")
+    for i, ev in enumerate(events):
+        epath = f"{path}.traceEvents[{i}]"
+        expect(isinstance(ev, dict), epath, "event must be an object")
+        expect(isinstance(ev.get("name"), str) and ev["name"], f"{epath}.name",
+               "must be a non-empty string")
+        ph = ev.get("ph")
+        expect(ph in ("X", "i", "C"), f"{epath}.ph",
+               "must be X (complete), i (instant), or C (counter)")
+        expect(is_num(ev.get("ts")), f"{epath}.ts", "must be a number")
+        expect(is_uint(ev.get("pid")), f"{epath}.pid", "must be an integer")
+        expect(is_uint(ev.get("tid")), f"{epath}.tid", "must be an integer")
+        if ph == "X":
+            expect(is_num(ev.get("dur")) and ev["dur"] >= 0, f"{epath}.dur",
+                   "complete events need a non-negative dur")
+
+
+def main(argv):
+    args = argv[1:]
+    trace_mode = False
+    if args and args[0] == "--trace":
+        trace_mode = True
+        args = args[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failures = 0
+    for filename in args:
+        try:
+            with open(filename, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            if trace_mode:
+                check_trace(doc, filename)
+            else:
+                check_report(doc, filename)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"FAIL {filename}: {err}", file=sys.stderr)
+            failures += 1
+            continue
+        kind = "trace" if trace_mode else "report"
+        print(f"ok {filename} ({kind})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

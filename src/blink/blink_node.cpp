@@ -1,6 +1,25 @@
 #include "blink/blink_node.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace intox::blink {
+
+BlinkNode::~BlinkNode() {
+  static obs::Counter& retx =
+      obs::Registry::global().counter("blink.retx_detections");
+  static obs::Counter& reroutes =
+      obs::Registry::global().counter("blink.reroutes");
+  static obs::Counter& vetoed =
+      obs::Registry::global().counter("blink.vetoed_reroutes");
+  static obs::Gauge& max_retx =
+      obs::Registry::global().gauge("blink.max_retransmitting_cells");
+  if (retx_detections_) retx.add(retx_detections_);
+  if (!reroutes_.empty()) reroutes.add(reroutes_.size());
+  if (vetoed_) vetoed.add(vetoed_);
+  if (max_retransmitting_) {
+    max_retx.update_max(static_cast<double>(max_retransmitting_));
+  }
+}
 
 void BlinkNode::monitor_prefix(const net::Prefix& prefix, int primary_port,
                                int backup_port) {
@@ -50,6 +69,7 @@ void BlinkNode::process(const net::Packet& pkt,
                           fin_or_rst, now);
 
   if (!v.retransmission) return;
+  ++retx_detections_;
   const std::size_t retx = e.selector->retransmitting_count(now);
   if (retx > max_retransmitting_) max_retransmitting_ = retx;
   if (e.rerouted || now < e.holddown_until) return;

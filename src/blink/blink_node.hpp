@@ -34,6 +34,9 @@ using RerouteGuard =
 class BlinkNode : public dataplane::PacketProcessor {
  public:
   explicit BlinkNode(const BlinkConfig& config) : config_(config) {}
+  /// Publishes lifetime totals (retransmission detections, reroutes,
+  /// vetoes) into the obs metrics registry at retirement.
+  ~BlinkNode() override;
 
   /// Registers a prefix to protect. While healthy the pipeline leaves the
   /// routing decision alone; after an inferred failure it steers the
@@ -61,6 +64,10 @@ class BlinkNode : public dataplane::PacketProcessor {
   [[nodiscard]] FlowSelector* selector(const net::Prefix& prefix);
   /// Count of vetoed reroutes (supervisor interventions).
   [[nodiscard]] std::uint64_t vetoed() const { return vetoed_; }
+  /// Retransmissions flagged by the flow selectors across all prefixes.
+  [[nodiscard]] std::uint64_t retx_detections() const {
+    return retx_detections_;
+  }
   /// High-water mark of simultaneously-retransmitting cells observed on
   /// any monitored prefix (diagnostic; also the fuzzer's progress signal).
   [[nodiscard]] std::size_t max_retransmitting() const {
@@ -88,6 +95,7 @@ class BlinkNode : public dataplane::PacketProcessor {
   std::function<void(const RerouteEvent&)> on_reroute_;
   std::vector<RerouteEvent> reroutes_;
   std::uint64_t vetoed_ = 0;
+  std::uint64_t retx_detections_ = 0;
   std::size_t max_retransmitting_ = 0;
 };
 

@@ -1,0 +1,73 @@
+// Minimal JSON serializer for the observability layer.
+//
+// Every machine-readable artifact this repo emits — the per-sweep perf
+// lines, the BENCH_<family>.json run reports, the Chrome trace files —
+// goes through this writer so string escaping and number formatting are
+// correct in one place. (The previous hand-rolled fprintf in
+// bench_util.hpp emitted sweep names unescaped; a quote in a sweep name
+// produced invalid JSON.)
+//
+// Numbers: doubles are rendered with std::to_chars (shortest round-trip
+// form); NaN and infinities have no JSON representation and are emitted
+// as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intox::obs {
+
+/// Returns `s` with JSON string escapes applied ("\"", "\\", control
+/// characters as \u00XX, and the common \n \r \t \b \f short forms).
+/// Bytes >= 0x20 other than quote/backslash pass through untouched, so
+/// UTF-8 payloads survive.
+std::string json_escape(std::string_view s);
+
+/// Renders a double as a JSON number token (shortest round-trip), or
+/// "null" for NaN / infinity.
+std::string json_number(double v);
+
+/// A streaming JSON writer with comma/nesting bookkeeping. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("schema").value("intox.bench_report.v1");
+///   w.key("sweeps").begin_array();
+///   ...
+///   w.end_array().end_object();
+///   file << w.str();
+///
+/// The writer trusts its caller to produce a well-formed sequence (keys
+/// only inside objects, matched begin/end); it is an internal tool, not
+/// a validator.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view{s}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  /// Splices a pre-rendered JSON token (e.g. a nested document).
+  JsonWriter& raw(std::string_view token);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void element_prefix();
+
+  std::string out_;
+  // One flag per open scope: has the scope already emitted an element?
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace intox::obs

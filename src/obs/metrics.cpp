@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "validate/invariant.hpp"
+
+namespace intox::obs {
+
+std::size_t metric_shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return slot;
+}
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      buckets_(buckets) {
+  INTOX_INVARIANT(hi > lo && buckets > 0,
+                  "histogram metric needs hi > lo and buckets > 0 "
+                  "(got lo=%g hi=%g buckets=%zu)", lo, hi, buckets);
+  if (buckets_ == 0) buckets_ = 1;  // degraded path: one catch-all bucket
+  shards_.reserve(kMetricShards);
+  for (std::size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(buckets_));
+  }
+}
+
+void HistogramMetric::observe(double x) {
+  Shard& s = *shards_[metric_shard_index()];
+  if (std::isnan(x)) {
+    // NaN carries no bucket; count it as overflow so total stays
+    // conserved and the report shows the sample was not lost.
+    s.overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x < lo_) {
+    s.underflow.fetch_add(1, std::memory_order_relaxed);
+  } else if (x >= hi_) {
+    s.overflow.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= buckets_) idx = buckets_ - 1;  // hi-edge rounding guard
+    s.counts[idx].fetch_add(1, std::memory_order_relaxed);
+  }
+  atomic_add_double(s.sum, x);
+  atomic_min_double(s.min, x);
+  atomic_max_double(s.max, x);
+}
+
+HistogramMetric::Snapshot HistogramMetric::snapshot() const {
+  Snapshot snap;
+  snap.lo = lo_;
+  snap.hi = hi_;
+  snap.buckets.assign(buckets_, 0);
+  // Fold in shard-index order — the deterministic reduction the header
+  // promises.
+  for (const auto& shard : shards_) {
+    const Shard& s = *shard;
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      snap.buckets[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.underflow += s.underflow.load(std::memory_order_relaxed);
+    snap.overflow += s.overflow.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, s.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  snap.total = snap.underflow + snap.overflow;
+  for (std::uint64_t c : snap.buckets) snap.total += c;
+  return snap;
+}
+
+void HistogramMetric::reset() {
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    s.underflow.store(0, std::memory_order_relaxed);
+    s.overflow.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  }
+}
+
+void HistogramMetric::Snapshot::merge(const Snapshot& other) {
+  INTOX_INVARIANT(mergeable(other),
+                  "merging mismatched histogram snapshots: [%g,%g)x%zu vs "
+                  "[%g,%g)x%zu", lo, hi, buckets.size(), other.lo, other.hi,
+                  other.buckets.size());
+  if (!mergeable(other)) return;  // degraded path: skip, never mix layouts
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  underflow += other.underflow;
+  overflow += other.overflow;
+  total += other.total;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives all dtors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(lo, hi, buckets))
+             .first;
+  } else {
+    INTOX_INVARIANT(it->second->lo() == lo && it->second->hi() == hi &&
+                        it->second->bucket_count() == buckets,
+                    "histogram '%.*s' re-registered with different bounds: "
+                    "[%g,%g)x%zu vs existing [%g,%g)x%zu",
+                    static_cast<int>(name.size()), name.data(), lo, hi,
+                    buckets, it->second->lo(), it->second->hi(),
+                    it->second->bucket_count());
+  }
+  return *it->second;
+}
+
+void Registry::register_external_counter(std::string name,
+                                         std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  external_counters_[std::move(name)] = std::move(fn);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, fn] : external_counters_) {
+    snap.counters[name] = fn();
+  }
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+std::string Registry::to_json(const Snapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("lo").value(h.lo);
+    w.key("hi").value(h.hi);
+    w.key("buckets").begin_array();
+    for (std::uint64_t c : h.buckets) w.value(c);
+    w.end_array();
+    w.key("underflow").value(h.underflow);
+    w.key("overflow").value(h.overflow);
+    w.key("total").value(h.total);
+    w.key("sum").value(h.sum);
+    // Unobserved histograms have infinite extremes — render as null.
+    w.key("min").value(h.total ? h.min
+                               : std::numeric_limits<double>::quiet_NaN());
+    w.key("max").value(h.total ? h.max
+                               : std::numeric_limits<double>::quiet_NaN());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void Registry::reset_values_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace intox::obs

@@ -1,0 +1,209 @@
+// Process-wide metrics registry: counters, gauges, histograms.
+//
+// The §5 supervisor architecture is premised on *watching* the data
+// plane; this registry is the reproduction's own data plane watching
+// itself. Design constraints, in order:
+//
+//  1. Contention-free recording. Every metric is sharded into
+//     cache-line-aligned per-thread slots (a thread hashes to a slot on
+//     first use and keeps it), so the parallel runner's trial shards
+//     never bounce a cache line between workers. Recording is a relaxed
+//     atomic add to the thread's own slot.
+//  2. Deterministic folding. Reads fold the slots in fixed shard-index
+//     order. Counter and histogram-bucket folds are integer sums —
+//     identical for any thread count, because the *work* is identical
+//     (trials are seeded by index) and only its placement moves.
+//     Gauges expose set / update_max, and instrumentation uses the max
+//     form, which is also placement-invariant. The one exception is a
+//     histogram's running `sum` of double samples: which samples share
+//     a shard depends on scheduling, so the fold can differ in the last
+//     ulp across runs. Bucket counts, totals, and extremes never do.
+//  3. Nothing on stdout. Metrics surface only through the run-report
+//     sink (obs/report.hpp) and the trace layer, so bench stdout stays
+//     byte-identical across `--threads`.
+//
+// Metric handles are stable for the process lifetime once registered;
+// hot paths look them up once (static local or member) and then record
+// lock-free. Registration / snapshot take a mutex — they are cold.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intox::obs {
+
+/// Number of per-metric slots. A power of two; threads beyond this many
+/// share slots (still correct — slots are atomic — just less private).
+inline constexpr std::size_t kMetricShards = 32;
+
+/// This thread's slot index in [0, kMetricShards). Assigned round-robin
+/// on first use and cached thread-locally.
+std::size_t metric_shard_index();
+
+namespace detail {
+struct alignas(64) ShardedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. `add` is a relaxed fetch_add on the calling
+/// thread's shard; `value` folds the shards in index order.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::ShardedU64, kMetricShards> shards_;
+};
+
+/// Point-in-time value. `set` is last-writer-wins (use it only from one
+/// thread, e.g. a bench main); `update_max` is a CAS-max and therefore
+/// deterministic under any thread placement — instrumentation on shared
+/// paths uses this form (high-water marks).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void update_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Concurrent fixed-width histogram over [lo, hi). Mirrors the
+/// semantics of sim::Histogram (out-of-range samples go to dedicated
+/// under/overflow counters, never clamped into edge buckets) but is
+/// safe to record into from many threads at once.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets);
+
+  void observe(double x);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_; }
+
+  /// A folded, immutable view — also the merge/serialization unit.
+  struct Snapshot {
+    double lo = 0.0, hi = 0.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    /// Adds another snapshot's counts; layouts must match (callers that
+    /// merge across processes validate with `mergeable`).
+    void merge(const Snapshot& other);
+    [[nodiscard]] bool mergeable(const Snapshot& other) const {
+      return lo == other.lo && hi == other.hi &&
+             buckets.size() == other.buckets.size();
+    }
+    [[nodiscard]] double mean() const {
+      return total ? sum / static_cast<double>(total) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t buckets)
+        : counts(buckets), underflow{0}, overflow{0}, sum{0.0},
+          min{std::numeric_limits<double>::infinity()},
+          max{-std::numeric_limits<double>::infinity()} {}
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> underflow;
+    std::atomic<std::uint64_t> overflow;
+    std::atomic<double> sum;
+    std::atomic<double> min;
+    std::atomic<double> max;
+  };
+
+  double lo_, hi_, width_;
+  std::size_t buckets_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// The process-wide registry. Metrics are identified by dotted names
+/// ("sim.link.tx_packets"); iteration and serialization are name-sorted
+/// so output order never depends on registration order.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Returns the named metric, creating it on first use. References stay
+  /// valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// On re-registration the existing histogram is returned; asking for
+  /// different bounds than it was created with raises an invariant
+  /// violation (and returns the existing one on the degraded path).
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Registers a counter whose value is read from `fn` at snapshot time
+  /// — the bridge for subsystems that keep their own counters (the
+  /// validate/ invariant layer). Re-registering a name replaces the
+  /// provider.
+  void register_external_counter(std::string name,
+                                 std::function<std::uint64_t()> fn);
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramMetric::Snapshot> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Serializes a snapshot as the report schema's "metrics" object.
+  static std::string to_json(const Snapshot& snap);
+  [[nodiscard]] std::string json() const { return to_json(snapshot()); }
+
+  /// Zeroes every registered metric (registrations and external
+  /// providers survive). Test isolation only.
+  void reset_values_for_test();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+  std::map<std::string, std::function<std::uint64_t()>, std::less<>>
+      external_counters_;
+};
+
+}  // namespace intox::obs

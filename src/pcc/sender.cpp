@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "pcc/utility.hpp"
+
 namespace intox::pcc {
+
+namespace {
+
+/// Peak-to-trough swing of the recorded per-MI rate signal relative to
+/// its midpoint — the amplitude the §4.2 MitM drives up and the §5
+/// supervisor is meant to bound. 0 for a flat or empty series.
+double oscillation_amplitude(const sim::TimeSeries& rates) {
+  if (rates.size() < 2) return 0.0;
+  double lo = rates.points().front().second, hi = lo;
+  for (const auto& [t, v] : rates.points()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double mid = (hi + lo) / 2.0;
+  return mid > 0.0 ? (hi - lo) / mid : 0.0;
+}
+
+}  // namespace
 
 PccSender::PccSender(sim::Scheduler& sched, const PccConfig& config,
                      net::FiveTuple flow, PacketSink sink)
@@ -12,6 +33,21 @@ PccSender::PccSender(sim::Scheduler& sched, const PccConfig& config,
       base_rate_bps_(config.initial_rate_bps), epsilon_(config.epsilon_min),
       epsilon_cap_(config.epsilon_max),
       srtt_s_(sim::to_seconds(config.initial_rtt)) {}
+
+PccSender::~PccSender() {
+  static obs::Counter& decisions =
+      obs::Registry::global().counter("pcc.decisions");
+  static obs::Counter& inconclusive =
+      obs::Registry::global().counter("pcc.inconclusive_experiments");
+  static obs::Counter& intervals =
+      obs::Registry::global().counter("pcc.monitor_intervals");
+  static obs::Gauge& amplitude =
+      obs::Registry::global().gauge("pcc.rate_oscillation_amplitude_hwm");
+  if (decisions_) decisions.add(decisions_);
+  if (inconclusive_) inconclusive.add(inconclusive_);
+  if (!history_.empty()) intervals.add(history_.size());
+  amplitude.update_max(oscillation_amplitude(rate_series_));
+}
 
 void PccSender::start() {
   running_ = true;
@@ -155,6 +191,15 @@ void PccSender::finish_mi(MonitorInterval mi) {
   const double u = utility(mi.rate_bps, mi.loss(), config_.utility_params);
   utility_series_.record(mi.end, u);
   history_.push_back(mi);
+  // Per-MI observability: utility normalized by rate (u/x lies in
+  // [-1, 1] for the Allegro utility, so one histogram fits every rate
+  // regime) and the raw loss fraction.
+  static obs::HistogramMetric& utility_hist =
+      obs::Registry::global().histogram("pcc.mi_utility_norm", -1.0, 1.0, 40);
+  static obs::HistogramMetric& loss_hist =
+      obs::Registry::global().histogram("pcc.mi_loss", 0.0, 1.0, 20);
+  if (mi.rate_bps > 0) utility_hist.observe(u / mi.rate_bps);
+  loss_hist.observe(mi.loss());
   evaluate(mi, u);
 }
 

@@ -1,5 +1,7 @@
 #include "pytheas/engine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace intox::pytheas {
 
 PytheasEngine::PytheasEngine(const EngineConfig& config)
@@ -49,10 +51,16 @@ ArmId PytheasEngine::assignment(SessionId session) const {
 }
 
 void PytheasEngine::report(const QoeReport& r) {
+  static obs::Counter& reports =
+      obs::Registry::global().counter("pytheas.reports");
+  static obs::Counter& filtered =
+      obs::Registry::global().counter("pytheas.filtered_reports");
+  reports.add(1);
   auto it = session_group_.find(r.session);
   if (it == session_group_.end()) return;
   if (filter_ && !filter_->admit(it->second, r)) {
     ++filtered_;
+    filtered.add(1);
     return;
   }
   Group& g = *groups_.at(it->second);
@@ -79,6 +87,9 @@ void PytheasEngine::redeal(Group& group) {
 }
 
 void PytheasEngine::end_epoch() {
+  static obs::Counter& epochs =
+      obs::Registry::global().counter("pytheas.epochs");
+  epochs.add(1);
   for (auto& [key, group] : groups_) {
     redeal(*group);
     group->bandit.decay();

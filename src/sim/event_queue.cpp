@@ -1,8 +1,25 @@
 #include "sim/event_queue.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::sim {
+
+Scheduler::~Scheduler() {
+  // Retirement-time accounting: a single fold into the registry per
+  // scheduler lifetime instead of per event. Totals are sums of what
+  // each (deterministically seeded) trial processed, so they fold to
+  // the same values for any --threads.
+  static obs::Counter& processed_counter =
+      obs::Registry::global().counter("sim.scheduler.events_processed");
+  static obs::Gauge& depth_gauge =
+      obs::Registry::global().gauge("sim.scheduler.queue_depth_hwm");
+  if (processed_ > 0) processed_counter.add(processed_);
+  if (depth_hwm_ > 0) {
+    depth_gauge.update_max(static_cast<double>(depth_hwm_));
+  }
+}
 
 Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   INTOX_INVARIANT(static_cast<bool>(cb),
@@ -13,6 +30,9 @@ Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{t, next_seq_++, id});
   callbacks_.emplace(id, std::move(cb));
+  if (const std::size_t depth = pending(); depth > depth_hwm_) {
+    depth_hwm_ = depth;
+  }
   return EventId{id};
 }
 
@@ -41,6 +61,10 @@ bool Scheduler::pop_next(Entry& out) {
 }
 
 std::size_t Scheduler::run(std::size_t limit) {
+  // Drain-batch span: one event per run() call, not per event — the
+  // enabled() check keeps the disabled-path cost to one atomic load.
+  const bool tracing = obs::trace_enabled();
+  const double span_start = tracing ? obs::trace_now_us() : 0.0;
   std::size_t n = 0;
   Entry e;
   while (n < limit && pop_next(e)) {
@@ -64,10 +88,16 @@ std::size_t Scheduler::run(std::size_t limit) {
     ++n;
     ++processed_;
   }
+  if (tracing && n > 0) {
+    obs::trace_complete("scheduler.drain", "sim", span_start, "events", n,
+                        "pending", pending());
+  }
   return n;
 }
 
 std::size_t Scheduler::run_until(Time t) {
+  const bool tracing = obs::trace_enabled();
+  const double span_start = tracing ? obs::trace_now_us() : 0.0;
   std::size_t n = 0;
   while (!heap_.empty()) {
     // Peek through tombstones without popping live entries early.
@@ -97,6 +127,10 @@ std::size_t Scheduler::run_until(Time t) {
     ++processed_;
   }
   if (now_ < t) now_ = t;
+  if (tracing && n > 0) {
+    obs::trace_complete("scheduler.drain_until", "sim", span_start, "events",
+                        n, "pending", pending());
+  }
   return n;
 }
 

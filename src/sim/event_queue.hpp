@@ -21,6 +21,14 @@ class Scheduler {
  public:
   using Callback = std::function<void()>;
 
+  Scheduler() = default;
+  /// Publishes lifetime totals (events processed, queue-depth high-water
+  /// mark) into the obs metrics registry — retirement-time accounting,
+  /// so the drain loop itself carries no per-event registry cost.
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
   /// Opaque handle for cancellation. Default-constructed ids are invalid.
   struct EventId {
     std::uint64_t value = 0;
@@ -50,6 +58,10 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  /// Most live events ever pending at once on this scheduler.
+  [[nodiscard]] std::size_t queue_depth_high_water() const {
+    return depth_hwm_;
+  }
   /// Cancelled-but-not-yet-popped entries still occupying the heap.
   /// Tests assert this drains back to zero (no tombstone leak) once the
   /// clock passes the cancelled events' deadlines.
@@ -74,6 +86,7 @@ class Scheduler {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t depth_hwm_ = 0;
   std::priority_queue<Entry> heap_;
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::unordered_set<std::uint64_t> cancelled_;

@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::sim {
+
+Link::~Link() {
+  // Counter handles are resolved once per process; the destructor then
+  // folds this link's totals with relaxed sharded adds. Totals are
+  // per-trial work, so they are identical for any --threads.
+  struct Handles {
+    obs::Counter& tx_packets;
+    obs::Counter& tx_bytes;
+    obs::Counter& delivered;
+    obs::Counter& dropped_queue;
+    obs::Counter& dropped_red;
+    obs::Counter& dropped_tap;
+    obs::Counter& dropped_down;
+  };
+  static Handles h{
+      obs::Registry::global().counter("sim.link.tx_packets"),
+      obs::Registry::global().counter("sim.link.tx_bytes"),
+      obs::Registry::global().counter("sim.link.delivered_packets"),
+      obs::Registry::global().counter("sim.link.dropped_queue"),
+      obs::Registry::global().counter("sim.link.dropped_red"),
+      obs::Registry::global().counter("sim.link.dropped_tap"),
+      obs::Registry::global().counter("sim.link.dropped_down"),
+  };
+  if (counters_.tx_packets) h.tx_packets.add(counters_.tx_packets);
+  if (counters_.tx_bytes) h.tx_bytes.add(counters_.tx_bytes);
+  if (counters_.delivered_packets) h.delivered.add(counters_.delivered_packets);
+  if (counters_.dropped_queue) h.dropped_queue.add(counters_.dropped_queue);
+  if (counters_.dropped_red) h.dropped_red.add(counters_.dropped_red);
+  if (counters_.dropped_tap) h.dropped_tap.add(counters_.dropped_tap);
+  if (counters_.dropped_down) h.dropped_down.add(counters_.dropped_down);
+}
 
 double Link::backlog_bytes() const {
   const Time now = sched_.now();

@@ -41,6 +41,10 @@ class Link {
 
   Link(Scheduler& sched, LinkConfig config, Sink deliver)
       : sched_(sched), config_(config), deliver_(std::move(deliver)) {}
+  /// Publishes the lifetime counters (packets, bytes, drops by cause)
+  /// into the obs metrics registry — one fold per link, zero cost on
+  /// the per-packet path.
+  ~Link();
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;

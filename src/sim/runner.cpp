@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::sim {
@@ -21,13 +23,28 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+double RunReport::shard_imbalance() const {
+  if (shard_seconds.empty()) return 0.0;
+  double sum = 0.0, max = 0.0;
+  for (double s : shard_seconds) {
+    sum += s;
+    if (s > max) max = s;
+  }
+  const double mean = sum / static_cast<double>(shard_seconds.size());
+  return mean > 0.0 ? max / mean : 0.0;
+}
+
 void ParallelRunner::dispatch(std::size_t n_trials,
                               const std::function<void(std::size_t)>& body) {
   const auto start = std::chrono::steady_clock::now();
+  obs::TraceSpan span{"runner.dispatch", "runner"};
   INTOX_INVARIANT(threads_ >= 1, "runner resolved to zero workers");
   const std::size_t workers =
       n_trials > 0 ? std::min(std::max<std::size_t>(threads_, 1), n_trials)
                    : std::size_t{1};
+  span.arg0("trials", n_trials);
+  span.arg1("workers", workers);
+  std::vector<double> shard_seconds(workers, 0.0);
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < n_trials; ++i) body(i);
@@ -36,32 +53,55 @@ void ParallelRunner::dispatch(std::size_t n_trials,
     std::mutex error_mutex;
     std::exception_ptr first_error;
 
-    auto worker = [&] {
+    auto worker = [&](std::size_t shard) {
+      obs::TraceSpan shard_span{"runner.shard", "runner"};
+      const auto shard_start = std::chrono::steady_clock::now();
+      std::size_t claimed = 0;
       for (;;) {
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n_trials) return;
+        if (i >= n_trials) break;
         try {
           body(i);
+          ++claimed;
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           // Drain the remaining trials so peers exit promptly.
           cursor.store(n_trials, std::memory_order_relaxed);
-          return;
+          break;
         }
       }
+      shard_seconds[shard] = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - shard_start).count();
+      shard_span.arg0("trials", claimed);
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
     for (auto& t : pool) t.join();
     if (first_error) std::rethrow_exception(first_error);
   }
 
   const auto elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - start);
-  report_ = RunReport{n_trials, workers, elapsed.count()};
+  if (workers <= 1) shard_seconds.assign(1, elapsed.count());
+  report_ = RunReport{n_trials, workers, elapsed.count(),
+                      std::move(shard_seconds)};
+
+  // Registry accounting is aggregate-only (nothing per-trial): totals
+  // fold deterministically across thread counts; the imbalance gauge is
+  // a high-water mark, which is placement-dependent by nature — it
+  // describes this process's scheduling, not the simulated statistics.
+  static obs::Counter& trials_counter =
+      obs::Registry::global().counter("sim.runner.trials");
+  static obs::Counter& dispatch_counter =
+      obs::Registry::global().counter("sim.runner.dispatches");
+  static obs::Gauge& imbalance_gauge =
+      obs::Registry::global().gauge("sim.runner.shard_imbalance_hwm");
+  trials_counter.add(n_trials);
+  dispatch_counter.add(1);
+  imbalance_gauge.update_max(report_.shard_imbalance());
 }
 
 }  // namespace intox::sim

@@ -30,15 +30,21 @@ namespace intox::sim {
 std::size_t resolve_threads(std::size_t requested);
 
 /// Timing of the most recent `run`/`map` call — the per-sweep perf line
-/// the benches emit.
+/// the benches emit. `shard_seconds` holds each worker's busy time for
+/// the dispatch (one entry per worker), from which `shard_imbalance`
+/// derives the max/mean load ratio the observability layer reports.
 struct RunReport {
   std::size_t trials = 0;
   std::size_t threads = 1;
   double wall_seconds = 0.0;
+  std::vector<double> shard_seconds;
   [[nodiscard]] double trials_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
                               : 0.0;
   }
+  /// max/mean worker busy time: 1.0 = perfectly balanced; 0 = unknown
+  /// (no shard timing recorded, e.g. a hand-accumulated report).
+  [[nodiscard]] double shard_imbalance() const;
 };
 
 class ParallelRunner {

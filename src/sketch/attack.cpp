@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace intox::sketch {
 
@@ -80,6 +81,16 @@ PollutionOutcome run_bloom_pollution(
   for (std::uint64_t k : attack_keys) filter.insert(k);
   out.fill_after = filter.fill_fraction();
   out.fpr_after = bloom_empirical_fpr(filter, 20000);
+
+  static obs::Counter& inserts =
+      obs::Registry::global().counter("sketch.inserts");
+  static obs::Counter& collisions =
+      obs::Registry::global().counter("sketch.collisions");
+  static obs::Gauge& fill_hwm =
+      obs::Registry::global().gauge("sketch.fill_ratio_hwm");
+  inserts.add(filter.inserted());
+  if (filter.collisions()) collisions.add(filter.collisions());
+  fill_hwm.update_max(out.fill_after);
   return out;
 }
 

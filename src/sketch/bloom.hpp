@@ -45,9 +45,18 @@ class BloomFilter {
       : bits_(cells, false), hashes_(hashes), seed_(seed) {}
 
   void insert(std::uint64_t key) {
+    bool flipped = false;
     for (std::uint32_t i = 0; i < hashes_; ++i) {
-      bits_[bloom_index(key, i, bits_.size(), seed_)] = true;
+      auto bit = bits_[bloom_index(key, i, bits_.size(), seed_)];
+      if (!bit) {
+        bit = true;
+        flipped = true;
+      }
     }
+    // A full collision: every cell was already set, so this key is now
+    // indistinguishable from prior members — the saturation signal the
+    // §3.2 crafted-key attack drives up.
+    if (!flipped) ++collisions_;
     ++inserted_;
   }
 
@@ -62,6 +71,8 @@ class BloomFilter {
   [[nodiscard]] std::uint32_t hashes() const { return hashes_; }
   [[nodiscard]] std::uint32_t seed() const { return seed_; }
   [[nodiscard]] std::uint64_t inserted() const { return inserted_; }
+  /// Insertions that set no new bit (all cells already occupied).
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
   [[nodiscard]] double fill_fraction() const {
     std::size_t set = 0;
     for (bool b : bits_) set += b;
@@ -70,6 +81,7 @@ class BloomFilter {
   void clear() {
     bits_.assign(bits_.size(), false);
     inserted_ = 0;
+    collisions_ = 0;
   }
 
  private:
@@ -77,6 +89,7 @@ class BloomFilter {
   std::uint32_t hashes_;
   std::uint32_t seed_;
   std::uint64_t inserted_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 /// Counting Bloom filter with deletion support (used by LossRadar-style

@@ -1,6 +1,7 @@
 #include "sketch/rotation.hpp"
 
 #include "net/hash.hpp"
+#include "obs/metrics.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::sketch {
@@ -28,6 +29,19 @@ void RotatingBloom::insert(std::uint64_t key) {
 }
 
 void RotatingBloom::rotate() {
+  // Observability: how full (and how collided) the filter got before
+  // the rotation wiped it — the fill high-water is the §3.2 saturation
+  // signal a supervisor would watch.
+  static obs::Counter& rotations =
+      obs::Registry::global().counter("sketch.rotations");
+  static obs::Counter& collisions =
+      obs::Registry::global().counter("sketch.collisions");
+  static obs::Gauge& fill_hwm =
+      obs::Registry::global().gauge("sketch.fill_ratio_hwm");
+  rotations.add(1);
+  if (filter_.collisions()) collisions.add(filter_.collisions());
+  fill_hwm.update_max(filter_.fill_fraction());
+
   ++rotations_;
   since_rotation_ = 0;
   ++seed_counter_;

@@ -19,6 +19,8 @@
 #include "net/packet.hpp"
 #include "pcc/experiment.hpp"
 #include "pytheas/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sim/rng.hpp"
 #include "sim/runner.hpp"
 #include "sim/stats.hpp"
@@ -299,6 +301,36 @@ TEST(ValidateSweep, HistogramQuantilesTrackExactQuantiles) {
   // The extremes are exact by construction now.
   EXPECT_DOUBLE_EQ(h.quantile(1.0), validate::exact_quantile(samples, 1.0));
   EXPECT_DOUBLE_EQ(h.quantile(0.0), validate::exact_quantile(samples, 0.0));
+}
+
+// --- Invariant counters exported through the metrics registry ----------
+
+// NDEBUG builds run invariants in count-and-continue mode; the degraded
+// paths only show up as a nonzero "validate.invariant_violations"
+// counter. This asserts the registry bridge reports exactly what the
+// validate/ layer counted — and that after the armed sweeps above, the
+// default-seed configurations left it at zero.
+TEST(ValidateSweep, InvariantCountersExportedThroughRegistry) {
+  obs::export_invariant_counters();
+  validate::reset_invariant_violations();
+
+  auto exported = [] {
+    return obs::Registry::global().snapshot().counters.at(
+        "validate.invariant_violations");
+  };
+  EXPECT_EQ(exported(), 0u)
+      << "default-seed sweep tripped an invariant degraded path: "
+      << validate::last_invariant_message();
+
+  // The bridge is live, not a stale copy: a counted violation is visible
+  // in the very next snapshot (and in any BENCH_*.json written then).
+  {
+    validate::ScopedInvariantMode count_mode{validate::InvariantMode::kCount};
+    INTOX_INVARIANT(false, "probe violation for the registry bridge");
+    EXPECT_EQ(exported(), 1u);
+  }
+  validate::reset_invariant_violations();
+  EXPECT_EQ(exported(), 0u);
 }
 
 // --- RunningStats shard merging vs exact recomputation -----------------
