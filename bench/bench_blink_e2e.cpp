@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   sim::Rng rng{2024};
 
   dataplane::CallbackNode source{"ingress", nullptr};
-  dataplane::RoutedSwitch sw{"blink-switch", sched, net::Ipv4Addr{192, 0, 2, 1}};
+  dataplane::RoutedSwitch sw{"blink-switch", sched,
+                             net::Ipv4Addr{192, 0, 2, 1}};
   dataplane::CallbackNode primary{"primary-nexthop", nullptr};
   dataplane::CallbackNode attacker_hop{"attacker-nexthop", nullptr};
 

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
     reroutes += !result.reroutes.empty();
   }
 
-  bench::row("%6s  %8s  %6s  %6s  | packet-level sim (mean of %zu runs, min, max)",
+  bench::row("%6s  %8s  %6s  %6s  | packet-level sim (mean of %zu runs, "
+             "min, max)",
              "t[s]", "calc-avg", "p5", "p95", runs);
   for (std::size_t i = 0; i < sampled.points(); ++i) {
     const int t = static_cast<int>(i) * 25;
@@ -86,12 +87,14 @@ int main(int argc, char** argv) {
              measured_tr.mean());
   bench::row("runs reaching majority                   %zu/%zu",
              majority_times.count(), runs);
-  bench::row("runs triggering a bogus reroute          %zu/%zu", reroutes, runs);
+  bench::row("runs triggering a bogus reroute          %zu/%zu", reroutes,
+             runs);
 
   bench::claim(majority_times.count() == runs,
                "attack reaches a malicious majority in every run");
   bench::claim(majority_times.mean() > 100 && majority_times.mean() < 260,
-               "time-to-majority lands in the paper's 100-260 s regime (~172 s)");
+               "time-to-majority lands in the paper's 100-260 s regime "
+               "(~172 s)");
   bench::claim(std::abs(measured_tr.mean() - 8.37) < 1.5,
                "synthetic trace reproduces the target t_R = 8.37 s");
   bench::claim(reroutes == runs, "every run ends with Blink hijacked");

@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   ron::RonExperimentConfig clean_cfg;
   clean_cfg.attack = false;
   const auto clean = ron::run_ron_attack_experiment(clean_cfg);
-  const auto attacked = ron::run_ron_attack_experiment(ron::RonExperimentConfig{});
+  const auto attacked =
+      ron::run_ron_attack_experiment(ron::RonExperimentConfig{});
 
   bench::row("%-26s %12s %12s", "", "no attack", "probe drops");
   bench::row("%-26s %12s %12s", "route 0->1 after",
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
   bench::row("%-26s %12llu %12llu", "packets dropped by MitM",
              static_cast<unsigned long long>(eclean.attacker_dropped),
              static_cast<unsigned long long>(eatk.attacker_dropped));
-  bench::claim(eclean.preferred_after == 0 && eclean.attacker_path_fraction < 0.05,
+  bench::claim(eclean.preferred_after == 0 &&
+                   eclean.attacker_path_fraction < 0.05,
                "undisturbed edge prefers the genuinely best peering path");
   bench::claim(eatk.preferred_after == ecfg.attacker.attacker_path &&
                    eatk.attacker_path_fraction > 0.7,
@@ -86,8 +88,9 @@ int main(int argc, char** argv) {
   bench::row("%-12s | %8s %8s %8s %8s | %10s", "MitM target", "healthy",
              "sender", "network", "receiver", "touched");
   bool all_correct = true;
-  for (auto target : {dapper::Implicate::kNone, dapper::Implicate::kSender,
-                      dapper::Implicate::kNetwork, dapper::Implicate::kReceiver}) {
+  for (auto target :
+       {dapper::Implicate::kNone, dapper::Implicate::kSender,
+        dapper::Implicate::kNetwork, dapper::Implicate::kReceiver}) {
     const auto r =
         dapper::run_diagnosis_experiment(dapper::ConversationConfig{}, target);
     bench::row("%-12s | %7.0f%% %7.0f%% %7.0f%% %7.0f%% | %9.2f%%",

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   bench::Session session{argc, argv, "PCC-OSC"};
   sim::ParallelRunner runner{session.threads()};
 
-  bench::header("PCC-OSC", "PCC rate oscillation under a utility-equalizing MitM");
+  bench::header("PCC-OSC",
+                "PCC rate oscillation under a utility-equalizing MitM");
   bench::row("%-22s %9s %9s %9s %8s %8s %10s", "scenario", "rate[Mb]",
              "rate-cv", "amp", "inconcl", "decide", "drop-share");
 

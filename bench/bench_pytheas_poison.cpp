@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   bench::row("");
   bench::row("ablation: UCB discount (bots=40, amp=3)");
   const std::vector<double> discounts{0.90, 0.98, 0.999};
-  const auto discount_results = runner.map(discounts.size(), [&](std::size_t i) {
+  const auto discount_results = runner.map(discounts.size(),
+                                           [&](std::size_t i) {
     PoisonConfig cfg;
     cfg.bot_sessions = 40;
     cfg.engine.ucb.discount = discounts[i];

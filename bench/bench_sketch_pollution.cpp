@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       random_keys.push_back(net::mix64(0xabc000 + i));
     }
     const auto crafted = craft_saturating_keys(kCells, kHashes, kSeed, keys);
-    const auto r1 = run_bloom_pollution(kCells, kHashes, kSeed, legit, random_keys);
+    const auto r1 =
+        run_bloom_pollution(kCells, kHashes, kSeed, legit, random_keys);
     const auto r2 = run_bloom_pollution(kCells, kHashes, kSeed, legit, crafted);
     bench::row("%8zu | %9.3f %9.3f%% | %9.3f %9.3f%%", keys, r1.fill_after,
                r1.fpr_after * 100.0, r2.fill_after, r2.fpr_after * 100.0);

@@ -51,9 +51,11 @@ inline void perf(const char* sweep, const sim::RunReport& r) {
 }
 
 inline void header(const char* exp_id, const char* what) {
-  std::printf("\n================================================================\n");
+  std::printf("\n================================================"
+              "================\n");
   std::printf("%s — %s\n", exp_id, what);
-  std::printf("================================================================\n");
+  std::printf("================================================"
+              "================\n");
 }
 
 inline void row(const char* fmt, ...) {

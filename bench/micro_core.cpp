@@ -34,14 +34,16 @@ void BM_LpmLookup(benchmark::State& state) {
   net::LpmTable<std::uint32_t> table;
   sim::Rng rng{1};
   for (int i = 0; i < state.range(0); ++i) {
-    const auto addr = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+    const auto addr =
+        static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
     table.insert(net::Prefix{net::Ipv4Addr{addr}, 24},
                  static_cast<std::uint32_t>(i % 16));
   }
   std::uint64_t sink = 0;
   sim::Rng probe{2};
   for (auto _ : state) {
-    const net::Ipv4Addr a{static_cast<std::uint32_t>(probe.uniform_int(0, UINT32_MAX))};
+    const net::Ipv4Addr a{
+        static_cast<std::uint32_t>(probe.uniform_int(0, UINT32_MAX))};
     auto m = table.lookup(a);
     sink += m ? m->value : 0;
   }

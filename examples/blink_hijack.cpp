@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
   const Fig2Result& result = results.front();
   std::printf("%8s  %22s\n", "time[s]", "malicious cells (of 64)");
   for (int t = 0; t <= 300; t += 30) {
-    const int cells = static_cast<int>(result.malicious_sampled.at(sim::seconds(t)));
+    const int cells =
+        static_cast<int>(result.malicious_sampled.at(sim::seconds(t)));
     std::printf("%8d  [%-32.*s] %d\n", t, cells / 2,
                 "################################", cells);
   }
@@ -91,7 +92,9 @@ int main(int argc, char** argv) {
   sim::RunningStats majority_times;
   std::size_t hijacked = 0;
   for (const Fig2Result& r : results) {
-    if (r.time_to_majority_seconds >= 0) majority_times.add(r.time_to_majority_seconds);
+    if (r.time_to_majority_seconds >= 0) {
+      majority_times.add(r.time_to_majority_seconds);
+    }
     hijacked += !r.reroutes.empty();
   }
   std::printf("\nacross %zu trials: %zu hijacks; majority after %.0f s mean "

@@ -160,13 +160,21 @@ def main(argv):
     failures = 0
     for filename in args:
         try:
-            with open(filename, "r", encoding="utf-8") as f:
-                doc = json.load(f)
+            # A zero-byte report means the producer crashed before its
+            # first write; name that directly instead of surfacing
+            # json's "Expecting value" riddle. ValueError also covers
+            # UnicodeDecodeError (binary garbage), which previously
+            # escaped as a traceback.
+            with open(filename, "rb") as f:
+                raw = f.read()
+            if not raw.strip():
+                raise SchemaError("empty input file (no JSON content)")
+            doc = json.loads(raw.decode("utf-8"))
             if trace_mode:
                 check_trace(doc, filename)
             else:
                 check_report(doc, filename)
-        except (OSError, json.JSONDecodeError, SchemaError) as err:
+        except (OSError, ValueError, SchemaError) as err:
             print(f"FAIL {filename}: {err}", file=sys.stderr)
             failures += 1
             continue

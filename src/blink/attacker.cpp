@@ -45,7 +45,8 @@ Fig2Result run_fig2_experiment(const Fig2Config& config) {
   trafficgen::FlowPopulation pop{sched, rng.fork("drivers"), sink};
   {
     sim::Rng trace_rng = rng.fork("trace");
-    for (const auto& f : trafficgen::synthesize_trace(config.trace, trace_rng)) {
+    for (const auto& f :
+       trafficgen::synthesize_trace(config.trace, trace_rng)) {
       pop.add_legit(f);
     }
   }

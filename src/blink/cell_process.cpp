@@ -53,9 +53,10 @@ double time_to_majority(const CellProcessConfig& config, std::size_t target,
   }
   if (target == 0) return 0.0;
   if (target > capture_times.size()) return -1.0;
-  std::nth_element(capture_times.begin(),
-                   capture_times.begin() + static_cast<std::ptrdiff_t>(target - 1),
-                   capture_times.end());
+  std::nth_element(
+      capture_times.begin(),
+      capture_times.begin() + static_cast<std::ptrdiff_t>(target - 1),
+      capture_times.end());
   const double t = capture_times[target - 1];
   return t <= config.horizon_seconds ? t : -1.0;
 }

@@ -14,7 +14,8 @@ PacketVerdict FlowSelector::observe(const net::FiveTuple& flow,
                                     std::uint64_t tag, std::uint32_t seq,
                                     bool fin_or_rst, sim::Time now) {
   PacketVerdict v;
-  const std::size_t idx = net::flow_hash(flow, config_.hash_seed) % cells_.size();
+  const std::size_t idx =
+      net::flow_hash(flow, config_.hash_seed) % cells_.size();
   Cell& cell = cells_[idx];
 
   if (cell.occupied && cell.flow == flow) {

@@ -50,8 +50,8 @@ struct DiagnosisOutcome {
 
 /// Streams the synthetic conversation through a TcpDiagnoser, with the
 /// MitM policy applied in-path. kNone gives the healthy baseline.
-DiagnosisOutcome run_diagnosis_experiment(const ConversationConfig& config,
-                                          Implicate target,
-                                          const DapperConfig& dapper = DapperConfig{});
+DiagnosisOutcome run_diagnosis_experiment(
+    const ConversationConfig& config, Implicate target,
+    const DapperConfig& dapper = DapperConfig{});
 
 }  // namespace intox::dapper

@@ -77,9 +77,10 @@ void TcpDiagnoser::on_data(const net::TcpHeader& tcp,
 
   // Flight size = data sent beyond the last cumulative ack; utilization
   // is flight relative to the receiver's advertised window.
-  const double flight = highest_seq_sent_ > highest_ack_
-                            ? static_cast<double>(highest_seq_sent_ - highest_ack_)
-                            : 0.0;
+  const double flight =
+      highest_seq_sent_ > highest_ack_
+          ? static_cast<double>(highest_seq_sent_ - highest_ack_)
+          : 0.0;
   flight_samples_.add(flight);
   if (last_rwnd_ > 0) {
     utilization_samples_.add(

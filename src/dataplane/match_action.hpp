@@ -12,7 +12,9 @@ class MatchActionTable {
   explicit MatchActionTable(Action default_action = Action{})
       : default_(std::move(default_action)) {}
 
-  void insert(const Key& key, Action action) { table_[key] = std::move(action); }
+  void insert(const Key& key, Action action) {
+    table_[key] = std::move(action);
+  }
   bool erase(const Key& key) { return table_.erase(key) > 0; }
   void set_default(Action action) { default_ = std::move(action); }
 
@@ -21,7 +23,9 @@ class MatchActionTable {
     auto it = table_.find(key);
     return it != table_.end() ? it->second : default_;
   }
-  [[nodiscard]] bool contains(const Key& key) const { return table_.count(key) > 0; }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return table_.count(key) > 0;
+  }
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
  private:

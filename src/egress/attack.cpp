@@ -91,7 +91,8 @@ EgressExperimentResult run_egress_attack_experiment(
 
   sched.run_until(config.warmup);
   result.preferred_before = selector.preferred_path();
-  result.mean_rtt_before_ms = rtt_ms.mean_over(config.warmup / 2, config.warmup);
+  result.mean_rtt_before_ms =
+      rtt_ms.mean_over(config.warmup / 2, config.warmup);
 
   attacking = config.attack;
   const sim::Time end = config.warmup + config.attack_duration;

@@ -50,7 +50,7 @@ Features craft_adversarial(const QuantizedMlp& model, const Features& x,
 /// Full experiment: train, measure clean detection, run the evasion on
 /// every detected attack sample, compare with a random-perturbation
 /// control of the same budget.
-EvasionOutcome run_evasion_experiment(std::uint64_t seed,
-                                      const EvasionConfig& config = EvasionConfig{});
+EvasionOutcome run_evasion_experiment(
+    std::uint64_t seed, const EvasionConfig& config = EvasionConfig{});
 
 }  // namespace intox::innet

@@ -36,7 +36,8 @@ struct TrainedClassifier {
 };
 
 /// Trains on one dataset, evaluates on a held-out one, quantizes.
-TrainedClassifier train_classifier(std::uint64_t seed, std::size_t per_class = 2000,
+TrainedClassifier train_classifier(std::uint64_t seed,
+                                   std::size_t per_class = 2000,
                                    int epochs = 12, double lr = 1e-4);
 
 }  // namespace intox::innet

@@ -13,8 +13,9 @@ std::uint32_t checksum_partial(std::span<const std::byte> data,
   std::uint64_t sum = initial;
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2) {
-    sum += (static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i])) << 8) |
-           static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i + 1]));
+    sum +=
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i])) << 8) |
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i + 1]));
   }
   if (i < data.size()) {
     sum += static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[i])) << 8;

@@ -13,7 +13,9 @@ std::optional<int> parse_int(std::string_view& text, int lo, int hi) {
   const auto* first = text.data();
   const auto* last = text.data() + text.size();
   auto [ptr, ec] = std::from_chars(first, last, v);
-  if (ec != std::errc{} || ptr == first || v < lo || v > hi) return std::nullopt;
+  if (ec != std::errc{} || ptr == first || v < lo || v > hi) {
+    return std::nullopt;
+  }
   text.remove_prefix(static_cast<std::size_t>(ptr - first));
   return v;
 }

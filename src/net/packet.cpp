@@ -185,7 +185,9 @@ std::optional<Packet> parse(std::span<const std::byte> wire) {
   if (version_ihl != 0x45) return std::nullopt;
   const std::size_t total = get_u16(wire, 2);
   if (total < kIpv4HeaderLen || total > wire.size()) return std::nullopt;
-  if (internet_checksum(wire.subspan(0, kIpv4HeaderLen)) != 0) return std::nullopt;
+  if (internet_checksum(wire.subspan(0, kIpv4HeaderLen)) != 0) {
+    return std::nullopt;
+  }
 
   Packet p;
   p.ttl = static_cast<std::uint8_t>(wire[8]);

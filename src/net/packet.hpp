@@ -29,7 +29,8 @@ struct FiveTuple {
   std::uint16_t dst_port = 0;
   IpProto proto = IpProto::kTcp;
 
-  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+  friend constexpr auto operator<=>(const FiveTuple&,
+                                    const FiveTuple&) = default;
 
   /// Key for the reverse direction of the same conversation.
   [[nodiscard]] constexpr FiveTuple reversed() const {
@@ -90,10 +91,16 @@ struct Packet {
     return IpProto::kIcmp;
   }
   [[nodiscard]] FiveTuple five_tuple() const;
-  [[nodiscard]] const TcpHeader* tcp() const { return std::get_if<TcpHeader>(&l4); }
+  [[nodiscard]] const TcpHeader* tcp() const {
+    return std::get_if<TcpHeader>(&l4);
+  }
   [[nodiscard]] TcpHeader* tcp() { return std::get_if<TcpHeader>(&l4); }
-  [[nodiscard]] const UdpHeader* udp() const { return std::get_if<UdpHeader>(&l4); }
-  [[nodiscard]] const IcmpHeader* icmp() const { return std::get_if<IcmpHeader>(&l4); }
+  [[nodiscard]] const UdpHeader* udp() const {
+    return std::get_if<UdpHeader>(&l4);
+  }
+  [[nodiscard]] const IcmpHeader* icmp() const {
+    return std::get_if<IcmpHeader>(&l4);
+  }
 
   /// Total on-wire size: IPv4 header + L4 header + payload.
   [[nodiscard]] std::uint32_t size_bytes() const;

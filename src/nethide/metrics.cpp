@@ -52,8 +52,12 @@ double path_similarity(const Path& phys, const Path& pres) {
 
 double link_jaccard(const Path& phys, const Path& pres) {
   std::set<Edge> a, b;
-  for (std::size_t i = 1; i < phys.size(); ++i) a.insert(Edge{phys[i - 1], phys[i]});
-  for (std::size_t i = 1; i < pres.size(); ++i) b.insert(Edge{pres[i - 1], pres[i]});
+  for (std::size_t i = 1; i < phys.size(); ++i) {
+    a.insert(Edge{phys[i - 1], phys[i]});
+  }
+  for (std::size_t i = 1; i < pres.size(); ++i) {
+    b.insert(Edge{pres[i - 1], pres[i]});
+  }
   if (a.empty() && b.empty()) return 1.0;
   std::size_t common = 0;
   for (const Edge& e : a) common += b.count(e);

@@ -35,7 +35,8 @@ struct ObfuscationResult {
 /// longest presented paths that cross it onto detours that avoid it.
 /// Detours are real paths of the physical topology minus that link, so
 /// the presented topology stays plausible.
-ObfuscationResult obfuscate(const Topology& topo, const ObfuscationConfig& config);
+ObfuscationResult obfuscate(const Topology& topo,
+                            const ObfuscationConfig& config);
 
 /// The malicious variant: answer every traceroute according to `decoy`'s
 /// shortest paths (node ids shared between the real and decoy worlds).

@@ -48,9 +48,8 @@ class Topology {
   [[nodiscard]] std::optional<Path> shortest_path(NodeId src, NodeId dst) const;
 
   /// Shortest path that avoids one specific link (for detours).
-  [[nodiscard]] std::optional<Path> shortest_path_avoiding(NodeId src,
-                                                           NodeId dst,
-                                                           const Edge& avoid) const;
+  [[nodiscard]] std::optional<Path> shortest_path_avoiding(
+      NodeId src, NodeId dst, const Edge& avoid) const;
 
   /// True if `path` uses only existing links.
   [[nodiscard]] bool is_valid_path(const Path& path) const;

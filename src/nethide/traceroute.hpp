@@ -19,7 +19,8 @@ namespace intox::nethide {
 
 class PathTable {
  public:
-  explicit PathTable(std::size_t nodes) : nodes_(nodes), paths_(nodes * nodes) {}
+  explicit PathTable(std::size_t nodes)
+      : nodes_(nodes), paths_(nodes * nodes) {}
 
   void set(NodeId src, NodeId dst, Path path) {
     paths_[index(src, dst)] = std::move(path);

@@ -53,7 +53,11 @@ struct Tracer {
   std::string path;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   std::uint32_t next_tid = 1;
+  // Trace timestamps measure the host, not the simulation; they never
+  // feed back into trial results or stdout.
+  // intox-lint: allow(determinism)
   std::chrono::steady_clock::time_point epoch =
+      // intox-lint: allow(determinism)
       std::chrono::steady_clock::now();
   bool atexit_installed = false;
 };
@@ -120,6 +124,8 @@ std::string trace_path() {
 }
 
 double trace_now_us() {
+  // Host-time span timestamps; see Tracer::epoch.
+  // intox-lint: allow(determinism)
   const auto dt = std::chrono::steady_clock::now() - tracer().epoch;
   return std::chrono::duration<double, std::micro>(dt).count();
 }

@@ -39,7 +39,9 @@ class RenoSender {
   void on_ack(std::uint32_t seq, sim::Time now);
 
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
-  [[nodiscard]] const sim::TimeSeries& rate_series() const { return rate_series_; }
+  [[nodiscard]] const sim::TimeSeries& rate_series() const {
+    return rate_series_;
+  }
 
  private:
   void send_packet();

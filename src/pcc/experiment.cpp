@@ -46,7 +46,8 @@ PccExperimentResult run_pcc_experiment(const PccExperimentConfig& config) {
                       }
                     }};
 
-  PccReceiver receiver{[&](net::Packet ack) { reverse.transmit(std::move(ack)); }};
+  PccReceiver receiver{
+      [&](net::Packet ack) { reverse.transmit(std::move(ack)); }};
 
   // Forward path: shared bottleneck into the receiver.
   sim::LinkConfig fwd_cfg;
@@ -73,7 +74,9 @@ PccExperimentResult run_pcc_experiment(const PccExperimentConfig& config) {
     return t;
   };
 
-  auto into_bottleneck = [&](net::Packet p) { bottleneck.transmit(std::move(p)); };
+  auto into_bottleneck = [&](net::Packet p) {
+    bottleneck.transmit(std::move(p));
+  };
 
   for (std::size_t i = 0; i < config.flows; ++i) {
     if (config.kind == SenderKind::kPcc) {

@@ -53,7 +53,9 @@ class PccSender {
   [[nodiscard]] double epsilon() const { return epsilon_; }
   [[nodiscard]] double smoothed_rtt_seconds() const { return srtt_s_; }
   /// Rate at the start of every MI — the §4.2 oscillation signal.
-  [[nodiscard]] const sim::TimeSeries& rate_series() const { return rate_series_; }
+  [[nodiscard]] const sim::TimeSeries& rate_series() const {
+    return rate_series_;
+  }
   [[nodiscard]] const sim::TimeSeries& utility_series() const {
     return utility_series_;
   }

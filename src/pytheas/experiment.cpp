@@ -37,7 +37,8 @@ PoisonResult run_poisoning_experiment(const PoisonConfig& config,
   PytheasEngine engine{config.engine};
   if (filter) engine.set_filter(filter);
 
-  const SessionFeatures group{.asn = 64500, .location = "zrh", .content = "vod"};
+  const SessionFeatures group{
+      .asn = 64500, .location = "zrh", .content = "vod"};
   const ArmId good = truly_best_arm(config.model);
   const ArmId bad = truly_worst_arm(config.model);
 
@@ -107,7 +108,8 @@ MitmQoeResult run_mitm_qoe_experiment(const MitmQoeConfig& config,
   sim::Rng rng{config.seed};
   PytheasEngine engine{config.engine};
   if (filter) engine.set_filter(std::move(filter));
-  const SessionFeatures group{.asn = 64502, .location = "fra", .content = "vod"};
+  const SessionFeatures group{
+      .asn = 64502, .location = "fra", .content = "vod"};
   const ArmId good = truly_best_arm(config.model);
   const ArmId bad = truly_worst_arm(config.model);
 
@@ -172,7 +174,8 @@ CdnResult run_cdn_experiment(const CdnConfig& config) {
   sim::Rng rng{config.seed};
   PytheasEngine engine{config.engine};
 
-  const SessionFeatures group{.asn = 64501, .location = "nyc", .content = "live"};
+  const SessionFeatures group{
+      .asn = 64501, .location = "nyc", .content = "live"};
   SessionId next = 1;
   std::vector<SessionId> sessions;
   for (std::size_t i = 0; i < config.sessions; ++i) {

@@ -64,8 +64,8 @@ struct PoisonResult {
 
 /// Optional defense is installed via `engine.set_filter` by the caller —
 /// see supervisor/pytheas_guard.hpp.
-PoisonResult run_poisoning_experiment(const PoisonConfig& config,
-                                      std::shared_ptr<ReportFilter> filter = {});
+PoisonResult run_poisoning_experiment(
+    const PoisonConfig& config, std::shared_ptr<ReportFilter> filter = {});
 
 // PYTH-MITM — the §4.1 middle variant: "MitM attackers can achieve
 // similar outcomes if they drop packets for a subset of the group
@@ -100,8 +100,8 @@ struct MitmQoeResult {
 /// all clients in a group ... the low-throughput clients can be tackled
 /// separately") installed via the same ReportFilter hook as the
 /// poisoning experiment.
-MitmQoeResult run_mitm_qoe_experiment(const MitmQoeConfig& config,
-                                      std::shared_ptr<ReportFilter> filter = {});
+MitmQoeResult run_mitm_qoe_experiment(
+    const MitmQoeConfig& config, std::shared_ptr<ReportFilter> filter = {});
 
 struct CdnConfig {
   std::size_t sessions = 300;

@@ -75,6 +75,7 @@ struct RonExperimentResult {
   std::uint64_t route_changes = 0;
 };
 
-RonExperimentResult run_ron_attack_experiment(const RonExperimentConfig& config);
+RonExperimentResult run_ron_attack_experiment(
+    const RonExperimentConfig& config);
 
 }  // namespace intox::ron

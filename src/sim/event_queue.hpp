@@ -56,7 +56,9 @@ class Scheduler {
   /// Runs all events with timestamp <= t, then advances the clock to t.
   std::size_t run_until(Time t);
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() - cancelled_.size();
+  }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   /// Most live events ever pending at once on this scheduler.
   [[nodiscard]] std::size_t queue_depth_high_water() const {

@@ -72,7 +72,8 @@ void Link::transmit(net::Packet pkt) {
   // Optional RED early drop on the backlog ramp.
   if (config_.red_min_bytes > 0 && backlog > config_.red_min_bytes) {
     const double span = std::max<double>(
-        1.0, static_cast<double>(config_.red_max_bytes) - config_.red_min_bytes);
+        1.0,
+        static_cast<double>(config_.red_max_bytes) - config_.red_min_bytes);
     const double p = std::min(
         config_.red_max_prob,
         config_.red_max_prob * (backlog - config_.red_min_bytes) / span);

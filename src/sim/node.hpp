@@ -25,11 +25,15 @@ class Node {
 
   /// Wires `link` as the egress for `port` (grows the port table).
   void attach_port(int port, Link* link) {
-    if (port >= static_cast<int>(ports_.size())) ports_.resize(port + 1, nullptr);
+    if (port >= static_cast<int>(ports_.size())) {
+      ports_.resize(port + 1, nullptr);
+    }
     ports_[static_cast<std::size_t>(port)] = link;
   }
 
-  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] int port_count() const {
+    return static_cast<int>(ports_.size());
+  }
   [[nodiscard]] Link* egress(int port) const {
     return (port >= 0 && port < port_count())
                ? ports_[static_cast<std::size_t>(port)]

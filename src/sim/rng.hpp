@@ -27,7 +27,9 @@ class Rng {
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Uniform in [0, 1).
-  double uniform() { return std::uniform_real_distribution<double>{0.0, 1.0}(engine_); }
+  double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
   /// Uniform in [lo, hi).
   double uniform(double lo, double hi) {
     return std::uniform_real_distribution<double>{lo, hi}(engine_);
@@ -51,7 +53,8 @@ class Rng {
   /// Pareto with scale x_m > 0 and shape alpha > 0.
   double pareto(double x_m, double alpha);
   std::uint64_t poisson(double mean) {
-    return static_cast<std::uint64_t>(std::poisson_distribution<long>{mean}(engine_));
+    return static_cast<std::uint64_t>(
+        std::poisson_distribution<long>{mean}(engine_));
   }
 
   /// Exponential inter-arrival duration with the given mean.

@@ -116,7 +116,9 @@ class Histogram {
   /// a mismatch raises an invariant violation (and, in counter-only
   /// mode, skips the merge rather than mixing layouts).
   void merge(const Histogram& other);
-  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return counts_;
+  }
   /// All samples ever added, including under/overflow.
   [[nodiscard]] std::uint64_t total() const { return total_; }
   /// Samples below lo / at-or-above hi.
@@ -125,7 +127,9 @@ class Histogram {
   /// Exact observed extremes (valid when total() > 0).
   [[nodiscard]] double min() const { return min_seen_; }
   [[nodiscard]] double max() const { return max_seen_; }
-  [[nodiscard]] double bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + width_ * static_cast<double>(i);
+  }
   /// Bucket-resolution quantile over ALL samples (out-of-range mass
   /// included). q <= 0 returns the observed min, q >= 1 the observed max
   /// — never a mid-bucket value below the true extreme. Mid-range

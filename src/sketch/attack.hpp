@@ -25,11 +25,9 @@ namespace intox::sketch {
 /// Greedily selects `count` keys maximizing new-cell coverage per key —
 /// the saturation attack. `search_budget` candidate keys are examined
 /// per selection (offline work only; Kerckhoff gives the hash).
-std::vector<std::uint64_t> craft_saturating_keys(std::size_t cells,
-                                                 std::uint32_t hashes,
-                                                 std::uint32_t seed,
-                                                 std::size_t count,
-                                                 std::size_t search_budget = 64);
+std::vector<std::uint64_t> craft_saturating_keys(
+    std::size_t cells, std::uint32_t hashes, std::uint32_t seed,
+    std::size_t count, std::size_t search_budget = 64);
 
 /// Finds keys whose whole cell set falls inside the union of the cells
 /// of `cover_keys` (i.e., keys the filter will falsely report after the
@@ -49,10 +47,10 @@ struct PollutionOutcome {
 
 /// Measures FPR before/after inserting `attack_keys` into a filter that
 /// already carries `legit_keys`.
-PollutionOutcome run_bloom_pollution(std::size_t cells, std::uint32_t hashes,
-                                     std::uint32_t seed,
-                                     const std::vector<std::uint64_t>& legit_keys,
-                                     const std::vector<std::uint64_t>& attack_keys);
+PollutionOutcome run_bloom_pollution(
+    std::size_t cells, std::uint32_t hashes, std::uint32_t seed,
+    const std::vector<std::uint64_t>& legit_keys,
+    const std::vector<std::uint64_t>& attack_keys);
 
 struct FlowRadarAttackOutcome {
   std::size_t legit_flows = 0;

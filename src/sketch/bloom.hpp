@@ -104,7 +104,9 @@ class CountingBloom {
 
   [[nodiscard]] bool contains(std::uint64_t key) const {
     for (std::uint32_t i = 0; i < hashes_; ++i) {
-      if (counts_[bloom_index(key, i, counts_.size(), seed_)] <= 0) return false;
+      if (counts_[bloom_index(key, i, counts_.size(), seed_)] <= 0) {
+        return false;
+      }
     }
     return true;
   }

@@ -12,16 +12,18 @@ void FlowRadar::add_packet(std::uint64_t flow) {
     seen_.insert(flow);
     ++distinct_;
     for (std::uint32_t i = 0; i < config_.table_hashes; ++i) {
-      Cell& c = table_[partitioned_index(flow, i, config_.table_hashes,
-                                         table_.size(), config_.seed ^ 0xf10eu)];
+      Cell& c =
+          table_[partitioned_index(flow, i, config_.table_hashes,
+                                   table_.size(), config_.seed ^ 0xf10eu)];
       c.flow_xor ^= flow;
       c.flow_count += 1;
       c.packet_count += 1;
     }
   } else {
     for (std::uint32_t i = 0; i < config_.table_hashes; ++i) {
-      Cell& c = table_[partitioned_index(flow, i, config_.table_hashes,
-                                         table_.size(), config_.seed ^ 0xf10eu)];
+      Cell& c =
+          table_[partitioned_index(flow, i, config_.table_hashes,
+                                   table_.size(), config_.seed ^ 0xf10eu)];
       c.packet_count += 1;
     }
   }

@@ -7,7 +7,8 @@ LossRadar::LossRadar(const LossRadarConfig& config)
 
 void LossRadar::add(std::uint64_t packet_id) {
   for (std::uint32_t i = 0; i < config_.hashes; ++i) {
-    Cell& c = cells_[partitioned_index(packet_id, i, config_.hashes, cells_.size(), config_.seed)];
+    Cell& c = cells_[partitioned_index(packet_id, i, config_.hashes,
+                                       cells_.size(), config_.seed)];
     c.id_xor ^= packet_id;
     c.count += 1;
   }
@@ -30,7 +31,8 @@ LossDecodeResult LossRadar::diff_decode(const LossRadar& downstream) const {
       const std::uint64_t id = diff[i].id_xor;
       result.lost.push_back(id);
       for (std::uint32_t k = 0; k < config_.hashes; ++k) {
-        Cell& c = diff[partitioned_index(id, k, config_.hashes, diff.size(), config_.seed)];
+        Cell& c = diff[partitioned_index(id, k, config_.hashes, diff.size(),
+                                         config_.seed)];
         c.id_xor ^= id;
         c.count -= 1;
       }

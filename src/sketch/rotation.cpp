@@ -34,9 +34,13 @@ void RotatingBloom::rotate() {
   // signal a supervisor would watch.
   static obs::Counter& rotations =
       obs::Registry::global().counter("sketch.rotations");
+  // Shared with sketch/attack.cpp on purpose: both paths feed one
+  // process-wide saturation signal, whichever sketch variant ran.
   static obs::Counter& collisions =
+      // intox-lint: allow(metrics)
       obs::Registry::global().counter("sketch.collisions");
   static obs::Gauge& fill_hwm =
+      // intox-lint: allow(metrics)
       obs::Registry::global().gauge("sketch.fill_ratio_hwm");
   rotations.add(1);
   if (filter_.collisions()) collisions.add(filter_.collisions());

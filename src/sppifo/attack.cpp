@@ -44,8 +44,8 @@ std::vector<std::uint32_t> generate_ranks(const RankWorkload& workload,
           // Strictly descending within each ramp.
           const double frac =
               1.0 - static_cast<double>(i) / static_cast<double>(ramp - 1);
-          ranks.push_back(
-              static_cast<std::uint32_t>(frac * static_cast<double>(levels - 1)));
+          ranks.push_back(static_cast<std::uint32_t>(
+              frac * static_cast<double>(levels - 1)));
         }
       }
       break;

@@ -69,7 +69,7 @@ struct ScheduleConfig {
 
 /// Runs the same rank sequence through SP-PIFO and an ideal PIFO of equal
 /// total capacity under identical arrival/service timing.
-SchedulingResult run_scheduling_experiment(const ScheduleConfig& config,
-                                           const std::vector<std::uint32_t>& ranks);
+SchedulingResult run_scheduling_experiment(
+    const ScheduleConfig& config, const std::vector<std::uint32_t>& ranks);
 
 }  // namespace intox::sppifo

@@ -40,7 +40,9 @@ class SpPifo {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
-  [[nodiscard]] const std::vector<std::uint32_t>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& bounds() const {
+    return bounds_;
+  }
 
   struct Counters {
     std::uint64_t enqueued = 0;

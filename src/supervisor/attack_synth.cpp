@@ -17,8 +17,9 @@ net::FiveTuple AttackSynthesizer::flow_tuple(std::uint16_t index) const {
   return t;
 }
 
-sim::Time AttackSynthesizer::replay(const std::vector<PacketGene>& genes,
-                                    dataplane::PacketProcessor& pipeline) const {
+sim::Time AttackSynthesizer::replay(
+    const std::vector<PacketGene>& genes,
+    dataplane::PacketProcessor& pipeline) const {
   sim::Time now = 0;
   std::unordered_map<std::uint16_t, std::uint32_t> flow_seq;
   for (const PacketGene& g : genes) {

@@ -31,7 +31,8 @@ struct PccGuardConfig {
 
 class PccGuard {
  public:
-  PccGuard(pcc::PccSender& sender, const PccGuardConfig& config = PccGuardConfig{});
+  PccGuard(pcc::PccSender& sender,
+           const PccGuardConfig& config = PccGuardConfig{});
 
   /// Judges one experiment outcome (invoked automatically via the
   /// sender's observer hook; public so tests and offline analyzers can

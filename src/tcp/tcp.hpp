@@ -64,7 +64,9 @@ class TcpSender {
   [[nodiscard]] double cwnd_segments() const { return cwnd_; }
   [[nodiscard]] std::uint64_t delivered_bytes() const { return acked_bytes_; }
   [[nodiscard]] double srtt_seconds() const { return srtt_s_; }
-  [[nodiscard]] const sim::TimeSeries& cwnd_series() const { return cwnd_series_; }
+  [[nodiscard]] const sim::TimeSeries& cwnd_series() const {
+    return cwnd_series_;
+  }
 
   struct Counters {
     std::uint64_t segments_sent = 0;
@@ -121,7 +123,8 @@ class TcpSender {
   bool have_rtt_ = false;
   sim::Duration rto_;
   sim::Timer rto_timer_;
-  std::map<std::uint32_t, std::pair<sim::Time, bool>> send_times_;  // seq -> (t, retx?)
+  // seq -> (send time, was-retransmitted?)
+  std::map<std::uint32_t, std::pair<sim::Time, bool>> send_times_;
 
   sim::TimeSeries cwnd_series_;
   Counters counters_;
@@ -153,7 +156,8 @@ class TcpReceiver {
   bool saw_fin_ = false;
   std::uint16_t rwnd_ = 65535;
   // seq -> (sequence-space length incl. FIN, payload bytes)
-  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> out_of_order_;
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+      out_of_order_;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t dup_acks_ = 0;
   std::uint64_t flow_tag_ = 0;

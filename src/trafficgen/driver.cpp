@@ -4,7 +4,10 @@ namespace intox::trafficgen {
 
 LegitFlowDriver::LegitFlowDriver(sim::Scheduler& sched, sim::Rng rng,
                                  FlowSpec spec, PacketSink sink)
-    : sched_(sched), rng_(rng), spec_(std::move(spec)), sink_(std::move(sink)) {}
+    : sched_(sched),
+      rng_(rng),
+      spec_(std::move(spec)),
+      sink_(std::move(sink)) {}
 
 net::Packet LegitFlowDriver::make_packet(std::uint32_t seq, bool fin) const {
   net::Packet p;
@@ -105,7 +108,8 @@ void MaliciousFlowDriver::send_one() {
     seq_ += spec_.payload_bytes;  // advance: the flow keeps looking alive
     sends_of_current_seq_ = 0;
   }
-  pending_ = sched_.schedule_after(options_.send_period, [this] { send_one(); });
+  pending_ =
+      sched_.schedule_after(options_.send_period, [this] { send_one(); });
 }
 
 void MaliciousFlowDriver::stop() {

@@ -117,7 +117,9 @@ class FlowPopulation {
   void stop_all();
 
   [[nodiscard]] std::size_t legit_count() const { return legit_.size(); }
-  [[nodiscard]] std::size_t malicious_count() const { return malicious_.size(); }
+  [[nodiscard]] std::size_t malicious_count() const {
+    return malicious_.size();
+  }
 
  private:
   sim::Scheduler& sched_;

@@ -43,7 +43,8 @@ struct TraceConfig {
 
 /// Generates legitimate flow arrivals for one destination prefix.
 /// Includes an initial steady-state population active at t = 0.
-std::vector<FlowSpec> synthesize_trace(const TraceConfig& config, sim::Rng& rng);
+std::vector<FlowSpec> synthesize_trace(const TraceConfig& config,
+                                       sim::Rng& rng);
 
 /// Generates `count` malicious flows, all starting at `start` and running
 /// forever (the Blink attacker keeps them permanently active).

@@ -29,7 +29,8 @@ std::string to_csv(const std::vector<FlowSpec>& flows);
 std::optional<std::vector<FlowSpec>> from_csv(std::string_view text);
 
 /// File convenience wrappers.
-bool write_csv_file(const std::string& path, const std::vector<FlowSpec>& flows);
+bool write_csv_file(const std::string& path,
+                    const std::vector<FlowSpec>& flows);
 std::optional<std::vector<FlowSpec>> read_csv_file(const std::string& path);
 
 }  // namespace intox::trafficgen

@@ -20,7 +20,8 @@ TEST(CellProcess, MatchesClosedFormMean) {
     auto series = simulate_cell_process(cfg, sub);
     stats.add(series.at(probe));
   }
-  const double expected = expected_malicious_cells(64, cfg.qm, 150.0, cfg.tr_seconds);
+  const double expected =
+      expected_malicious_cells(64, cfg.qm, 150.0, cfg.tr_seconds);
   EXPECT_NEAR(stats.mean(), expected, 1.5);
 }
 

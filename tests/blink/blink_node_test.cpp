@@ -86,7 +86,8 @@ TEST(BlinkNode, FewRetransmissionsDoNotTrigger) {
   // Two flows retransmitting (need >= 4 of 8 cells).
   for (std::uint16_t i = 0; i < 2; ++i) {
     feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), 0);
-    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5), sim::millis(10));
+    feed(node, tcp_pkt(static_cast<std::uint16_t>(1000 + i), 5),
+         sim::millis(10));
   }
   EXPECT_TRUE(node.reroutes().empty());
   EXPECT_FALSE(node.is_rerouted(kVictim));

@@ -8,7 +8,8 @@ namespace intox::dapper {
 namespace {
 
 TEST(DapperAttack, BaselineIsHealthy) {
-  const auto r = run_diagnosis_experiment(ConversationConfig{}, Implicate::kNone);
+  const auto r =
+      run_diagnosis_experiment(ConversationConfig{}, Implicate::kNone);
   EXPECT_EQ(r.dominant, Verdict::kHealthy);
   EXPECT_GT(r.healthy_fraction, 0.9);
   EXPECT_EQ(r.packets_touched, 0u);

@@ -64,7 +64,8 @@ TEST(RoutedSwitch, DecrementsTtl) {
 TEST(RoutedSwitch, TtlExpiryGeneratesIcmpTimeExceeded) {
   Fixture f;
   std::vector<net::Packet> replies;
-  f.src.set_handler([&](net::Packet p, int) { replies.push_back(std::move(p)); });
+  f.src.set_handler(
+      [&](net::Packet p, int) { replies.push_back(std::move(p)); });
   f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}, /*ttl=*/1));
   f.sched.run();
   ASSERT_EQ(replies.size(), 1u);
@@ -78,7 +79,8 @@ TEST(RoutedSwitch, ReplyAddrOverrideFakesIdentity) {
   Fixture f;
   f.sw.set_reply_addr(Ipv4Addr{203, 0, 113, 9});  // the NetHide trick
   std::vector<net::Packet> replies;
-  f.src.set_handler([&](net::Packet p, int) { replies.push_back(std::move(p)); });
+  f.src.set_handler(
+      [&](net::Packet p, int) { replies.push_back(std::move(p)); });
   f.src.inject(0, f.tcp_to(Ipv4Addr{10, 0, 0, 5}, 1));
   f.sched.run();
   ASSERT_EQ(replies.size(), 1u);

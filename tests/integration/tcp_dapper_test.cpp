@@ -45,7 +45,8 @@ struct DiagnosedPipe {
     net::FiveTuple flow{net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{2, 2, 2, 2},
                        40000, 80, net::IpProto::kTcp};
     sender = std::make_unique<tcp::TcpSender>(
-        sched, cfg, flow, [this](net::Packet p) { fwd->transmit(std::move(p)); });
+        sched, cfg, flow,
+        [this](net::Packet p) { fwd->transmit(std::move(p)); });
 
     // Data direction observed at the forward-link entry (sender side).
     fwd->set_tap([this](net::Packet& p) {

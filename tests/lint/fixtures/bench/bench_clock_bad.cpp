@@ -1,0 +1,21 @@
+// Fixture: benches are subject to the determinism check too (their
+// stdout must be byte-identical across --threads); a wall-clock read
+// must fire here exactly as it would in src/.
+#include <chrono>
+
+namespace intox::fixture {
+
+double bench_self_timing() {
+  const auto t0 = std::chrono::high_resolution_clock::now();  // line 9
+  const auto t1 = std::chrono::high_resolution_clock::now();  // line 10
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Literal Rng seeds are allowed OUTSIDE src/ (benches pin default
+// seeds on purpose), so this must NOT fire:
+struct Rng {
+  explicit Rng(unsigned) {}
+};
+inline Rng default_bench_rng() { return Rng(42); }
+
+}  // namespace intox::fixture

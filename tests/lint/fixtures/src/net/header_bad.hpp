@@ -1,0 +1,15 @@
+// Fixture: every header-hygiene finding — missing #pragma once
+// (flagged at line 1), using namespace at header scope, <iostream> in
+// a src/ header. Each must fire.
+#include <iostream>
+#include <vector>
+
+using namespace std;
+
+namespace intox::fixture {
+
+inline void debug_dump(const vector<int>& v) {
+  for (int x : v) cout << x << "\n";
+}
+
+}  // namespace intox::fixture

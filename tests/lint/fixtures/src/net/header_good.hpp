@@ -1,0 +1,17 @@
+// Fixture: a hygienic header — #pragma once, fully qualified names,
+// stream types forward-declared via <iosfwd> instead of <iostream>.
+// Must produce zero findings. The words "using" and "namespace" apart
+// must not fire.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace intox::fixture {
+
+// using a type alias inside a namespace is fine:
+using IntVec = std::vector<int>;
+
+void dump(std::ostream& os, const IntVec& v);
+
+}  // namespace intox::fixture

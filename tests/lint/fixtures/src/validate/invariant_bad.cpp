@@ -1,0 +1,32 @@
+// Fixture: side effects inside INTOX_INVARIANT conditions. Each one
+// changes behavior under -DINTOX_INVARIANTS_DISABLED and must fire.
+#include <vector>
+
+#include "validate/invariant.hpp"
+
+namespace intox::fixture {
+
+void counter_in_condition(int i, int n) {
+  INTOX_INVARIANT(++i < n, "increment is a side effect");  // line 10
+}
+
+void decrement_spanning_lines(int budget) {
+  INTOX_INVARIANT(
+      budget-- > 0,  // line 15: condition spans lines; still caught
+      "decrement is a side effect");
+}
+
+void assignment_typo(int got, int want) {
+  INTOX_INVARIANT(got = want, "assignment where == was meant");  // line 20
+}
+
+void compound_assignment(int acc, int x) {
+  INTOX_INVARIANT((acc += x) > 0, "compound assignment");  // line 24
+}
+
+void mutating_call(std::vector<int>& v) {
+  INTOX_INVARIANT(v.erase(v.begin()) != v.end(),  // line 28
+                  "erase mutates the container");
+}
+
+}  // namespace intox::fixture

@@ -1,0 +1,32 @@
+// Fixture: side-effect-free INTOX_INVARIANT conditions, including the
+// lookalikes that must NOT fire (comparison operators, const member
+// calls, mutation in the *message* arguments, mutation outside the
+// macro).
+#include <cmath>
+#include <vector>
+
+#include "validate/invariant.hpp"
+
+namespace intox::fixture {
+
+void comparisons(int a, int b) {
+  INTOX_INVARIANT(a == b, "equality is not assignment");
+  INTOX_INVARIANT(a <= b && a >= 0, "compound comparisons are fine");
+  INTOX_INVARIANT(a != b || !(a < b), "negations are fine");
+}
+
+void const_calls(const std::vector<double>& v) {
+  INTOX_INVARIANT(!v.empty(), "empty() is const");
+  INTOX_INVARIANT(v.size() < 1000, "size() is const");
+  INTOX_INVARIANT(!std::isnan(v.front()), "free predicates are fine");
+}
+
+void mutation_outside_condition(std::vector<int>& v, int x) {
+  v.push_back(x);  // mutation before the check, not inside it
+  INTOX_INVARIANT(v.back() == x, "reads only");
+  // The check inspects only the first macro argument; ordinary format
+  // arguments after the condition must not confuse it:
+  INTOX_INVARIANT(x >= 0, "x was %d", x);
+}
+
+}  // namespace intox::fixture

@@ -1,0 +1,24 @@
+// Fixture: tests/ are exempt from the determinism check (a test may
+// legitimately time out on the host clock or stress with real
+// entropy). Nothing here may fire.
+#include <chrono>
+#include <random>
+
+namespace intox::fixture {
+
+bool waited_too_long(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() > deadline;
+}
+
+unsigned stress_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+// ... but invariant hygiene still applies everywhere, including tests:
+#define INTOX_INVARIANT(cond, msg) ((void)(cond))
+inline void still_checked(int i, int n) {
+  INTOX_INVARIANT(i++ < n, "side effect in a test invariant");  // line 21
+}
+
+}  // namespace intox::fixture

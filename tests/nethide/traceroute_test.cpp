@@ -79,7 +79,8 @@ TEST(Metrics, IdenticalTablesScorePerfect) {
 }
 
 TEST(Metrics, FlowDensityCountsCrossingPairs) {
-  auto t = Topology::line(3);  // 0-1-2: link 0-1 carried by (0,1),(1,0),(0,2),(2,0)
+  // 0-1-2: link 0-1 carried by (0,1),(1,0),(0,2),(2,0)
+  auto t = Topology::line(3);
   auto paths = PathTable::all_shortest_paths(t);
   auto density = flow_density(paths);
   EXPECT_EQ(density[(Edge{0, 1})], 4u);

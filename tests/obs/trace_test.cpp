@@ -23,7 +23,8 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
-std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
   std::size_t n = 0;
   for (std::size_t at = hay.find(needle); at != std::string::npos;
        at = hay.find(needle, at + needle.size())) {

@@ -109,7 +109,8 @@ TEST_P(Fig2Golden, SimulatedOccupancyMatchesBinomialModel) {
     // leads" note in EXPERIMENTS.md. Pin the simulation tightly to the
     // renewal-exact mean, and the paper model to the exact analytic gap.
     const double p_exact = 1.0 - std::exp(-qm * t / cfg.tr_seconds);
-    const double p_model = blink::cell_malicious_probability(qm, t, cfg.tr_seconds);
+    const double p_model =
+        blink::cell_malicious_probability(qm, t, cfg.tr_seconds);
     const double sigma =
         std::sqrt(n * p_exact * (1.0 - p_exact) / static_cast<double>(runs));
     EXPECT_NEAR(occupancy.at(i).mean(), n * p_exact, 3.0 * sigma + 0.25)
@@ -199,7 +200,8 @@ TEST_P(RateGrid, AttackDropNeverOverscales) {
   const double rate = GetParam();
   for (double eps : {0.01, 0.03, 0.05}) {
     const double target = pcc::utility(rate * (1.0 - eps), 0.0);
-    const double drop = pcc::loss_for_target_utility(rate * (1.0 + eps), target);
+    const double drop =
+        pcc::loss_for_target_utility(rate * (1.0 + eps), target);
     EXPECT_GT(drop, 0.0);
     EXPECT_LT(drop, 3.0 * eps);  // ~2*eps/(1+..) plus sigmoid correction
   }

@@ -37,7 +37,8 @@ TEST_P(LpmProperties, MatchesBruteForceReference) {
   // Random rule set with duplicates overwritten (matching insert
   // semantics) and varied prefix lengths.
   for (int i = 0; i < 300; ++i) {
-    const auto addr = static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
+    const auto addr =
+        static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX));
     const int len = static_cast<int>(rng.uniform_int(0, 32));
     const Prefix p{Ipv4Addr{addr}, len};
     const int value = i;
@@ -56,7 +57,8 @@ TEST_P(LpmProperties, MatchesBruteForceReference) {
   ASSERT_EQ(table.size(), rules.size());
 
   for (int probe = 0; probe < 2000; ++probe) {
-    const Ipv4Addr a{static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX))};
+    const Ipv4Addr a{
+        static_cast<std::uint32_t>(rng.uniform_int(0, UINT32_MAX))};
     const auto expect = reference_lookup(rules, a);
     const auto got = table.lookup(a);
     ASSERT_EQ(got.has_value(), expect.has_value()) << to_string(a);

@@ -19,7 +19,8 @@ class SelectorProperties : public ::testing::TestWithParam<SelectorParam> {};
 
 net::FiveTuple random_tuple(sim::Rng& rng) {
   net::FiveTuple t;
-  t.src = net::Ipv4Addr{static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 24))};
+  t.src =
+      net::Ipv4Addr{static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 24))};
   t.dst = net::Ipv4Addr{10, 0, 0, 1};
   t.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
   t.dst_port = 80;
@@ -53,7 +54,8 @@ TEST_P(SelectorProperties, InvariantsUnderRandomTraffic) {
       const auto& cells = sel.cells();
       for (std::size_t i = 0; i < cells.size(); ++i) {
         if (!cells[i].occupied) continue;
-        ASSERT_EQ(net::flow_hash(cells[i].flow, cfg.hash_seed) % param.cells, i);
+        ASSERT_EQ(net::flow_hash(cells[i].flow, cfg.hash_seed) % param.cells,
+                  i);
         // Invariant 3: timestamps are coherent.
         ASSERT_LE(cells[i].sampled_at, cells[i].last_seen);
         ASSERT_LE(cells[i].last_seen, now);

@@ -81,7 +81,9 @@ TEST(PytheasEngine, LeaveRemovesSession) {
 
 class RejectAll : public ReportFilter {
  public:
-  bool admit(const SessionFeatures&, const QoeReport&) override { return false; }
+  bool admit(const SessionFeatures&, const QoeReport&) override {
+    return false;
+  }
 };
 
 TEST(PytheasEngine, FilterQuarantinesReports) {

@@ -34,7 +34,8 @@ TEST(Rng, ForkByLabelIsStableAndIndependent) {
 
 TEST(Rng, ForkByIndexDistinct) {
   Rng root{7};
-  EXPECT_NE(root.fork(std::uint64_t{0}).seed(), root.fork(std::uint64_t{1}).seed());
+  EXPECT_NE(root.fork(std::uint64_t{0}).seed(),
+            root.fork(std::uint64_t{1}).seed());
 }
 
 TEST(Rng, ExponentialMeanConverges) {

@@ -48,7 +48,8 @@ TEST(BloomFilter, SeedChangesLayout) {
   // probability over 4 hashes in 1024 cells).
   bool any_diff = false;
   for (std::uint32_t i = 0; i < 4; ++i) {
-    any_diff |= bloom_index(12345, i, 1024, 1) != bloom_index(12345, i, 1024, 2);
+    any_diff |=
+        bloom_index(12345, i, 1024, 1) != bloom_index(12345, i, 1024, 2);
   }
   EXPECT_TRUE(any_diff);
 }

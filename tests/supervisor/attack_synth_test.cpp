@@ -77,7 +77,8 @@ TEST(AttackSynthesis, WitnessContainsDuplicateSeqPattern) {
     cfg.max_iterations = 4000;
     cfg.seed = seed;
     AttackSynthesizer synth{cfg};
-    result = synth.search(blink_factory(small_blink()), blink_score, blink_goal);
+    result =
+        synth.search(blink_factory(small_blink()), blink_score, blink_goal);
   }
   ASSERT_TRUE(result.found);
   std::size_t repeats = 0;

@@ -32,7 +32,8 @@ TEST(BlinkRtoGuard, AllowsFreshFailureSignature) {
   }
   const sim::Time fail = sim::seconds(30);
   for (std::uint16_t i = 0; i < 16; ++i) {
-    sel.observe(tuple(static_cast<std::uint16_t>(1000 + i)), i, 100, false, fail);
+    sel.observe(tuple(static_cast<std::uint16_t>(1000 + i)), i, 100, false,
+                fail);
     sel.observe(tuple(static_cast<std::uint16_t>(1000 + i)), i, 100, false,
                 fail + sim::seconds(1));
   }

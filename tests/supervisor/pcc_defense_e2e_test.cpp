@@ -43,8 +43,9 @@ RunResult run_attacked(bool with_guard, std::uint64_t seed = 5) {
 
   net::FiveTuple t{net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{2, 2, 2, 2},
                    10000, 443, net::IpProto::kUdp};
-  pcc::PccSender sender{sched, cfg, t,
-                        [&](net::Packet p) { bottleneck.transmit(std::move(p)); }};
+  pcc::PccSender sender{
+      sched, cfg, t,
+      [&](net::Packet p) { bottleneck.transmit(std::move(p)); }};
   sp = &sender;
 
   std::unique_ptr<PccGuard> guard;

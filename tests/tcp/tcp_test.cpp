@@ -36,7 +36,8 @@ struct Pipe {
     net::FiveTuple flow{net::Ipv4Addr{1, 1, 1, 1}, net::Ipv4Addr{2, 2, 2, 2},
                        40000, 80, net::IpProto::kTcp};
     sender = std::make_unique<TcpSender>(
-        sched, cfg, flow, [this](net::Packet p) { fwd->transmit(std::move(p)); });
+        sched, cfg, flow,
+        [this](net::Packet p) { fwd->transmit(std::move(p)); });
   }
 };
 

@@ -67,7 +67,8 @@ TEST(LegitFlowDriver, FailureModeRetransmitsWithBackoff) {
   }
   // Inter-retransmit gaps double: 1 s then 2 s then 4 s.
   const auto gap1 = sent[healthy_count + 1].first - sent[healthy_count].first;
-  const auto gap2 = sent[healthy_count + 2].first - sent[healthy_count + 1].first;
+  const auto gap2 =
+      sent[healthy_count + 2].first - sent[healthy_count + 1].first;
   EXPECT_EQ(gap1, sim::seconds(1));
   EXPECT_EQ(gap2, sim::seconds(2));
 }

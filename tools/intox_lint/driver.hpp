@@ -1,0 +1,45 @@
+// File discovery, suppression pragmas, baseline handling, reporting.
+//
+// Suppression syntax (per line, same line or the line directly above):
+//   // intox-lint: allow(determinism)
+//   // intox-lint: allow(metrics, header)
+// Every pragma must suppress at least one finding, otherwise the
+// `pragma` check flags it — stale suppressions rot the baseline.
+//
+// Baseline file: `path:check:count` lines (# comments allowed). Up to
+// <count> findings of <check> in <path> are tolerated and reported as
+// baselined instead of failing the run. The intent is an empty
+// baseline; it exists so a genuinely new check can land before its
+// last stragglers are fixed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace intox::lint {
+
+struct Options {
+  std::string root = ".";
+  std::string baseline_path;          // empty = no baseline
+  std::vector<std::string> paths;     // relative to root; empty = default set
+  std::vector<std::string> only_checks;  // empty = all
+};
+
+struct RunResult {
+  std::vector<Finding> findings;   // active findings (fail the run)
+  std::vector<Finding> baselined;  // matched a baseline allowance
+  int files_scanned = 0;
+  int suppressed = 0;
+};
+
+/// Scans the tree and returns the partitioned findings. Throws
+/// std::runtime_error on unusable input (missing root, bad baseline).
+RunResult run_lint(const Options& opts);
+
+/// Prints `path:line: [check] message` lines, sorted, to `out`.
+void print_findings(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace intox::lint
