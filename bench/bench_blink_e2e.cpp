@@ -1,100 +1,9 @@
-// BLINK-E2E — the full §3.1 consequence: "the attacker can easily trick
-// Blink into rerouting traffic, possibly onto a path that she controls",
-// demonstrated over the packet-level switch pipeline. One Blink-enabled
-// switch forwards a victim prefix to a primary next-hop; the backup
-// next-hop is attacker-controlled. We measure how much legitimate
-// traffic ends up on the attacker's path, and verify the §2 observation
-// that the attack needs no TCP handshake with the victim.
-#include "bench_util.hpp"
-#include "blink/attacker.hpp"
-#include "dataplane/switch.hpp"
-#include "sim/network.hpp"
-
-using namespace intox;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "blink.e2e" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "BLINK-E2E"};
-  bench::header("BLINK-E2E", "traffic hijack via fake retransmissions");
-
-  sim::Scheduler sched;
-  sim::Network net{sched};
-  sim::Rng rng{2024};
-
-  dataplane::CallbackNode source{"ingress", nullptr};
-  dataplane::RoutedSwitch sw{"blink-switch", sched,
-                             net::Ipv4Addr{192, 0, 2, 1}};
-  dataplane::CallbackNode primary{"primary-nexthop", nullptr};
-  dataplane::CallbackNode attacker_hop{"attacker-nexthop", nullptr};
-
-  sim::LinkConfig fast;
-  fast.rate_bps = 10e9;
-  fast.prop_delay = sim::millis(1);
-  net.connect(source, 0, sw, 0, fast);
-  net.connect(sw, 1, primary, 0, fast);
-  net.connect(sw, 2, attacker_hop, 0, fast);
-
-  trafficgen::TraceConfig trace;  // 2000 flows, t_R = 8.37 s
-  trace.horizon = sim::seconds(300);
-  sw.add_route(net::Prefix{net::Ipv4Addr{10, 0, 0, 0}, 8}, 1);
-
-  blink::BlinkNode node{blink::BlinkConfig{}};
-  node.monitor_prefix(trace.victim_prefix, /*primary=*/1, /*backup=*/2);
-  sw.add_processor(&node);
-
-  std::uint64_t legit_to_primary = 0, legit_to_attacker = 0;
-  primary.set_handler([&](net::Packet p, int) {
-    legit_to_primary += !blink::is_malicious_tag(p.flow_tag);
-  });
-  attacker_hop.set_handler([&](net::Packet p, int) {
-    legit_to_attacker += !blink::is_malicious_tag(p.flow_tag);
-  });
-
-  trafficgen::FlowPopulation pop{
-      sched, rng.fork("drivers"),
-      [&](net::Packet p) { source.inject(0, std::move(p)); }};
-  {
-    sim::Rng trng = rng.fork("trace");
-    for (const auto& f : trafficgen::synthesize_trace(trace, trng)) {
-      pop.add_legit(f);
-    }
-  }
-  {
-    sim::Rng brng = rng.fork("bots");
-    trafficgen::MaliciousFlowDriver::Options opts;
-    opts.send_period = trace.pkt_interval;
-    for (const auto& f : trafficgen::synthesize_malicious_flows(
-             trace, 105, 0, brng, blink::kMaliciousTagBase)) {
-      pop.add_malicious(f, opts);
-    }
-  }
-
-  pop.start_all();
-  sched.run_until(trace.horizon);
-  pop.stop_all();
-
-  const auto& reroutes = node.reroutes();
-  bench::row("reroute events:        %zu", reroutes.size());
-  if (!reroutes.empty()) {
-    bench::row("hijack at:             %.1f s (retransmitting cells: %zu)",
-               sim::to_seconds(reroutes[0].when),
-               reroutes[0].retransmitting_cells);
-  }
-  bench::row("legit pkts to primary: %llu",
-             static_cast<unsigned long long>(legit_to_primary));
-  bench::row("legit pkts hijacked:   %llu",
-             static_cast<unsigned long long>(legit_to_attacker));
-  const double hijacked_share =
-      static_cast<double>(legit_to_attacker) /
-      static_cast<double>(legit_to_primary + legit_to_attacker);
-  bench::row("hijacked share:        %.1f%% of legitimate traffic",
-             hijacked_share * 100.0);
-
-  bench::claim(!reroutes.empty(), "fake retransmissions trigger a reroute");
-  bench::claim(legit_to_attacker > 0,
-               "legitimate traffic flows through the attacker's next-hop");
-  bench::claim(hijacked_share > 0.2,
-               "a large share of the remaining horizon's traffic is hijacked");
-  bench::note("no TCP handshake was ever performed: malicious drivers emit "
-              "raw duplicate segments only (cf. §3.1).");
-  return 0;
+  return intox::scenario::run_legacy_shim("blink.e2e", argc, argv);
 }

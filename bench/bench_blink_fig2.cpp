@@ -1,104 +1,11 @@
-// FIG2 — reproduces Figure 2 of the paper:
-//   "Malicious flows sampled by Blink over time (tR = 8.37 s,
-//    qm = 0.0525). On average, it takes 172 s until the sample contains
-//    enough (i.e., 32) malicious flows."
-//
-// Emits the calculated mean / 5th / 95th percentile curves (the paper's
-// closed-form binomial model) and packet-level simulation runs through a
-// real BlinkNode, exactly like the figure overlays 50 mininet runs.
-//
-// Run with --runs N to change the simulation count (default 12 keeps the
-// default bench sweep fast; the figure used 50) and --threads N to pick
-// the worker count (default: INTOX_THREADS, then hardware concurrency).
-// The printed statistics are byte-identical for any thread count; only
-// the perf line on stderr varies.
-#include <cstdlib>
-#include <cstring>
-
-#include "bench_util.hpp"
-#include "blink/attacker.hpp"
-#include "blink/cell_process.hpp"
-
-using namespace intox;
-using namespace intox::blink;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "blink.fig2" (see src/scenario/). The binary keeps its
+// name and CLI (`--runs N`) so existing invocations and goldens stay
+// valid; it forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "FIG2"};
-  std::size_t runs = 12;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--runs") == 0) {
-      runs = static_cast<std::size_t>(std::atoi(argv[i + 1]));
-    }
-  }
-  sim::ParallelRunner runner{session.threads()};
-
-  bench::header("FIG2", "malicious flows in Blink's sample over time");
-  const double tr = 8.37, qm = 0.0525;
-  const std::size_t n = 64, majority = 32;
-
-  // Packet-level simulations (2000 legit + 105 malicious flows each),
-  // sharded across the runner. Each trial is seeded by its index alone
-  // and the aggregates are folded in trial order below, so the output
-  // does not depend on scheduling.
-  std::vector<Fig2Result> trials;
-  {
-    bench::Phase phase{"FIG2.simulate", "bench"};
-    trials = runner.map(runs, [](std::size_t r) {
-      Fig2Config cfg;
-      cfg.seed = 1000 + r;
-      return run_fig2_experiment(cfg);
-    });
-  }
-  bench::perf("FIG2", runner.last_report());
-
-  sim::SeriesStats sampled{0, sim::seconds(500), sim::seconds(25)};
-  sim::RunningStats majority_times, measured_tr;
-  std::size_t reroutes = 0;
-  for (const Fig2Result& result : trials) {
-    sampled.add(result.malicious_sampled);
-    if (result.time_to_majority_seconds >= 0) {
-      majority_times.add(result.time_to_majority_seconds);
-    }
-    measured_tr.add(result.measured_tr_seconds);
-    reroutes += !result.reroutes.empty();
-  }
-
-  bench::row("%6s  %8s  %6s  %6s  | packet-level sim (mean of %zu runs, "
-             "min, max)",
-             "t[s]", "calc-avg", "p5", "p95", runs);
-  for (std::size_t i = 0; i < sampled.points(); ++i) {
-    const int t = static_cast<int>(i) * 25;
-    const double p = cell_malicious_probability(qm, t, tr);
-    const double mean = static_cast<double>(n) * p;
-    const auto p5 = binomial_quantile(n, p, 0.05);
-    const auto p95 = binomial_quantile(n, p, 0.95);
-    const sim::RunningStats& at_t = sampled.at(i);
-    bench::row("%6d  %8.1f  %6zu  %6zu  | %8.1f  %6.0f  %6.0f", t, mean, p5,
-               p95, at_t.mean(), at_t.min(), at_t.max());
-  }
-
-  const double t_mean32 = time_to_expected_count(n, qm, tr, 32.0);
-  bench::row("");
-  bench::row("closed-form mean crosses %zu at           %.0f s", majority,
-             t_mean32);
-  bench::row("packet-level majority reached at (mean)  %.0f s  [paper: 172 s]",
-             majority_times.mean());
-  bench::row("measured sampled-residency t_R           %.2f s  [target 8.37 s]",
-             measured_tr.mean());
-  bench::row("runs reaching majority                   %zu/%zu",
-             majority_times.count(), runs);
-  bench::row("runs triggering a bogus reroute          %zu/%zu", reroutes,
-             runs);
-
-  bench::claim(majority_times.count() == runs,
-               "attack reaches a malicious majority in every run");
-  bench::claim(majority_times.mean() > 100 && majority_times.mean() < 260,
-               "time-to-majority lands in the paper's 100-260 s regime "
-               "(~172 s)");
-  bench::claim(std::abs(measured_tr.mean() - 8.37) < 1.5,
-               "synthetic trace reproduces the target t_R = 8.37 s");
-  bench::claim(reroutes == runs, "every run ends with Blink hijacked");
-  bench::note("closed form slightly leads the packet-level runs: only ~52 of "
-              "64 cells are reachable by 105 hashed flows (capture ceiling).");
-  return 0;
+  intox::scenario::LegacySpec spec;
+  spec.value_flags = {{"--runs", "runs"}};
+  return intox::scenario::run_legacy_shim("blink.fig2", argc, argv, spec);
 }

@@ -1,94 +1,9 @@
-// BLINK-TR — the §3.1 sensitivity claims:
-//   * "With longer tR, the attack is harder, i.e., requires higher qm."
-//   * "for half of [the top-20 prefixes] the average time a flow remains
-//      sampled is 10 s (the median is ~5 s)" — i.e. realistic t_R values
-//      sit squarely in the attackable regime.
-//
-// Sweeps t_R x q_m over the closed-form model, cross-checks a column
-// against the cell-process Monte-Carlo (sharded over --threads workers;
-// statistics are thread-count-invariant), and ablates Blink's design
-// parameters (cell count, reset period) as DESIGN.md calls out.
-#include <cmath>
-
-#include "bench_util.hpp"
-#include "blink/attacker.hpp"
-#include "blink/cell_process.hpp"
-
-using namespace intox;
-using namespace intox::blink;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "blink.tr-sweep" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "BLINK-TR"};
-  sim::ParallelRunner runner{session.threads()};
-  bench::header("BLINK-TR",
-                "attack feasibility vs sampled-flow residency t_R");
-  const std::size_t n = 64, majority = 32;
-  const double budget = 510.0;
-
-  // Part 1: minimum q_m for 95%-confident majority within one reset.
-  bench::row("%8s  %12s  %16s", "t_R[s]", "min q_m", "botnet vs 2000 flows");
-  double prev_qm = 0.0;
-  bool monotone = true;
-  for (double tr : {2.0, 5.0, 8.37, 10.0, 15.0, 20.0, 30.0, 40.0}) {
-    const double qm = min_qm_for_success(n, budget, tr, majority, 0.95);
-    const auto bots = static_cast<std::size_t>(
-        std::ceil(2000.0 * qm / (1.0 - qm)));
-    bench::row("%8.2f  %11.4f%%  %13zu hosts", tr, qm * 100.0, bots);
-    monotone &= qm > prev_qm;
-    prev_qm = qm;
-  }
-  bench::claim(monotone, "longer t_R requires strictly higher q_m");
-
-  const double qm_median = min_qm_for_success(n, budget, 5.0, majority, 0.95);
-  const double qm_mean = min_qm_for_success(n, budget, 10.0, majority, 0.95);
-  bench::claim(qm_median < 0.05 && qm_mean < 0.08,
-               "at the CAIDA-like t_R of 5-10 s, <8% malicious traffic "
-               "suffices (paper: 5.25% at 8.37 s)");
-
-  // Part 2: cross-check closed form vs Monte-Carlo at q_m = 5.25%.
-  bench::row("");
-  bench::row("%8s  %14s  %14s", "t_R[s]", "theory P[win]", "monte-carlo");
-  bool agree = true;
-  sim::Rng rng{7};
-  sim::RunReport mc_perf;
-  for (double tr : {5.0, 8.37, 15.0, 30.0}) {
-    const double theory =
-        attack_success_probability(n, 0.0525, budget, tr, majority);
-    CellProcessConfig cfg;
-    cfg.tr_seconds = tr;
-    sim::Rng sub = rng.fork(static_cast<std::uint64_t>(tr * 100));
-    const double mc = empirical_success_rate(cfg, majority, 400, sub, runner);
-    mc_perf.trials += runner.last_report().trials;
-    mc_perf.threads = runner.last_report().threads;
-    mc_perf.wall_seconds += runner.last_report().wall_seconds;
-    bench::row("%8.2f  %13.3f  %13.3f", tr, theory, mc);
-    agree &= std::abs(theory - mc) < 0.08;
-  }
-  bench::perf("BLINK-TR-MC", mc_perf);
-  bench::claim(agree, "Monte-Carlo matches the closed form within 0.08");
-
-  // Part 3: ablations of Blink's own parameters (DESIGN.md §6).
-  bench::row("");
-  bench::row("ablation: cells n (majority = n/2), t_R = 8.37 s, qm = 5.25%%");
-  for (std::size_t cells : {16u, 32u, 64u, 128u, 256u}) {
-    const double p =
-        attack_success_probability(cells, 0.0525, budget, 8.37, cells / 2);
-    bench::row("  n = %4zu   P[attack succeeds] = %.4f", cells, p);
-  }
-  bench::note("larger samples narrow the binomial spread around the same "
-              "mean: cell count barely defends");
-
-  bench::row("ablation: reset period t_B (attacker's time budget)");
-  bool budget_helps = true;
-  double prev = 1.0;
-  for (double tb : {510.0, 255.0, 127.0, 60.0, 30.0}) {
-    const double p = attack_success_probability(n, 0.0525, tb, 8.37, majority);
-    bench::row("  t_B = %4.0f s   P[success] = %.4f", tb, p);
-    budget_helps &= p <= prev + 1e-12;
-    prev = p;
-  }
-  bench::claim(budget_helps,
-               "shorter reset periods shrink the attack window (defense "
-               "lever, at the cost of re-learning the sample)");
-  return 0;
+  return intox::scenario::run_legacy_shim("blink.tr-sweep", argc, argv);
 }

@@ -1,91 +1,9 @@
-// NETHIDE — §4.3: "Since there is no authentication of these ICMP
-// replies, any attacker who can manipulate them can control the path
-// that traceroute displays ... the exact same technique [NetHide] could
-// be used by malicious operators to present wrong information about the
-// topology."
-//
-// Quantifies the spectrum honest -> NetHide (defensive, minimal lying)
-// -> malicious decoy (maximal lying) with the accuracy / utility /
-// flow-density metrics.
-#include "bench_util.hpp"
-#include "nethide/obfuscate.hpp"
-
-using namespace intox;
-using namespace intox::nethide;
-
-namespace {
-
-Topology dumbbell() {
-  Topology t{10};
-  for (NodeId i = 0; i < 4; ++i) {
-    for (NodeId j = i + 1; j < 4; ++j) t.add_link(i, j);
-  }
-  for (NodeId i = 5; i < 9; ++i) {
-    for (NodeId j = i + 1; j < 9; ++j) t.add_link(i, j);
-  }
-  t.add_link(3, 4);
-  t.add_link(4, 5);
-  t.add_link(9, 0);
-  t.add_link(2, 9);
-  t.add_link(1, 9);
-  t.add_link(9, 6);
-  return t;
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "nethide.topology" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "NETHIDE"};
-  bench::header("NETHIDE", "topology presented to traceroute: honest, "
-                           "obfuscated, maliciously faked");
-
-  const Topology topo = dumbbell();
-  const PathTable honest = PathTable::all_shortest_paths(topo);
-
-  const auto defended = obfuscate(topo, ObfuscationConfig{});
-  const auto faked = present_fake_topology(topo, Topology::ring(10));
-
-  bench::row("%-14s %10s %10s %12s", "presentation", "accuracy", "utility",
-             "max-density");
-  bench::row("%-14s %10.3f %10.3f %12zu", "honest", 1.0, 1.0,
-             max_flow_density(honest));
-  bench::row("%-14s %10.3f %10.3f %12zu", "nethide", defended.accuracy,
-             defended.utility, defended.presented_max_density);
-  bench::row("%-14s %10.3f %10.3f %12zu", "malicious", faked.accuracy,
-             faked.utility, faked.presented_max_density);
-
-  bench::row("");
-  bench::row("example traceroute 0 -> 7 under each presentation:");
-  auto print_route = [&](const char* label, const PathTable& table) {
-    auto hops = traceroute(topo, table, 0, 7);
-    std::string line;
-    for (const auto& h : hops) line += " " + net::to_string(h.from);
-    bench::row("  %-10s%s", label, line.c_str());
-  };
-  print_route("honest", honest);
-  print_route("nethide", defended.presented);
-  print_route("malicious", faked.presented);
-
-  // What a mapping prober concludes.
-  const auto inferred_fake = infer_topology(topo, faked.presented);
-  std::size_t phantom_links = 0;
-  for (const Edge& e : inferred_fake.links()) {
-    phantom_links += !topo.has_link(e.a, e.b);
-  }
-
-  bench::row("");
-  bench::row("prober's map under the malicious decoy: %zu links, %zu phantom",
-             inferred_fake.link_count(), phantom_links);
-
-  bench::claim(defended.presented_max_density < defended.physical_max_density,
-               "NetHide hides the bottleneck (max apparent flow density "
-               "drops) — the defensive use");
-  bench::claim(defended.accuracy > 0.8 && defended.utility > 0.5,
-               "NetHide keeps traceroute mostly truthful (minimal lying)");
-  bench::claim(faked.accuracy < defended.accuracy - 0.1,
-               "the malicious operator's decoy is far less faithful — same "
-               "mechanism, opposite intent");
-  bench::claim(phantom_links > 0,
-               "the prober's inferred map contains links that do not exist");
-  return 0;
+  return intox::scenario::run_legacy_shim("nethide.topology", argc, argv);
 }

@@ -1,86 +1,9 @@
-// PCC-FLEET — §4.2: "by doing this across a large number of PCC flows
-// towards the same destination, the attacker can create sizable traffic
-// fluctuations at the destination, causing challenges with managing this
-// variable traffic."
-//
-// Every (fleet size, clean/attacked) cell of the table is an independent
-// seeded experiment, so the sweep fans out across the runner's workers
-// (--threads / INTOX_THREADS) and folds back in fleet order.
-#include <vector>
-
-#include "bench_util.hpp"
-#include "pcc/experiment.hpp"
-
-using namespace intox;
-using namespace intox::pcc;
-
-namespace {
-
-PccExperimentConfig fleet_config(std::size_t flows, bool attack) {
-  PccExperimentConfig cfg;
-  cfg.flows = flows;
-  cfg.bottleneck_bps = 10e6 * static_cast<double>(flows);
-  cfg.queue_limit_bytes = 64 * 1024 * static_cast<std::uint32_t>(flows);
-  cfg.red_max_bytes = cfg.queue_limit_bytes;
-  cfg.duration = sim::seconds(50);
-  cfg.seed = 9;
-  cfg.attack = attack;
-  return cfg;
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "pcc.fleet" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "PCC-FLEET"};
-  sim::ParallelRunner runner{session.threads()};
-
-  bench::header("PCC-FLEET",
-                "aggregate traffic fluctuation at a victim destination");
-
-  const std::vector<std::size_t> fleet_sizes{1, 4, 16, 48};
-  // Trials 2k / 2k+1 are fleet k clean / attacked.
-  std::vector<PccExperimentResult> results;
-  {
-    bench::Phase phase{"PCC-FLEET.sweep", "bench"};
-    results = runner.map(2 * fleet_sizes.size(), [&](std::size_t i) {
-      return run_pcc_experiment(fleet_config(fleet_sizes[i / 2], i % 2 == 1));
-    });
-  }
-  bench::perf("PCC-FLEET", runner.last_report());
-
-  bench::row("%6s | %14s %14s | %14s %14s", "flows", "clean agg[Mb]",
-             "clean agg-cv", "attacked[Mb]", "attacked-cv");
-  bool cv_grows = true;
-  double last_clean_cv = 0.0, last_attacked_cv = 0.0;
-  for (std::size_t k = 0; k < fleet_sizes.size(); ++k) {
-    const std::size_t flows = fleet_sizes[k];
-    const PccExperimentResult& clean = results[2 * k];
-    const PccExperimentResult& attacked = results[2 * k + 1];
-    const sim::Duration duration = fleet_config(flows, false).duration;
-
-    sim::RunningStats clean_late, attacked_late;
-    for (const auto& [t, v] : clean.delivered_bps.points()) {
-      if (t >= duration * 2 / 3) clean_late.add(v);
-    }
-    for (const auto& [t, v] : attacked.delivered_bps.points()) {
-      if (t >= duration * 2 / 3) attacked_late.add(v);
-    }
-    bench::row("%6zu | %14.1f %13.2f%% | %14.1f %13.2f%%", flows,
-               clean_late.mean() / 1e6, clean.delivered_cv * 100.0,
-               attacked_late.mean() / 1e6, attacked.delivered_cv * 100.0);
-    if (flows >= 16) cv_grows &= attacked.delivered_cv > clean.delivered_cv;
-    last_clean_cv = clean.delivered_cv;
-    last_attacked_cv = attacked.delivered_cv;
-  }
-
-  bench::claim(cv_grows,
-               "at fleet scale the attacked aggregate fluctuates more than "
-               "the clean one");
-  bench::claim(last_attacked_cv > 1.2 * last_clean_cv,
-               "destination-side arrival variability grows by >20% under "
-               "attack at 48 flows");
-  bench::note("statistical multiplexing normally smooths aggregates; the "
-              "synchronized per-flow oscillations re-introduce variance at "
-              "the destination.");
-  return 0;
+  return intox::scenario::run_legacy_shim("pcc.fleet", argc, argv);
 }

@@ -1,122 +1,9 @@
-// PCC-OSC — §4.2: "the attacker can cause PCC flows to fluctuate by
-// ±5%, without allowing them to converge to the right rate. ... Not only
-// is PCC's logic neutralized in this setting, it is effectively a tool
-// for the attacker to cause disruption."
-//
-// Compares a clean PCC flow against the same flow under the
-// utility-equalizing MitM (omniscient and shaper variants) and a Reno
-// baseline, then ablates epsilon_max (a DESIGN.md knob). Each scenario
-// is an independent seeded experiment, so the whole table is one
-// parallel sweep (--threads / INTOX_THREADS); results print in scenario
-// order regardless of which worker finishes first.
-#include <vector>
-
-#include "bench_util.hpp"
-#include "pcc/experiment.hpp"
-
-using namespace intox;
-using namespace intox::pcc;
-
-namespace {
-
-PccExperimentConfig base() {
-  PccExperimentConfig cfg;
-  cfg.duration = sim::seconds(90);
-  cfg.seed = 4;
-  return cfg;
-}
-
-void print(const char* label, const PccExperimentResult& r) {
-  bench::row("%-22s %9.2f %8.2f%% %8.2f%% %8llu %8llu %9.2f%%", label,
-             r.mean_rate_bps / 1e6, r.rate_cv * 100.0,
-             r.osc_amplitude * 100.0,
-             static_cast<unsigned long long>(r.inconclusive),
-             static_cast<unsigned long long>(r.decisions),
-             r.attacker_observed
-                 ? 100.0 * static_cast<double>(r.attacker_dropped) /
-                       static_cast<double>(r.attacker_observed)
-                 : 0.0);
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "pcc.oscillation" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "PCC-OSC"};
-  sim::ParallelRunner runner{session.threads()};
-
-  bench::header("PCC-OSC",
-                "PCC rate oscillation under a utility-equalizing MitM");
-  bench::row("%-22s %9s %9s %9s %8s %8s %10s", "scenario", "rate[Mb]",
-             "rate-cv", "amp", "inconcl", "decide", "drop-share");
-
-  std::vector<std::pair<const char*, PccExperimentConfig>> scenarios;
-  scenarios.emplace_back("pcc clean", base());
-  {
-    auto atk = base();
-    atk.attack = true;
-    scenarios.emplace_back("pcc + mitm(omnisc.)", atk);
-    atk.mitm.mode = PccMitmConfig::Mode::kShaper;
-    scenarios.emplace_back("pcc + mitm(shaper)", atk);
-  }
-  {
-    auto reno = base();
-    reno.kind = SenderKind::kReno;
-    scenarios.emplace_back("reno clean", reno);
-    reno.attack = true;
-    scenarios.emplace_back("reno + mitm(omnisc.)", reno);
-  }
-
-  std::vector<PccExperimentResult> results;
-  {
-    bench::Phase phase{"PCC-OSC.scenarios", "bench"};
-    results = runner.map(scenarios.size(), [&](std::size_t i) {
-      return run_pcc_experiment(scenarios[i].second);
-    });
-  }
-  bench::perf("PCC-OSC", runner.last_report());
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    print(scenarios[i].first, results[i]);
-  }
-
-  const PccExperimentResult& clean = results[0];
-  const PccExperimentResult& omniscient = results[1];
-
-  bench::claim(clean.rate_cv < 0.08,
-               "clean PCC converges (rate CV < 8% in steady state)");
-  bench::claim(omniscient.rate_cv > 1.3 * clean.rate_cv &&
-                   omniscient.osc_amplitude >= 0.05,
-               "MitM-attacked PCC fluctuates at the +-5% scale without "
-               "converging (paper's headline)");
-  bench::claim(omniscient.mean_rate_bps < 0.85 * clean.mean_rate_bps,
-               "attacked flow is pinned below its fair rate");
-  bench::claim(static_cast<double>(omniscient.attacker_dropped) <
-                   0.05 * static_cast<double>(omniscient.attacker_observed),
-               "attacker tampers with <5% of packets");
-  bench::claim(omniscient.inconclusive > clean.decisions / 2,
-               "experiments are driven inconclusive (epsilon escalates)");
-
-  // Ablation: epsilon_max — the oscillation amplitude the attacker gets
-  // for free is exactly PCC's own experiment range.
-  bench::row("");
-  bench::row("ablation: epsilon_max under attack");
-  const std::vector<double> emaxes{0.02, 0.05, 0.10};
-  std::vector<PccExperimentResult> ablations;
-  {
-    bench::Phase phase{"PCC-OSC.ablation", "bench"};
-    ablations = runner.map(emaxes.size(), [&](std::size_t i) {
-      auto cfg = base();
-      cfg.attack = true;
-      cfg.pcc.epsilon_max = emaxes[i];
-      return run_pcc_experiment(cfg);
-    });
-  }
-  bench::perf("PCC-OSC-ABLATION", runner.last_report());
-  for (std::size_t i = 0; i < emaxes.size(); ++i) {
-    bench::row("  eps_max %.2f -> rate-cv %5.2f%%, amp %5.2f%%", emaxes[i],
-               ablations[i].rate_cv * 100.0,
-               ablations[i].osc_amplitude * 100.0);
-  }
-  bench::note("epsilon_max bounds the attacker-induced oscillation — the "
-              "paper's own countermeasure suggestion (cf. bench_defenses).");
-  return 0;
+  return intox::scenario::run_legacy_shim("pcc.oscillation", argc, argv);
 }

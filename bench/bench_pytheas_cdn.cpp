@@ -1,64 +1,9 @@
-// PYTH-CDN — §4.1: "throttle user flows to/from a particular CDN site,
-// while prioritizing traffic to others. This way, the attacker can
-// create imbalance and potentially overload one site as entire groups of
-// clients switch to it."
-#include "bench_util.hpp"
-#include "pytheas/experiment.hpp"
-
-using namespace intox;
-using namespace intox::pytheas;
-
-namespace {
-
-CdnConfig scenario() {
-  CdnConfig cfg;
-  cfg.model.arm_base = {4.5, 4.0};          // site 0 better and bigger
-  cfg.model.arm_capacity = {400.0, 200.0};  // site 1 cannot hold everyone
-  return cfg;
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "pytheas.cdn" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "PYTH-CDN"};
-  bench::header("PYTH-CDN", "CDN-site overload via MitM throttling");
-
-  auto clean_cfg = scenario();
-  clean_cfg.attack_start_epoch = clean_cfg.epochs + 1;
-  const auto clean = run_cdn_experiment(clean_cfg);
-  const auto attacked = run_cdn_experiment(scenario());
-
-  bench::row("%18s  %12s  %12s", "", "no attack", "throttled");
-  bench::row("%18s  %12.2f  %12.2f", "final site-0 load",
-             clean.site0_load.points().back().second,
-             attacked.site0_load.points().back().second);
-  bench::row("%18s  %12.2f  %12.2f", "final site-1 load",
-             clean.site1_load.points().back().second,
-             attacked.site1_load.points().back().second);
-  bench::row("%18s  %12.2f  %12.2f", "site-1 peak load/cap",
-             clean.site1_peak_overload, attacked.site1_peak_overload);
-  bench::row("%18s  %12.2f  %12.2f", "mean QoE (late)", clean.qoe_after,
-             attacked.qoe_after);
-
-  bench::row("");
-  bench::row("site loads over time (attacked run; attack starts at epoch 50):");
-  bench::row("%8s  %8s  %8s  %8s", "epoch", "site0", "site1", "QoE");
-  for (int e = 0; e <= 140; e += 20) {
-    bench::row("%8d  %8.0f  %8.0f  %8.2f", e,
-               attacked.site0_load.at(sim::seconds(e)),
-               attacked.site1_load.at(sim::seconds(e)),
-               attacked.mean_qoe.at(sim::seconds(e)));
-  }
-
-  bench::claim(clean.site1_peak_overload < 1.0,
-               "without the attacker, the small site is never overloaded");
-  bench::claim(attacked.site1_peak_overload > 1.2,
-               "throttling the big site stampedes the group onto the small "
-               "one, overloading it past capacity");
-  bench::claim(attacked.qoe_after < clean.qoe_after - 0.15,
-               "every client's QoE degrades even though site 1 was never "
-               "touched by the attacker");
-  bench::note("the attacker throttles only site-0 traffic; the overload at "
-              "site 1 is manufactured entirely by Pytheas's group decision.");
-  return 0;
+  return intox::scenario::run_legacy_shim("pytheas.cdn", argc, argv);
 }

@@ -1,138 +1,9 @@
-// PYTH-QOE — §4.1: "if multiple clients within a group report
-// manipulated QoE measurements, this can drive decisions for other
-// clients ... such that the system lowers video quality for all clients
-// in the group."
-//
-// Sweeps botnet size x report amplification and reports the legitimate
-// clients' QoE before/after, plus the ablations DESIGN.md calls out
-// (UCB discount, group size). Every grid point is an independent seeded
-// experiment, so each sweep fans out across the runner's workers
-// (--threads / INTOX_THREADS) and prints in grid order.
-#include <vector>
-
-#include "bench_util.hpp"
-#include "pytheas/experiment.hpp"
-
-using namespace intox;
-using namespace intox::pytheas;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "pytheas.poison" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "PYTH-QOE"};
-  sim::ParallelRunner runner{session.threads()};
-
-  bench::header("PYTH-QOE", "group QoE poisoning by lying clients");
-
-  std::vector<std::pair<std::size_t, std::size_t>> grid;  // (bots, amp)
-  for (std::size_t bots : {0u, 10u, 20u, 40u, 60u}) {
-    for (std::size_t amp : {1u, 3u, 12u}) {
-      if (bots == 0 && amp != 1) continue;
-      grid.emplace_back(bots, amp);
-    }
-  }
-  grid.emplace_back(12, 12);  // the amplification-substitutes claim
-
-  const auto grid_results = runner.map(grid.size(), [&](std::size_t i) {
-    PoisonConfig cfg;
-    cfg.bot_sessions = grid[i].first;
-    cfg.bot_amplification = grid[i].second;
-    return run_poisoning_experiment(cfg);
-  });
-  bench::perf("PYTH-QOE-GRID", runner.last_report());
-
-  bench::row("%6s %6s %8s | %10s %10s %8s", "bots", "amp", "rep-share",
-             "qoe-before", "qoe-after", "flipped");
-  double qoe_drop_at_40 = 0.0;
-  double flipped_at_12_amp12 = 0.0;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto [bots, amp] = grid[i];
-    const PoisonResult& r = grid_results[i];
-    if (bots == 12 && amp == 12) {
-      // Off-grid probe point: feeds the claim below, not the table.
-      flipped_at_12_amp12 = r.flipped_fraction;
-      continue;
-    }
-    const PoisonConfig defaults;
-    const double share =
-        static_cast<double>(bots * amp) /
-        static_cast<double>(bots * amp + defaults.legit_sessions);
-    bench::row("%6zu %6zu %7.1f%% | %10.2f %10.2f %7.0f%%", bots, amp,
-               share * 100.0, r.mean_qoe_before, r.mean_qoe_after,
-               r.flipped_fraction * 100.0);
-    if (bots == 40 && amp == 3) {
-      qoe_drop_at_40 = r.mean_qoe_before - r.mean_qoe_after;
-    }
-  }
-
-  bench::claim(qoe_drop_at_40 > 1.0,
-               "17% lying clients (3x reports) cost the whole group >1.0 QoE");
-  bench::claim(flipped_at_12_amp12 > 0.8,
-               "amplification substitutes for bots: 5.7% of clients with 12x "
-               "reports still flip the group");
-
-  // Ablation: UCB discount factor (how fast honest history decays).
-  bench::row("");
-  bench::row("ablation: UCB discount (bots=40, amp=3)");
-  const std::vector<double> discounts{0.90, 0.98, 0.999};
-  const auto discount_results = runner.map(discounts.size(),
-                                           [&](std::size_t i) {
-    PoisonConfig cfg;
-    cfg.bot_sessions = 40;
-    cfg.engine.ucb.discount = discounts[i];
-    return run_poisoning_experiment(cfg);
-  });
-  bench::perf("PYTH-QOE-DISCOUNT", runner.last_report());
-  for (std::size_t i = 0; i < discounts.size(); ++i) {
-    bench::row("  discount %.3f -> qoe-after %.2f, flipped %3.0f%%",
-               discounts[i], discount_results[i].mean_qoe_after,
-               discount_results[i].flipped_fraction * 100.0);
-  }
-  bench::note("slower forgetting (discount -> 1) makes poisoning slower but "
-              "also makes the system sluggish to genuine QoE shifts.");
-
-  // Ablation: group size at a fixed bot *count* (is the damage about
-  // fractions or absolutes?).
-  bench::row("ablation: group size with a fixed 40-bot botnet");
-  const std::vector<std::size_t> group_sizes{100, 200, 400, 800};
-  const auto size_results = runner.map(group_sizes.size(), [&](std::size_t i) {
-    PoisonConfig cfg;
-    cfg.legit_sessions = group_sizes[i];
-    cfg.bot_sessions = 40;
-    return run_poisoning_experiment(cfg);
-  });
-  bench::perf("PYTH-QOE-GROUPSIZE", runner.last_report());
-  for (std::size_t i = 0; i < group_sizes.size(); ++i) {
-    bench::row("  %4zu legit -> qoe-after %.2f, flipped %3.0f%%",
-               group_sizes[i], size_results[i].mean_qoe_after,
-               size_results[i].flipped_fraction * 100.0);
-  }
-  bench::note("bigger groups dilute a fixed botnet — but group membership is "
-              "public (§4.1), so attackers simply target smaller groups.");
-
-  // §4.1 MitM variant: no lying at all — the attacker genuinely degrades
-  // a subset of members' traffic and the group decision does the rest.
-  bench::row("");
-  bench::row("MitM variant (honest reports, real drops on a member subset):");
-  bench::row("%10s | %12s %12s %8s %10s", "victims", "qoe-before",
-             "qoe-after", "flipped", "touched");
-  const std::vector<double> victim_fractions{0.1, 0.3, 0.45, 0.6};
-  const auto mitm_results =
-      runner.map(victim_fractions.size(), [&](std::size_t i) {
-        MitmQoeConfig mcfg;
-        mcfg.victim_fraction = victim_fractions[i];
-        return run_mitm_qoe_experiment(mcfg);
-      });
-  bench::perf("PYTH-QOE-MITM", runner.last_report());
-  double collateral = 0.0;
-  for (std::size_t i = 0; i < victim_fractions.size(); ++i) {
-    const double f = victim_fractions[i];
-    const MitmQoeResult& r = mitm_results[i];
-    bench::row("%9.0f%% | %12.2f %12.2f %7.0f%% %9.1f%%", f * 100.0,
-               r.untouched_before, r.untouched_after,
-               r.flipped_fraction * 100.0, r.touched_share * 100.0);
-    if (f == 0.45) collateral = r.untouched_before - r.untouched_after;
-  }
-  bench::claim(collateral > 1.0,
-               "members whose traffic was never touched lose >1.0 QoE — the "
-               "group decision is the damage amplifier");
-  return 0;
+  return intox::scenario::run_legacy_shim("pytheas.poison", argc, argv);
 }

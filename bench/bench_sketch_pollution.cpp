@@ -1,111 +1,9 @@
-// SKETCH — §3.2: "FlowRadar and LossRadar use probabilistic data
-// structures such as bloom filters ... often dimensioned for the average
-// case, rather than the worst case. An attacker can pollute, or even
-// saturate a bloom filter, resulting in inaccurate network statistics."
-#include "bench_util.hpp"
-#include "net/hash.hpp"
-#include "sketch/attack.hpp"
-#include "sketch/lossradar.hpp"
-
-using namespace intox;
-using namespace intox::sketch;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "sketch.pollution" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "SKETCH"};
-  bench::header("SKETCH", "polluting probabilistic telemetry structures");
-
-  constexpr std::size_t kCells = 4096;
-  constexpr std::uint32_t kHashes = 4;
-  constexpr std::uint32_t kSeed = 11;
-
-  // Part 1: Bloom saturation — crafted vs random keys, equal counts.
-  std::vector<std::uint64_t> legit;
-  for (int i = 0; i < 400; ++i) legit.push_back(net::mix64(i + 1));
-
-  bench::row("Bloom filter m=%zu k=%u, 400 legitimate keys resident", kCells,
-             kHashes);
-  bench::row("%8s | %10s %10s | %10s %10s", "attack", "rand fill",
-             "rand FPR", "craft fill", "craft FPR");
-  double crafted_fpr_mid = 0.0, random_fpr_mid = 0.0;
-  double crafted_fpr_half_m = 0.0, random_fpr_half_m = 0.0;
-  for (std::size_t keys : {256u, 512u, 1024u, 2048u}) {
-    std::vector<std::uint64_t> random_keys;
-    for (std::size_t i = 0; i < keys; ++i) {
-      random_keys.push_back(net::mix64(0xabc000 + i));
-    }
-    const auto crafted = craft_saturating_keys(kCells, kHashes, kSeed, keys);
-    const auto r1 =
-        run_bloom_pollution(kCells, kHashes, kSeed, legit, random_keys);
-    const auto r2 = run_bloom_pollution(kCells, kHashes, kSeed, legit, crafted);
-    bench::row("%8zu | %9.3f %9.3f%% | %9.3f %9.3f%%", keys, r1.fill_after,
-               r1.fpr_after * 100.0, r2.fill_after, r2.fpr_after * 100.0);
-    if (keys == 1024) {
-      crafted_fpr_mid = r2.fpr_after;
-      random_fpr_mid = r1.fpr_after;
-    }
-    if (keys == 2048) {
-      crafted_fpr_half_m = r2.fpr_after;
-      random_fpr_half_m = r1.fpr_after;
-    }
-  }
-  bench::claim(crafted_fpr_mid > 2.0 * random_fpr_mid,
-               "crafted keys inflate the false-positive rate >2x faster than "
-               "random traffic at equal insert counts (evil choices)");
-  bench::claim(crafted_fpr_half_m > 0.99 && random_fpr_half_m < 0.8,
-               "m/2 crafted keys fully saturate the filter (FPR = 1) while "
-               "random keys leave it far from saturated");
-
-  // Part 2: targeted false positives.
-  const auto fps = find_false_positive_keys(kCells, kHashes, kSeed, legit, 10);
-  bench::row("");
-  bench::row("targeted collisions found offline: %zu keys the filter will "
-             "falsely report as members", fps.size());
-  bench::claim(!fps.empty(),
-               "attacker can manufacture specific false positives (public "
-               "hash functions, Kerckhoff)");
-
-  // Part 3: FlowRadar decode destruction.
-  bench::row("");
-  bench::row("FlowRadar coded table: 1024 cells, 200 legitimate flows");
-  bench::row("%12s | %10s %12s %12s", "attack flows", "decode ok",
-             "flows out", "stuck cells");
-  FlowRadarConfig frcfg;
-  bool before_ok = false, after_broken = false;
-  for (std::size_t attack : {0u, 400u, 800u, 1600u, 3200u}) {
-    const auto r = run_flowradar_overflow(frcfg, 200, attack);
-    bench::row("%12zu | %10s %12zu %12zu", attack,
-               r.decode_complete_after ? "yes" : "NO", r.decoded_flows_after,
-               r.stuck_cells_after);
-    if (attack == 0) before_ok = r.decode_complete_after;
-    if (attack == 1600) after_broken = !r.decode_complete_after;
-  }
-  bench::claim(before_ok, "well-dimensioned FlowRadar decodes perfectly");
-  bench::claim(after_broken,
-               "single-packet flow spraying destroys the telemetry batch "
-               "(decode stalls)");
-
-  // Part 4: LossRadar digest overflow.
-  LossRadarConfig lrcfg;
-  LossRadar up{lrcfg}, down{lrcfg};
-  for (std::uint64_t i = 1; i <= 400; ++i) {
-    const auto id = net::mix64(i);
-    up.add(id);
-    if (i % 40 != 0) down.add(id);  // 10 genuine losses
-  }
-  const auto small_loss = up.diff_decode(down);
-  LossRadar up2{lrcfg}, down2{lrcfg};
-  for (std::uint64_t i = 1; i <= 4000; ++i) up2.add(net::mix64(i));
-  const auto flood = up2.diff_decode(down2);
-  bench::row("");
-  bench::row("LossRadar (256 cells): 10 genuine losses -> decode %s, "
-             "%zu ids recovered",
-             small_loss.complete() ? "ok" : "STALLED", small_loss.lost.size());
-  bench::row("LossRadar under loss flood (4000 losses) -> decode %s",
-             flood.complete() ? "ok" : "STALLED");
-  bench::claim(small_loss.complete() && small_loss.lost.size() == 10,
-               "LossRadar pinpoints every genuine loss in the benign case");
-  bench::claim(!flood.complete(),
-               "an attacker-inflated loss batch overflows the digest and "
-               "blinds the loss telemetry");
-  return 0;
+  return intox::scenario::run_legacy_shim("sketch.pollution", argc, argv);
 }

@@ -1,84 +1,9 @@
-// SPPIFO — §3.2: "The proposed heuristic is based on the assumption
-// that given a rank distribution, the order in which packet ranks arrive
-// is random. An attacker could send packet sequences of particular
-// ranks, resulting in packets being delayed or even dropped."
-#include "bench_util.hpp"
-#include "sppifo/attack.hpp"
-
-using namespace intox;
-using namespace intox::sppifo;
-
-namespace {
-
-SchedulingResult run(ArrivalOrder order, std::uint64_t seed) {
-  RankWorkload w;
-  w.order = order;
-  w.packets = 40000;
-  sim::Rng rng{seed};
-  const auto ranks = generate_ranks(w, rng);
-  return run_scheduling_experiment(ScheduleConfig{}, ranks);
-}
-
-void print(const char* label, const SchedulingResult& r) {
-  bench::row("%-14s %10llu %10llu %10llu %12llu %10.2f", label,
-             static_cast<unsigned long long>(r.sp_dequeue_inversions),
-             static_cast<unsigned long long>(r.sp_push_downs),
-             static_cast<unsigned long long>(r.sp_drops),
-             static_cast<unsigned long long>(r.sp_high_priority_drops),
-             r.mean_rank_error);
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "sppifo.adversarial" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  bench::Session session{argc, argv, "SPPIFO"};
-  bench::header("SPPIFO", "SP-PIFO scheduling quality: random vs "
-                          "adversarial rank order (same rank multiset)");
-
-  bench::row("%-14s %10s %10s %10s %12s %10s", "order", "inversions",
-             "push-downs", "drops", "hi-pri drops", "rank-err");
-  const auto uniform = run(ArrivalOrder::kUniformRandom, 1);
-  const auto drag = run(ArrivalOrder::kDragAndBurst, 1);
-  const auto saw = run(ArrivalOrder::kSawtooth, 1);
-  print("uniform", uniform);
-  print("drag+burst", drag);
-  print("sawtooth", saw);
-
-  bench::claim(uniform.sp_high_priority_drops == 0,
-               "under the design's random-order assumption, no "
-               "high-priority packet is ever dropped");
-  bench::claim(drag.sp_high_priority_drops > 20,
-               "drag+burst forces drops of top-quartile (highest priority) "
-               "packets");
-  bench::claim(saw.sp_push_downs > 3 * uniform.sp_push_downs,
-               "sawtooth keeps the queue bounds permanently mis-calibrated "
-               "(push-down storm)");
-  bench::claim(drag.mean_rank_error > 3.0 * uniform.mean_rank_error,
-               "scheduling order diverges several-fold further from the "
-               "ideal PIFO under attack");
-  bench::claim(uniform.pifo_high_priority_drops == 0 &&
-                   drag.pifo_high_priority_drops == 0,
-               "the ideal PIFO reference never drops high-priority packets "
-               "under either order");
-
-  // Ablation: number of strict-priority queues.
-  bench::row("");
-  bench::row("ablation: queue count (drag+burst)");
-  for (std::size_t queues : {2u, 4u, 8u, 16u, 32u}) {
-    RankWorkload w;
-    w.order = ArrivalOrder::kDragAndBurst;
-    w.packets = 40000;
-    sim::Rng rng{3};
-    const auto ranks = generate_ranks(w, rng);
-    ScheduleConfig cfg;
-    cfg.sp.queues = queues;
-    cfg.sp.per_queue_capacity = 128 / queues;  // fixed total buffer
-    const auto r = run_scheduling_experiment(cfg, ranks);
-    bench::row("  %2zu queues: rank-err %6.2f, hi-pri drops %llu", queues,
-               r.mean_rank_error,
-               static_cast<unsigned long long>(r.sp_high_priority_drops));
-  }
-  bench::note("more queues approximate PIFO better in the benign case but "
-              "the adversarial order still defeats the adaptation.");
-  return 0;
+  return intox::scenario::run_legacy_shim("sppifo.adversarial", argc, argv);
 }

@@ -1,84 +1,9 @@
-// Example: §5-II automated attack discovery.
-//
-// Point the black-box fuzzer at a fresh Blink pipeline and ask for "a
-// reroute happened". Watch it rediscover the §3.1 attack (always-active
-// duplicate-sequence flow bursts) with no knowledge of Blink's internals
-// beyond a progress score.
-#include <cstdio>
-
-#include "blink/blink_node.hpp"
-#include "obs/report.hpp"
-#include "supervisor/attack_synth.hpp"
-
-using namespace intox;
-using namespace intox::supervisor;
-
-constexpr net::Prefix kVictim{net::Ipv4Addr{10, 0, 0, 0}, 8};
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "attack.synthesis" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "ATTACK-SYNTH"};
-  SynthConfig cfg;
-  cfg.flow_pool = 64;
-  cfg.sequence_length = 1200;
-  cfg.max_iterations = 6000;
-  cfg.seed = 7;
-
-  blink::BlinkConfig blink_cfg;
-  blink_cfg.cells = 16;  // small instance: tractable demo
-
-  std::printf("searching for a packet sequence that makes Blink reroute "
-              "%s...\n", net::to_string(kVictim).c_str());
-
-  AttackSynthesizer synth{cfg};
-  const auto result = synth.search(
-      [&]() -> std::unique_ptr<dataplane::PacketProcessor> {
-        auto node = std::make_unique<blink::BlinkNode>(blink_cfg);
-        node->monitor_prefix(kVictim, 0, 1);
-        return node;
-      },
-      [](dataplane::PacketProcessor& p) {
-        auto& node = static_cast<blink::BlinkNode&>(p);
-        double s = static_cast<double>(
-            node.selector(kVictim)->occupied_count());
-        s += 50.0 * static_cast<double>(node.max_retransmitting());
-        s += 1000.0 * static_cast<double>(node.reroutes().size());
-        return s;
-      },
-      [](dataplane::PacketProcessor& p) {
-        return !static_cast<blink::BlinkNode&>(p).reroutes().empty();
-      });
-
-  if (!result.found) {
-    std::printf("no attack found in %zu iterations (best score %.0f)\n",
-                result.iterations, result.best_score);
-    return 1;
-  }
-
-  std::printf("ATTACK FOUND after %zu candidate sequences.\n",
-              result.iterations);
-
-  // Characterize the witness: how §3.1-shaped is it?
-  std::size_t repeats = 0, tight_gaps = 0;
-  for (const auto& g : result.witness) {
-    repeats += g.repeat_seq;
-    tight_gaps += g.gap_ms <= 25;
-  }
-  std::printf("witness: %zu packets, %.0f%% duplicate-seq, %.0f%% in tight "
-              "bursts (<=25 ms gaps)\n",
-              result.witness.size(),
-              100.0 * static_cast<double>(repeats) /
-                  static_cast<double>(result.witness.size()),
-              100.0 * static_cast<double>(tight_gaps) /
-                  static_cast<double>(result.witness.size()));
-
-  // Replay the witness to prove it is self-contained.
-  auto victim = std::make_unique<blink::BlinkNode>(blink_cfg);
-  victim->monitor_prefix(kVictim, 0, 1);
-  synth.replay(result.witness, *victim);
-  std::printf("replay on a fresh Blink instance: %zu reroute(s) triggered\n",
-              victim->reroutes().size());
-  std::printf("\nthe fuzzer rediscovered the paper's attack recipe: keep "
-              "flows alive and\nretransmit in synchronized bursts — exactly "
-              "the §3.1 construction.\n");
-  return 0;
+  return intox::scenario::run_legacy_shim("attack.synthesis", argc, argv);
 }

@@ -1,112 +1,12 @@
-// Example: the §3.1 Blink attack, narrated.
-//
-// A Blink-protected switch fast-reroutes the prefix 10.0.0.0/8 when half
-// of its 64 monitored flows retransmit. An attacker controlling a small
-// botnet opens always-active fake flows (no TCP handshake!) that emit
-// duplicate sequence numbers. Watch the malicious share of the monitored
-// sample grow until Blink "detects a failure" and hands the prefix to
-// the attacker's next-hop.
-//
-// The narrated run is trial 0 of a seeded Monte-Carlo batch that is
-// sharded across a ParallelRunner — the summary statistics are identical
-// for any worker count.
-//
-// Usage: blink_hijack [bots] [--trials N] [--threads N]
-//        (defaults: 105 bots, 8 trials, INTOX_THREADS/hardware workers)
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
-#include "blink/attacker.hpp"
-#include "obs/report.hpp"
-#include "sim/runner.hpp"
-
-using namespace intox;
-using namespace intox::blink;
+// Thin compatibility shim: this walk-through now lives in the scenario
+// registry as "blink.hijack" (see src/scenario/). The binary keeps its
+// CLI (`blink_hijack [bots] [--trials N] [--threads N]`) so existing
+// invocations stay valid; it forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  // Env-only observability session (INTOX_METRICS / INTOX_TRACE): this
-  // example treats any bare argument as the bots count, so it cannot
-  // safely claim --metrics-out and friends.
-  obs::BenchSession session{0, nullptr, "BLINK-HIJACK"};
-  std::size_t bots = 105, trials = 8, threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      trials = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (argv[i][0] != '-') {
-      bots = static_cast<std::size_t>(std::atoi(argv[i]));
-    }
-  }
-  if (trials == 0) trials = 1;
-
-  // Plan the attack with the closed-form model first, like an attacker
-  // sizing a botnet rental.
-  BlinkConfig blink_cfg;
-  const AttackPlan plan = plan_attack(blink_cfg, /*legit_flows=*/2000,
-                                      /*tr_seconds=*/8.37,
-                                      /*confidence=*/0.95);
-  std::printf("attack planner: >=%zu always-active flows give 95%% success\n"
-              "  (q_m = %.2f%%, expected majority after %.0f s)\n\n",
-              plan.malicious_flows, plan.qm * 100.0,
-              plan.expected_majority_time_s);
-
-  sim::ParallelRunner runner{threads};
-  std::printf("launching %zu malicious flows against 2000 legitimate ones "
-              "(t_R = 8.37 s), %zu seeded trials on %zu worker(s)...\n\n",
-              bots, trials, runner.threads());
-  const auto results = runner.map(trials, [bots](std::size_t trial) {
-    Fig2Config cfg;
-    cfg.malicious_flows = bots;
-    cfg.trace.horizon = sim::seconds(300);
-    cfg.seed = 42 + trial;
-    return run_fig2_experiment(cfg);
-  });
-
-  // Narrate trial 0, the run the original walk-through showed.
-  const Fig2Result& result = results.front();
-  std::printf("%8s  %22s\n", "time[s]", "malicious cells (of 64)");
-  for (int t = 0; t <= 300; t += 30) {
-    const int cells =
-        static_cast<int>(result.malicious_sampled.at(sim::seconds(t)));
-    std::printf("%8d  [%-32.*s] %d\n", t, cells / 2,
-                "################################", cells);
-  }
-
-  if (result.time_to_majority_seconds >= 0) {
-    std::printf("\nmajority captured after %.0f s\n",
-                result.time_to_majority_seconds);
-  } else {
-    std::printf("\nmajority NOT captured within the horizon\n");
-  }
-  if (!result.reroutes.empty()) {
-    std::printf("Blink rerouted 10.0.0.0/8 at %.1f s — traffic now flows via "
-                "the attacker's next-hop.\n",
-                sim::to_seconds(result.reroutes.front().when));
-  } else {
-    std::printf("no reroute was triggered.\n");
-  }
-
-  // Fold the whole batch, in trial order, into the summary.
-  sim::RunningStats majority_times;
-  std::size_t hijacked = 0;
-  for (const Fig2Result& r : results) {
-    if (r.time_to_majority_seconds >= 0) {
-      majority_times.add(r.time_to_majority_seconds);
-    }
-    hijacked += !r.reroutes.empty();
-  }
-  std::printf("\nacross %zu trials: %zu hijacks; majority after %.0f s mean "
-              "(min %.0f, max %.0f)\n",
-              trials, hijacked, majority_times.mean(), majority_times.min(),
-              majority_times.max());
-  obs::SweepPerf perf;
-  perf.name = "BLINK-HIJACK";
-  perf.trials = runner.last_report().trials;
-  perf.threads = runner.last_report().threads;
-  perf.wall_seconds = runner.last_report().wall_seconds;
-  perf.shard_seconds = runner.last_report().shard_seconds;
-  obs::emit_sweep_perf(perf);
-  return 0;
+  intox::scenario::LegacySpec spec;
+  spec.value_flags = {{"--trials", "trials"}};
+  spec.positional_knob = "bots";
+  return intox::scenario::run_legacy_shim("blink.hijack", argc, argv, spec);
 }

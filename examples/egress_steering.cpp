@@ -1,55 +1,12 @@
-// Example: §3.2 egress-selection steering (Espresso / Edge Fabric class).
-//
-// An edge PoP reaches a destination over three peering paths (10 / 14 /
-// 25 ms) and picks the best from *passive* measurements of production
-// traffic. A MitM who wants traffic on the 25 ms path (say, one she can
-// tap) drops a fraction of the flows on the two good paths — the edge
-// obliges and migrates everyone. Run with --attack to enable her.
-#include <cstdio>
-#include <cstring>
-
-#include "egress/attack.hpp"
-#include "obs/report.hpp"
-
-using namespace intox;
-using namespace intox::egress;
+// Thin compatibility shim: this walk-through now lives in the scenario
+// registry as "egress.steering" (see src/scenario/). The binary keeps
+// its CLI (`--attack`) so existing invocations stay valid; it forwards
+// through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "EGRESS-STEER"};
-  bool attack = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--attack") == 0) attack = true;
-  }
-
-  EgressExperimentConfig cfg;
-  cfg.attack = attack;
-  std::printf("edge PoP with peering paths: 0 (10 ms), 1 (14 ms), "
-              "2 (25 ms, ATTACKER-TAPPED)\n%s\n\n",
-              attack ? "MitM degrading paths 0 and 1 from t = 10 s"
-                     : "no attack (pass --attack to enable)");
-
-  const auto r = run_egress_attack_experiment(cfg);
-
-  std::printf("preferred path before: %zu\n", r.preferred_before);
-  std::printf("preferred path after:  %zu%s\n", r.preferred_after,
-              r.preferred_after == cfg.attacker.attacker_path
-                  ? "  <- the attacker's path"
-                  : "");
-  std::printf("mean user RTT:         %.1f ms -> %.1f ms\n",
-              r.mean_rtt_before_ms, r.mean_rtt_after_ms);
-  std::printf("time on attacker path: %.0f%% of post-warmup epochs\n",
-              r.attacker_path_fraction * 100.0);
-  std::printf("packets dropped:       %llu of %llu (%.1f%%)\n",
-              static_cast<unsigned long long>(r.attacker_dropped),
-              static_cast<unsigned long long>(r.packets_total),
-              r.packets_total
-                  ? 100.0 * static_cast<double>(r.attacker_dropped) /
-                        static_cast<double>(r.packets_total)
-                  : 0.0);
-  if (attack) {
-    std::printf("\nthe edge's *passive* measurements are its weakness: "
-                "whoever shapes the\nflows shapes the measurements, and "
-                "the best honest paths lose by forfeit.\n");
-  }
-  return 0;
+  intox::scenario::LegacySpec spec;
+  spec.switch_flags = {{"--attack", "attack"}};
+  return intox::scenario::run_legacy_shim("egress.steering", argc, argv,
+                                          spec);
 }

@@ -1,96 +1,9 @@
-// Example: §4.3 — who controls ICMP controls the map.
-//
-// Part 1 runs traceroute over a 3x3 grid three ways: honest, NetHide-
-// obfuscated (defensive, minimal lying), and a malicious operator
-// presenting a ring that does not exist.
-//
-// Part 2 shows the packet-level mechanism with real simulated switches:
-// a TTL-limited probe crosses RoutedSwitches whose ICMP reply address
-// has been rewritten — the exact knob both NetHide and the malicious
-// operator turn.
-#include <cstdio>
-
-#include "dataplane/switch.hpp"
-#include "nethide/obfuscate.hpp"
-#include "obs/report.hpp"
-#include "sim/network.hpp"
-
-using namespace intox;
-using namespace intox::nethide;
-
-namespace {
-
-void show_route(const char* label, const Topology& topo,
-                const PathTable& table, NodeId src, NodeId dst) {
-  std::printf("  %-10s", label);
-  for (const Hop& h : traceroute(topo, table, src, dst)) {
-    std::printf(" %2d:%s", h.ttl, net::to_string(h.from).c_str());
-  }
-  std::printf("\n");
-}
-
-}  // namespace
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "nethide.traceroute" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "NETHIDE-TR"};
-  std::printf("== Part 1: one network, three presented topologies ==\n");
-  const Topology topo = Topology::grid(3, 3);
-  const PathTable honest = PathTable::all_shortest_paths(topo);
-  const auto defended = obfuscate(topo, ObfuscationConfig{});
-  const auto faked = present_fake_topology(topo, Topology::ring(9));
-
-  std::printf("traceroute 0 -> 8:\n");
-  show_route("honest", topo, honest, 0, 8);
-  show_route("nethide", topo, defended.presented, 0, 8);
-  show_route("malicious", topo, faked.presented, 0, 8);
-
-  std::printf("\nmetrics vs reality:      accuracy   utility   max-density\n");
-  std::printf("  honest                 %8.3f  %8.3f  %8zu\n", 1.0, 1.0,
-              max_flow_density(honest));
-  std::printf("  nethide (defensive)    %8.3f  %8.3f  %8zu\n",
-              defended.accuracy, defended.utility,
-              defended.presented_max_density);
-  std::printf("  malicious decoy        %8.3f  %8.3f  %8zu\n", faked.accuracy,
-              faked.utility, faked.presented_max_density);
-
-  std::printf("\n== Part 2: packet-level ICMP forgery ==\n");
-  sim::Scheduler sched;
-  sim::Network net{sched};
-  dataplane::CallbackNode prober{"prober", nullptr};
-  dataplane::RoutedSwitch r1{"r1", sched, net::Ipv4Addr{10, 255, 0, 1}};
-  dataplane::RoutedSwitch r2{"r2", sched, net::Ipv4Addr{10, 255, 0, 2}};
-  dataplane::CallbackNode target{"target", nullptr};
-  net.connect(prober, 0, r1, 0, sim::LinkConfig{});
-  net.connect(r1, 1, r2, 0, sim::LinkConfig{});
-  net.connect(r2, 1, target, 0, sim::LinkConfig{});
-  const net::Prefix dst_prefix{net::Ipv4Addr{198, 18, 0, 0}, 15};
-  const net::Prefix back{net::Ipv4Addr{192, 0, 2, 0}, 24};
-  r1.add_route(dst_prefix, 1);
-  r1.add_route(back, 0);
-  r2.add_route(dst_prefix, 1);
-  r2.add_route(back, 0);
-
-  // The "operator" rewrites r2's ICMP identity to a fantasy router.
-  r2.set_reply_addr(net::Ipv4Addr{203, 0, 113, 77});
-
-  prober.set_handler([&](net::Packet p, int) {
-    if (const auto* icmp = p.icmp();
-        icmp && icmp->type == net::IcmpType::kTimeExceeded) {
-      std::printf("  reply from %s (ttl probe)\n",
-                  net::to_string(p.src).c_str());
-    }
-  });
-
-  for (std::uint8_t ttl = 1; ttl <= 2; ++ttl) {
-    net::Packet probe;
-    probe.src = net::Ipv4Addr{192, 0, 2, 9};
-    probe.dst = net::Ipv4Addr{198, 18, 0, 1};
-    probe.ttl = ttl;
-    probe.l4 = net::UdpHeader{33434, static_cast<std::uint16_t>(33434 + ttl)};
-    prober.inject(0, probe);
-  }
-  sched.run();
-  std::printf("  (the second hop is really 10.255.0.2 — the ICMP source was "
-              "forged to 203.0.113.77)\n");
-  return 0;
+  return intox::scenario::run_legacy_shim("nethide.traceroute", argc, argv);
 }

@@ -1,56 +1,11 @@
-// Example: the §4.2 PCC oscillation attack.
-//
-// One PCC flow crosses a 20 Mbps bottleneck. A MitM on the bottleneck
-// knows PCC's utility function and drops just enough packets in the
-// rate-experiment intervals that neither the +eps nor the -eps arm ever
-// looks better: epsilon escalates to 5% and the flow fluctuates without
-// converging. Run with --attack to enable the MitM.
-#include <cstdio>
-#include <cstring>
-
-#include "obs/report.hpp"
-#include "pcc/experiment.hpp"
-
-using namespace intox;
-using namespace intox::pcc;
+// Thin compatibility shim: this walk-through now lives in the scenario
+// registry as "pcc.mitm" (see src/scenario/). The binary keeps its CLI
+// (`--attack`) so existing invocations stay valid; it forwards through
+// the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "PCC-MITM"};
-  bool attack = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--attack") == 0) attack = true;
-  }
-
-  PccExperimentConfig cfg;
-  cfg.duration = sim::seconds(60);
-  cfg.attack = attack;
-  cfg.seed = 7;
-  std::printf("PCC over a 20 Mbps bottleneck, 40 ms RTT — %s\n\n",
-              attack ? "MitM ATTACK ACTIVE (pass nothing to disable)"
-                     : "clean run (pass --attack to enable the MitM)");
-
-  const auto r = run_pcc_experiment(cfg);
-
-  std::printf("%8s  %10s\n", "time[s]", "rate[Mbps]");
-  for (double t = 2; t <= 60; t += 2) {
-    const double rate = r.rate.at(sim::seconds(t)) / 1e6;
-    std::printf("%8.0f  %10.2f  |%-*s*\n", t, rate,
-                static_cast<int>(rate * 1.5), "");
-  }
-
-  std::printf("\nsteady-state (last 20 s):\n");
-  std::printf("  mean rate          %.2f Mbps\n", r.mean_rate_bps / 1e6);
-  std::printf("  rate CV            %.2f%%\n", r.rate_cv * 100.0);
-  std::printf("  oscillation amp.   +-%.2f%%\n", r.osc_amplitude * 100.0);
-  std::printf("  experiments        %llu inconclusive / %llu decisions\n",
-              static_cast<unsigned long long>(r.inconclusive),
-              static_cast<unsigned long long>(r.decisions));
-  if (attack) {
-    std::printf("  attacker dropped   %llu of %llu packets (%.2f%%)\n",
-                static_cast<unsigned long long>(r.attacker_dropped),
-                static_cast<unsigned long long>(r.attacker_observed),
-                100.0 * static_cast<double>(r.attacker_dropped) /
-                    static_cast<double>(r.attacker_observed));
-  }
-  return 0;
+  intox::scenario::LegacySpec spec;
+  spec.switch_flags = {{"--attack", "attack"}};
+  return intox::scenario::run_legacy_shim("pcc.mitm", argc, argv, spec);
 }

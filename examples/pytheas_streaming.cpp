@@ -1,57 +1,12 @@
-// Example: the §4.1 Pytheas report-poisoning attack, with the §5 defense
-// toggle.
-//
-// 200 honest video sessions stream through a Pytheas group that picks
-// between two delivery options (arm 0: good, arm 1: mediocre). At epoch
-// 30 a 40-bot botnet joins and lies about its QoE, 3 reports per epoch.
-// Run with --defend to install the report-distribution guard.
-#include <cstdio>
-#include <cstring>
-#include <memory>
-
-#include "obs/report.hpp"
-#include "pytheas/experiment.hpp"
-#include "supervisor/pytheas_guard.hpp"
-
-using namespace intox;
-using namespace intox::pytheas;
+// Thin compatibility shim: this walk-through now lives in the scenario
+// registry as "pytheas.streaming" (see src/scenario/). The binary keeps
+// its CLI (`--defend`) so existing invocations stay valid; it forwards
+// through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "PYTH-STREAM"};
-  bool defend = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--defend") == 0) defend = true;
-  }
-
-  PoisonConfig cfg;
-  cfg.bot_sessions = 40;
-  std::printf("Pytheas group: 200 honest sessions + 40 bots (from epoch 30), "
-              "%s\n\n", defend ? "DEFENSE ON" : "defense off (--defend)");
-
-  std::shared_ptr<supervisor::PytheasGuard> guard;
-  if (defend) guard = std::make_shared<supervisor::PytheasGuard>();
-  const PoisonResult r = run_poisoning_experiment(cfg, guard);
-
-  std::printf("%8s  %10s  %10s\n", "epoch", "group arm", "honest QoE");
-  for (int e = 0; e < 120; e += 10) {
-    const auto t = sim::seconds(static_cast<double>(e));
-    std::printf("%8d  %10.0f  %10.2f  %s\n", e, r.chosen_arm.at(t),
-                r.legit_qoe.at(t),
-                e >= 30 ? (r.chosen_arm.at(t) > 0.5 ? "<- flipped to bad arm!"
-                                                    : "(bots lying)")
-                        : "");
-  }
-
-  std::printf("\nhonest-client QoE: %.2f before, %.2f after\n",
-              r.mean_qoe_before, r.mean_qoe_after);
-  std::printf("group exploited the bad arm in %.0f%% of the final epochs\n",
-              r.flipped_fraction * 100.0);
-  if (guard) {
-    std::printf("guard filtered %llu reports (%llu rate-limited, %llu "
-                "quarantined outliers)\n",
-                static_cast<unsigned long long>(r.filtered_reports),
-                static_cast<unsigned long long>(guard->rate_limited()),
-                static_cast<unsigned long long>(guard->quarantined()));
-  }
-  return 0;
+  intox::scenario::LegacySpec spec;
+  spec.switch_flags = {{"--defend", "defend"}};
+  return intox::scenario::run_legacy_shim("pytheas.streaming", argc, argv,
+                                          spec);
 }

@@ -1,68 +1,9 @@
-// Quickstart: build a three-node network, push a mixed legitimate +
-// malicious workload through a routed switch, and inspect counters.
-//
-// This is the smallest end-to-end use of the library; the other examples
-// reproduce the paper's attacks on specific systems.
-#include <cstdio>
-
-#include "dataplane/switch.hpp"
-#include "obs/report.hpp"
-#include "sim/network.hpp"
-#include "trafficgen/driver.hpp"
-#include "trafficgen/synth.hpp"
-
-using namespace intox;
+// Thin compatibility shim: this experiment now lives in the scenario
+// registry as "quickstart" (see src/scenario/). The binary keeps its
+// name and CLI so existing invocations and goldens stay valid; it
+// forwards through the unified intox driver.
+#include "scenario/shim.hpp"
 
 int main(int argc, char** argv) {
-  obs::BenchSession session{argc, argv, "QUICKSTART"};
-  sim::Scheduler sched;
-  sim::Network net{sched};
-
-  // Topology: src host --- switch --- dst host.
-  dataplane::CallbackNode src{"src", nullptr};
-  dataplane::RoutedSwitch sw{"sw1", sched, net::Ipv4Addr{192, 0, 2, 1}};
-  dataplane::CallbackNode dst{"dst", nullptr};
-  net.connect(src, 0, sw, 0, sim::LinkConfig{});
-  net.connect(sw, 1, dst, 0, sim::LinkConfig{});
-  sw.add_route(net::Prefix{net::Ipv4Addr{10, 0, 0, 0}, 8}, 1);
-
-  std::uint64_t delivered = 0;
-  dst.set_handler([&](net::Packet, int) { ++delivered; });
-
-  // Workload: 50 legitimate flows plus 5 always-active malicious flows,
-  // all towards 10.0.0.0/8.
-  sim::Rng rng{42};
-  trafficgen::TraceConfig cfg;
-  cfg.active_flows = 50;
-  cfg.mean_duration = sim::seconds(5);
-  cfg.horizon = sim::seconds(30);
-
-  trafficgen::FlowPopulation pop{
-      sched, rng.fork("drivers"),
-      [&](net::Packet p) { src.inject(0, std::move(p)); }};
-  sim::Rng trace_rng = rng.fork("trace");
-  for (const auto& f : trafficgen::synthesize_trace(cfg, trace_rng)) {
-    pop.add_legit(f);
-  }
-  sim::Rng bad_rng = rng.fork("malicious");
-  for (const auto& f : trafficgen::synthesize_malicious_flows(
-           cfg, 5, sim::seconds(1), bad_rng, 1u << 20)) {
-    pop.add_malicious(f);
-  }
-
-  pop.start_all();
-  sched.run_until(sim::seconds(30));
-  pop.stop_all();
-
-  std::printf("quickstart: simulated 30 s\n");
-  std::printf("  flows:      %zu legit, %zu malicious\n", pop.legit_count(),
-              pop.malicious_count());
-  std::printf("  switch:     %llu forwarded, %llu no-route drops\n",
-              static_cast<unsigned long long>(sw.counters().forwarded),
-              static_cast<unsigned long long>(sw.counters().dropped_no_route));
-  std::printf("  delivered:  %llu packets\n",
-              static_cast<unsigned long long>(delivered));
-  std::printf("  events:     %llu processed\n",
-              static_cast<unsigned long long>(sched.events_processed()));
-  return delivered > 0 ? 0 : 1;
+  return intox::scenario::run_legacy_shim("quickstart", argc, argv);
 }

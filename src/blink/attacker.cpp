@@ -27,6 +27,12 @@ AttackPlan plan_attack(const BlinkConfig& config, std::size_t legit_flows,
   return plan;
 }
 
+Fig2Config default_fig2_config(std::uint64_t trial) {
+  Fig2Config config;
+  config.seed = 1000 + trial;
+  return config;
+}
+
 Fig2Result run_fig2_experiment(const Fig2Config& config) {
   sim::Scheduler sched;
   sim::Rng rng{config.seed};

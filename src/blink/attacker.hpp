@@ -62,4 +62,9 @@ struct Fig2Result {
 /// malicious population, fed through a real BlinkNode pipeline.
 Fig2Result run_fig2_experiment(const Fig2Config& config);
 
+/// The Fig. 2 bench default for trial `trial`: seeds are derived from
+/// the trial index alone (1000 + trial), so sweeps are reproducible and
+/// shard-order-independent regardless of worker count.
+Fig2Config default_fig2_config(std::uint64_t trial);
+
 }  // namespace intox::blink

@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "validate/invariant.hpp"
+
 namespace intox::nethide {
 
 std::map<Edge, std::size_t> flow_density(const PathTable& paths) {
@@ -68,6 +70,9 @@ double link_jaccard(const Path& phys, const Path& pres) {
 template <typename F>
 double mean_over_pairs(const PathTable& physical, const PathTable& presented,
                        F&& f) {
+  INTOX_INVARIANT(physical.nodes() == presented.nodes(),
+                  "comparing path tables of %zu vs %zu nodes",
+                  physical.nodes(), presented.nodes());
   double sum = 0.0;
   std::size_t n = 0;
   for (NodeId s = 0; s < physical.nodes(); ++s) {

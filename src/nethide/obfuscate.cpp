@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "validate/invariant.hpp"
+
 namespace intox::nethide {
 
 ObfuscationResult obfuscate(const Topology& topo,
@@ -73,6 +75,12 @@ ObfuscationResult obfuscate(const Topology& topo,
 
 ObfuscationResult present_fake_topology(const Topology& real_topo,
                                         const Topology& decoy) {
+  // Node ids are shared between the real and decoy worlds; a decoy of a
+  // different size would index out of bounds in the pairwise metrics.
+  INTOX_INVARIANT(decoy.node_count() == real_topo.node_count(),
+                  "decoy topology has %zu nodes but the real topology "
+                  "has %zu; present_fake_topology needs them equal",
+                  decoy.node_count(), real_topo.node_count());
   const PathTable physical = PathTable::all_shortest_paths(real_topo);
   PathTable presented = PathTable::all_shortest_paths(decoy);
 

@@ -147,4 +147,21 @@ Topology Topology::leaf_spine(std::size_t spines, std::size_t leaves) {
   return t;
 }
 
+Topology Topology::dumbbell() {
+  Topology t{10};
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) t.add_link(i, j);
+  }
+  for (NodeId i = 5; i < 9; ++i) {
+    for (NodeId j = i + 1; j < 9; ++j) t.add_link(i, j);
+  }
+  t.add_link(3, 4);
+  t.add_link(4, 5);
+  t.add_link(9, 0);
+  t.add_link(2, 9);
+  t.add_link(1, 9);
+  t.add_link(9, 6);
+  return t;
+}
+
 }  // namespace intox::nethide

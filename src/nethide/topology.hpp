@@ -63,6 +63,10 @@ class Topology {
   /// Fat-tree-ish two-level leaf-spine: `leaves` leaf nodes each linked
   /// to all `spines` spine nodes. Node ids: spines first, then leaves.
   static Topology leaf_spine(std::size_t spines, std::size_t leaves);
+  /// The NetHide bench topology: two 4-cliques (0-3, 5-8) joined by the
+  /// 3-4-5 waist plus a 9-hub shortcut ring — dense edges with one
+  /// obvious bottleneck for the obfuscator to hide.
+  static Topology dumbbell();
 
  private:
   [[nodiscard]] std::optional<Path> bfs(NodeId src, NodeId dst,

@@ -8,6 +8,25 @@
 
 namespace intox::pcc {
 
+PccExperimentConfig default_oscillation_config() {
+  PccExperimentConfig cfg;
+  cfg.duration = sim::seconds(90);
+  cfg.seed = 4;
+  return cfg;
+}
+
+PccExperimentConfig default_fleet_config(std::size_t flows, bool attack) {
+  PccExperimentConfig cfg;
+  cfg.flows = flows;
+  cfg.bottleneck_bps = 10e6 * static_cast<double>(flows);
+  cfg.queue_limit_bytes = 64 * 1024 * static_cast<std::uint32_t>(flows);
+  cfg.red_max_bytes = cfg.queue_limit_bytes;
+  cfg.duration = sim::seconds(50);
+  cfg.seed = 9;
+  cfg.attack = attack;
+  return cfg;
+}
+
 PccExperimentResult run_pcc_experiment(const PccExperimentConfig& config) {
   sim::Scheduler sched;
 

@@ -56,4 +56,14 @@ struct PccExperimentResult {
 
 PccExperimentResult run_pcc_experiment(const PccExperimentConfig& config);
 
+/// The oscillation bench/scenario default: a 90 s run seeded for the
+/// PCC-OSC table (clean vs MitM variants all derive from this one
+/// config, so the comparison is apples-to-apples).
+PccExperimentConfig default_oscillation_config();
+
+/// The fleet bench/scenario default for `flows` senders: the bottleneck,
+/// queue and RED ceiling scale linearly with the fleet so per-flow fair
+/// share stays 10 Mb/s at every fleet size.
+PccExperimentConfig default_fleet_config(std::size_t flows, bool attack);
+
 }  // namespace intox::pcc

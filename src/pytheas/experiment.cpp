@@ -170,6 +170,13 @@ MitmQoeResult run_mitm_qoe_experiment(const MitmQoeConfig& config,
   return result;
 }
 
+CdnConfig default_cdn_attack_config() {
+  CdnConfig cfg;
+  cfg.model.arm_base = {4.5, 4.0};          // site 0 better and bigger
+  cfg.model.arm_capacity = {400.0, 200.0};  // site 1 cannot hold everyone
+  return cfg;
+}
+
 CdnResult run_cdn_experiment(const CdnConfig& config) {
   sim::Rng rng{config.seed};
   PytheasEngine engine{config.engine};

@@ -126,4 +126,10 @@ struct CdnResult {
 
 CdnResult run_cdn_experiment(const CdnConfig& config);
 
+/// The CDN bench/scenario default: site 0 is better and bigger, site 1
+/// cannot hold the whole group — the configuration under which the
+/// stampede overload manifests. A clean control is this config with
+/// attack_start_epoch pushed past the horizon.
+CdnConfig default_cdn_attack_config();
+
 }  // namespace intox::pytheas

@@ -1,0 +1,319 @@
+#include "scenario/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "scenario/console.hpp"
+#include "scenario/knob.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/runner.hpp"
+#include "validate/invariant.hpp"
+
+namespace intox::scenario {
+namespace {
+
+/// One-line stderr diagnostic + exit status 2, the same contract
+/// obs::parse_threads_arg established for --threads.
+int fail(const std::string& message) {
+  std::fprintf(stderr, "intox: %s\n", message.c_str());
+  return 2;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: intox <command> [args]\n"
+               "  list                       enumerate registered scenarios\n"
+               "  knobs <scenario>           show a scenario's knobs\n"
+               "  run <scenario> [options]   run one scenario\n"
+               "      --set key=value        override a knob\n"
+               "      --sweep key=a:b:step   sweep a numeric knob "
+               "(cross-product)\n"
+               "      --config FILE          key=value lines, '#' comments\n"
+               "      --threads N            worker threads (0 = auto)\n"
+               "      --metrics-out FILE     write the BENCH_<family>.json "
+               "report here\n"
+               "      --trace-out FILE       write trace spans here\n"
+               "  validate [scenario...]     rerun with throw-mode "
+               "invariants, console off\n"
+               "  help                       this text\n");
+}
+
+const Scenario* find_or_diagnose(const char* name, std::string* error) {
+  const Scenario* sc = Registry::instance().find(name);
+  if (sc == nullptr) {
+    *error = std::string("unknown scenario '") + name +
+             "' (run 'intox list' to enumerate)";
+  }
+  return sc;
+}
+
+int cmd_list() {
+  for (const Scenario* sc : Registry::instance().all()) {
+    std::printf("%-22s %-12s %s\n", sc->name.c_str(), sc->family.c_str(),
+                sc->description.c_str());
+  }
+  return 0;
+}
+
+int cmd_knobs(int argc, char** argv) {
+  if (argc < 3) return fail("knobs: missing scenario name");
+  std::string error;
+  const Scenario* sc = find_or_diagnose(argv[2], &error);
+  if (sc == nullptr) return fail(error);
+  KnobSet knobs;
+  if (sc->declare_knobs != nullptr) sc->declare_knobs(knobs);
+  std::printf("%s (%s) — %s\n", sc->name.c_str(), sc->family.c_str(),
+              sc->description.c_str());
+  for (const Knob& k : knobs.all()) {
+    std::string spec = std::string(to_string(k.kind)) + "=" + k.default_text;
+    if (k.has_range) {
+      char range[64];
+      std::snprintf(range, sizeof range, " in [%g, %g]", k.min_value,
+                    k.max_value);
+      spec += range;
+    }
+    std::printf("  %-18s %-28s %s\n", k.name.c_str(), spec.c_str(),
+                k.help.c_str());
+  }
+  return 0;
+}
+
+/// Applies a key=value config file; returns empty on success, else the
+/// diagnostic to print.
+std::string apply_config(const std::string& path, KnobSet* knobs) {
+  std::ifstream in{path};
+  if (!in) return "--config: cannot open '" + path + "'";
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    std::string body = line.substr(begin, end - begin + 1);
+    if (body.empty() || body[0] == '#') continue;
+    const auto eq = body.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return path + ":" + std::to_string(lineno) +
+             ": expected key=value, got '" + body + "'";
+    }
+    std::string err = knobs->set(body.substr(0, eq), body.substr(eq + 1));
+    if (!err.empty()) {
+      return path + ":" + std::to_string(lineno) + ": " + err;
+    }
+  }
+  return "";
+}
+
+struct SweepSpec {
+  std::string key;
+  std::vector<std::string> values;  // pre-rendered, validated via set()
+};
+
+/// Parses `key=a:b:step` against the declared knobs. Returns empty on
+/// success and fills *out, else the diagnostic.
+std::string parse_sweep(const std::string& text, const KnobSet& knobs,
+                        SweepSpec* out) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return "--sweep expects key=a:b:step, got '" + text + "'";
+  }
+  out->key = text.substr(0, eq);
+  const Knob* knob = knobs.find(out->key);
+  if (knob == nullptr) {
+    return "--sweep: unknown knob '" + out->key + "'";
+  }
+  if (knob->kind != KnobKind::kU64 && knob->kind != KnobKind::kDouble) {
+    return "--sweep: knob '" + out->key + "' is " +
+           to_string(knob->kind) + "; only u64/double knobs sweep";
+  }
+  const std::string range = text.substr(eq + 1);
+  double parts[3];
+  std::size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto colon = range.find(':', pos);
+    const bool last = i == 2;
+    if (last != (colon == std::string::npos)) {
+      return "--sweep expects key=a:b:step, got '" + text + "'";
+    }
+    const std::string piece =
+        last ? range.substr(pos) : range.substr(pos, colon - pos);
+    char* tail = nullptr;
+    parts[i] = std::strtod(piece.c_str(), &tail);
+    if (piece.empty() || tail == nullptr || *tail != '\0') {
+      return "--sweep: '" + piece + "' in '" + text + "' is not a number";
+    }
+    pos = colon == std::string::npos ? range.size() : colon + 1;
+  }
+  const double lo = parts[0], hi = parts[1], step = parts[2];
+  if (step <= 0.0) return "--sweep: step must be > 0 in '" + text + "'";
+  if (lo > hi) return "--sweep: empty range in '" + text + "' (a > b)";
+  for (double v = lo; v <= hi + step * 1e-9; v += step) {
+    char buf[64];
+    if (knob->kind == KnobKind::kU64) {
+      const double rounded = std::round(v);
+      if (std::fabs(v - rounded) > 1e-6) {
+        return "--sweep: integer knob '" + out->key +
+               "' hit non-integer value in '" + text + "'";
+      }
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(rounded));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.12g", v);
+    }
+    out->values.emplace_back(buf);
+  }
+  return "";
+}
+
+int run_once(const Scenario& sc, const KnobSet& knobs, Console* console,
+             sim::ParallelRunner* runner) {
+  Ctx ctx{knobs, *console, *runner};
+  Table table = sc.run(ctx);
+  return table.exit_code;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return fail("run: missing scenario name");
+  std::string error;
+  const Scenario* sc = find_or_diagnose(argv[2], &error);
+  if (sc == nullptr) return fail(error);
+
+  KnobSet knobs;
+  if (sc->declare_knobs != nullptr) sc->declare_knobs(knobs);
+
+  std::vector<SweepSpec> sweeps;
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--set") {
+      if (i + 1 >= argc) return fail("--set requires key=value");
+      const std::string kv = argv[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail("--set expects key=value, got '" + kv + "'");
+      }
+      std::string err = knobs.set(kv.substr(0, eq), kv.substr(eq + 1));
+      if (!err.empty()) return fail(err);
+    } else if (arg == "--sweep") {
+      if (i + 1 >= argc) return fail("--sweep requires key=a:b:step");
+      SweepSpec spec;
+      std::string err = parse_sweep(argv[++i], knobs, &spec);
+      if (!err.empty()) return fail(err);
+      sweeps.push_back(std::move(spec));
+    } else if (arg == "--config") {
+      if (i + 1 >= argc) return fail("--config requires a file path");
+      std::string err = apply_config(argv[++i], &knobs);
+      if (!err.empty()) return fail(err);
+    } else if (arg == "--threads" || arg == "--metrics-out" ||
+               arg == "--trace-out") {
+      // Value validated and consumed by BenchSession from the original
+      // argv; here we only insist the value exists.
+      if (i + 1 >= argc) {
+        return fail(std::string(arg) + " requires a value");
+      }
+      ++i;
+    } else {
+      return fail("unknown argument '" + std::string(arg) +
+                  "' (try 'intox help')");
+    }
+  }
+
+  obs::BenchSession session{argc, argv, sc->family};
+  sim::ParallelRunner runner{session.threads()};
+  Console console;
+
+  if (sweeps.empty()) return run_once(*sc, knobs, &console, &runner);
+
+  // Cross-product in flag order; first --sweep varies slowest.
+  int exit_code = 0;
+  std::vector<std::size_t> index(sweeps.size(), 0);
+  for (;;) {
+    std::string banner;
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+      const std::string& value = sweeps[s].values[index[s]];
+      std::string err = knobs.set(sweeps[s].key, value);
+      if (!err.empty()) return fail(err);  // range-rejected sweep point
+      if (!banner.empty()) banner += ' ';
+      banner += sweeps[s].key + "=" + value;
+    }
+    std::printf("[sweep] %s\n", banner.c_str());
+    exit_code = std::max(exit_code, run_once(*sc, knobs, &console, &runner));
+    std::size_t s = sweeps.size();
+    while (s > 0 && ++index[s - 1] == sweeps[s - 1].values.size()) {
+      index[s - 1] = 0;
+      --s;
+    }
+    if (s == 0) break;
+  }
+  return exit_code;
+}
+
+int cmd_validate(int argc, char** argv) {
+  std::vector<const Scenario*> targets;
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) {
+      std::string error;
+      const Scenario* sc = find_or_diagnose(argv[i], &error);
+      if (sc == nullptr) return fail(error);
+      targets.push_back(sc);
+    }
+  } else {
+    targets = Registry::instance().all();
+  }
+
+  int failures = 0;
+  for (const Scenario* sc : targets) {
+    KnobSet knobs;
+    if (sc->declare_knobs != nullptr) sc->declare_knobs(knobs);
+    obs::BenchSession session{0, nullptr, sc->family};
+    sim::ParallelRunner runner{session.threads()};
+    Console console;
+    console.set_quiet(true);
+    validate::ScopedInvariantMode mode{validate::InvariantMode::kThrow};
+    std::string verdict = "OK";
+    try {
+      Ctx ctx{knobs, console, runner};
+      Table table = sc->run(ctx);
+      if (table.exit_code != 0) {
+        verdict = "FAIL (exit " + std::to_string(table.exit_code) + ")";
+        ++failures;
+      }
+    } catch (const validate::InvariantError& e) {
+      verdict = std::string("FAIL (") + e.what() + ")";
+      ++failures;
+    }
+    std::printf("validate %-22s %s\n", sc->name.c_str(), verdict.c_str());
+    std::fflush(stdout);
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int driver_main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage(stdout);
+    return 0;
+  }
+  if (command == "list") return cmd_list();
+  if (command == "knobs") return cmd_knobs(argc, argv);
+  if (command == "run") return cmd_run(argc, argv);
+  if (command == "validate") return cmd_validate(argc, argv);
+  return fail("unknown command '" + std::string(command) +
+              "' (try 'intox help')");
+}
+
+}  // namespace intox::scenario

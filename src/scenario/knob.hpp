@@ -1,0 +1,80 @@
+// Typed experiment knobs: the declarative half of a Scenario.
+//
+// Every scenario declares its tunable parameters once — name, type,
+// default, range, help text — and both the `intox` driver's strict
+// `--set`/`--sweep`/`--config` parsing and the legacy bench shims apply
+// values through the same KnobSet. Unknown keys, malformed values and
+// out-of-range numbers are rejected with a one-line diagnostic instead
+// of silently falling through to a default (the same contract
+// obs::parse_threads_arg established for --threads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intox::scenario {
+
+enum class KnobKind { kBool, kU64, kDouble, kString };
+
+const char* to_string(KnobKind kind);
+
+struct Knob {
+  std::string name;
+  KnobKind kind = KnobKind::kU64;
+  std::string help;
+  // Current value; only the member matching `kind` is meaningful.
+  bool b = false;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+  /// The declared default, pre-rendered for `intox knobs`.
+  std::string default_text;
+  /// Inclusive numeric range (kU64 / kDouble only).
+  bool has_range = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+class KnobSet {
+ public:
+  void declare_bool(const std::string& name, bool def,
+                    const std::string& help);
+  void declare_u64(const std::string& name, std::uint64_t def,
+                   const std::string& help);
+  void declare_u64(const std::string& name, std::uint64_t def,
+                   const std::string& help, std::uint64_t min,
+                   std::uint64_t max);
+  void declare_double(const std::string& name, double def,
+                      const std::string& help);
+  void declare_double(const std::string& name, double def,
+                      const std::string& help, double min, double max);
+  void declare_string(const std::string& name, const std::string& def,
+                      const std::string& help);
+
+  /// Typed accessors; a wrong name or kind is a programming error in the
+  /// scenario body and throws std::logic_error.
+  [[nodiscard]] bool b(std::string_view name) const;
+  [[nodiscard]] std::uint64_t u(std::string_view name) const;
+  [[nodiscard]] double d(std::string_view name) const;
+  [[nodiscard]] const std::string& s(std::string_view name) const;
+
+  /// Strictly applies one key/value pair. Returns an empty string on
+  /// success, else the one-line diagnostic the caller should print.
+  [[nodiscard]] std::string set(const std::string& key,
+                                const std::string& value);
+
+  [[nodiscard]] const Knob* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<Knob>& all() const { return knobs_; }
+
+ private:
+  void declare(Knob knob);
+  [[nodiscard]] const Knob& require(std::string_view name,
+                                    KnobKind kind) const;
+  [[nodiscard]] std::string declared_names() const;
+
+  std::vector<Knob> knobs_;
+};
+
+}  // namespace intox::scenario

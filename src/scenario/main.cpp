@@ -1,0 +1,5 @@
+#include "scenario/driver.hpp"
+
+int main(int argc, char** argv) {
+  return intox::scenario::driver_main(argc, argv);
+}

@@ -1,0 +1,47 @@
+// Self-registering scenario registry. A scenarios_*.cpp file defines
+// its declare/run functions and registers them with
+//
+//   namespace {
+//   INTOX_REGISTER_SCENARIO(kFig2, {"blink.fig2", "FIG2",
+//                                   "description...", declare, run});
+//   }  // namespace
+//
+// plus one anchor constant (see registry.cpp) so the static library's
+// linker keeps the translation unit alive.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace intox::scenario {
+
+class Registry {
+ public:
+  /// The process-wide registry; populated by Registration statics before
+  /// main().
+  static Registry& instance();
+
+  /// Aborts on a duplicate name: two scenarios claiming one name is a
+  /// build-wiring bug, not a runtime condition.
+  void add(Scenario scenario);
+
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+  /// Every scenario, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+struct Registration {
+  explicit Registration(Scenario scenario);
+};
+
+#define INTOX_REGISTER_SCENARIO(ident, ...)      \
+  const ::intox::scenario::Registration ident {  \
+    ::intox::scenario::Scenario __VA_ARGS__      \
+  }
+
+}  // namespace intox::scenario

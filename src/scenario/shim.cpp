@@ -1,0 +1,77 @@
+#include "scenario/shim.hpp"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/driver.hpp"
+
+namespace intox::scenario {
+namespace {
+
+const std::string* lookup(
+    const std::vector<std::pair<std::string, std::string>>& table,
+    std::string_view flag) {
+  for (const auto& [legacy, knob] : table) {
+    if (legacy == flag) return &knob;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int run_legacy_shim(const char* scenario, int argc, char** argv,
+                    const LegacySpec& spec) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 8);
+  args.emplace_back(argc > 0 ? argv[0] : "intox");
+  args.emplace_back("run");
+  args.emplace_back(scenario);
+
+  bool positional_used = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" || arg == "--metrics-out" ||
+        arg == "--trace-out" || arg == "--set" || arg == "--sweep" ||
+        arg == "--config") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "intox: %s requires a value\n", argv[i]);
+        return 2;
+      }
+      args.emplace_back(arg);
+      args.emplace_back(argv[++i]);
+      continue;
+    }
+    if (const std::string* knob = lookup(spec.value_flags, arg)) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "intox: %s requires a value\n", argv[i]);
+        return 2;
+      }
+      args.emplace_back("--set");
+      args.emplace_back(*knob + "=" + argv[++i]);
+      continue;
+    }
+    if (const std::string* knob = lookup(spec.switch_flags, arg)) {
+      args.emplace_back("--set");
+      args.emplace_back(*knob + "=true");
+      continue;
+    }
+    if (!spec.positional_knob.empty() && !positional_used &&
+        arg.rfind("--", 0) != 0) {
+      positional_used = true;
+      args.emplace_back("--set");
+      args.emplace_back(spec.positional_knob + "=" + std::string(arg));
+      continue;
+    }
+    std::fprintf(stderr, "intox: unknown argument '%s'\n", argv[i]);
+    return 2;
+  }
+
+  std::vector<char*> forwarded;
+  forwarded.reserve(args.size());
+  for (std::string& a : args) forwarded.push_back(a.data());
+  return driver_main(static_cast<int>(forwarded.size()), forwarded.data());
+}
+
+}  // namespace intox::scenario

@@ -1,0 +1,34 @@
+// Legacy bench/example entry points. The historical binaries
+// (bench_blink_fig2, examples/pcc_mitm, ...) stay on disk as one-line
+// main()s that forward here; run_legacy_shim rewrites their historical
+// flags onto `intox run <scenario> --set ...` and calls driver_main
+// in-process, so stdout stays byte-identical to the pre-registry
+// binaries.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace intox::scenario {
+
+struct LegacySpec {
+  /// Legacy value flag -> knob name, e.g. {"--runs", "runs"}; the flag
+  /// consumes the next argument as the knob value.
+  std::vector<std::pair<std::string, std::string>> value_flags;
+  /// Legacy boolean switch -> knob name, e.g. {"--attack", "attack"};
+  /// presence sets the knob true.
+  std::vector<std::pair<std::string, std::string>> switch_flags;
+  /// Knob receiving a single bare positional argument (e.g.
+  /// blink_hijack's bot count); empty = positionals rejected.
+  std::string positional_knob;
+};
+
+/// Forwards a legacy command line to `intox run <scenario>`. The
+/// driver's own flags (--threads, --metrics-out, --trace-out, --set,
+/// --sweep, --config) pass through unchanged; anything else must match
+/// the spec or the shim prints a one-line diagnostic and returns 2.
+int run_legacy_shim(const char* scenario, int argc, char** argv,
+                    const LegacySpec& spec = {});
+
+}  // namespace intox::scenario

@@ -54,6 +54,13 @@ std::vector<std::uint32_t> generate_ranks(const RankWorkload& workload,
   return ranks;
 }
 
+RankWorkload default_bench_workload(ArrivalOrder order) {
+  RankWorkload workload;
+  workload.order = order;
+  workload.packets = 40000;
+  return workload;
+}
+
 SchedulingResult run_scheduling_experiment(
     const ScheduleConfig& config, const std::vector<std::uint32_t>& ranks) {
   SpPifo sp{config.sp};

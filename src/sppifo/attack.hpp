@@ -72,4 +72,10 @@ struct ScheduleConfig {
 SchedulingResult run_scheduling_experiment(
     const ScheduleConfig& config, const std::vector<std::uint32_t>& ranks);
 
+/// The bench/scenario default workload for one arrival order: 40000
+/// packets, enough that the order-dependent effects dominate warm-up
+/// noise while the whole three-order table still runs in well under a
+/// second.
+RankWorkload default_bench_workload(ArrivalOrder order);
+
 }  // namespace intox::sppifo

@@ -1,0 +1,16 @@
+// Fixture: a bench that parses its command line by hand instead of
+// forwarding to the scenario registry's shim. Every argv index must
+// fire the cli check at its own line.
+namespace intox::fixture {
+inline int atoi_stub(const char*) { return 0; }
+}  // namespace intox::fixture
+
+int main(int argc, char** argv) {
+  int runs = 12;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];               // line 11
+    runs = intox::fixture::atoi_stub(argv[i + 1]);  // line 12
+    (void)arg;
+  }
+  return runs;
+}

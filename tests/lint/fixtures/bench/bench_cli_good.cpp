@@ -1,0 +1,9 @@
+// Fixture: the sanctioned shape of a bench main — forward argc/argv
+// wholesale to the scenario shim, never index argv. Must be silent.
+namespace intox::scenario {
+inline int run_legacy_shim(const char*, int, char**) { return 0; }
+}  // namespace intox::scenario
+
+int main(int argc, char** argv) {
+  return intox::scenario::run_legacy_shim("blink.fig2", argc, argv);
+}

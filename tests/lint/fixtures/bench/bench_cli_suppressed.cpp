@@ -1,0 +1,10 @@
+// Fixture: a justified pragma keeps an argv index quiet (e.g. a
+// microbenchmark binary that hands argv to its framework). Must be
+// silent, and the pragma must not count as stale.
+int main(int argc, char** argv) {
+  // Framework owns the CLI; nothing scenario-shaped to forward to.
+  // intox-lint: allow(cli)
+  const char* self = argv[0];
+  (void)argc;
+  return self != nullptr ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+// The intox driver CLI contract: every malformed input dies with one
+// one-line stderr diagnostic and exit status 2 — never a silent default.
+// Each death test forks, so driver_main's printf output stays out of the
+// test's own stdout.
+#include "scenario/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <initializer_list>
+#include <vector>
+
+#include "scenario/shim.hpp"
+
+namespace intox::scenario {
+namespace {
+
+int run(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  argv.push_back(nullptr);
+  return driver_main(static_cast<int>(args.size()), argv.data());
+}
+
+int shim(const char* scenario, std::initializer_list<const char*> args,
+         const LegacySpec& spec) {
+  std::vector<char*> argv;
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  argv.push_back(nullptr);
+  return run_legacy_shim(scenario, static_cast<int>(args.size()),
+                         argv.data(), spec);
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, UnknownScenarioExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "no.such"})),
+              ::testing::ExitedWithCode(2),
+              "intox: unknown scenario 'no.such'");
+}
+
+TEST(CliDeathTest, UnknownCommandExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "frobnicate"})),
+              ::testing::ExitedWithCode(2),
+              "intox: unknown command 'frobnicate'");
+}
+
+TEST(CliDeathTest, NoArgumentsPrintsUsageAndExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox"})), ::testing::ExitedWithCode(2),
+              "usage: intox");
+}
+
+TEST(CliDeathTest, MalformedSetExitsTwo) {
+  EXPECT_EXIT(
+      std::exit(run({"intox", "run", "blink.fig2", "--set", "runs"})),
+      ::testing::ExitedWithCode(2), "intox: --set expects key=value");
+}
+
+TEST(CliDeathTest, DanglingSetExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--set"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --set requires key=value");
+}
+
+TEST(CliDeathTest, UnknownKnobExitsTwo) {
+  EXPECT_EXIT(
+      std::exit(run({"intox", "run", "blink.fig2", "--set", "nope=3"})),
+      ::testing::ExitedWithCode(2), "intox: unknown knob 'nope'");
+}
+
+TEST(CliDeathTest, NonNumericKnobValueExitsTwo) {
+  EXPECT_EXIT(
+      std::exit(run({"intox", "run", "blink.fig2", "--set", "runs=abc"})),
+      ::testing::ExitedWithCode(2),
+      "intox: knob 'runs' expects an unsigned integer");
+}
+
+TEST(CliDeathTest, OutOfRangeKnobExitsTwo) {
+  EXPECT_EXIT(
+      std::exit(run({"intox", "run", "blink.fig2", "--set", "runs=0"})),
+      ::testing::ExitedWithCode(2), "intox: knob 'runs' out of range");
+}
+
+TEST(CliDeathTest, MalformedSweepExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=1:4"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --sweep expects key=a:b:step");
+}
+
+TEST(CliDeathTest, NonNumericSweepExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=1:x:1"})),
+              ::testing::ExitedWithCode(2), "is not a number");
+}
+
+TEST(CliDeathTest, EmptySweepRangeExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=4:1:1"})),
+              ::testing::ExitedWithCode(2), "intox: --sweep: empty range");
+}
+
+TEST(CliDeathTest, SweepOnBoolKnobExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "pcc.mitm", "--sweep",
+                             "attack=0:1:1"})),
+              ::testing::ExitedWithCode(2),
+              "only u64/double knobs sweep");
+}
+
+TEST(CliDeathTest, UnknownArgumentExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--bogus"})),
+              ::testing::ExitedWithCode(2),
+              "intox: unknown argument '--bogus'");
+}
+
+TEST(CliDeathTest, MissingConfigFileExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--config",
+                             "/no/such/file.cfg"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --config: cannot open");
+}
+
+TEST(CliDeathTest, MalformedThreadsExitsTwo) {
+  // --threads is validated by the observability session from the
+  // original argv, strictly, like every other flag.
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--threads",
+                             "lots"})),
+              ::testing::ExitedWithCode(2), "--threads expects");
+}
+
+TEST(CliDeathTest, ValidateUnknownScenarioExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "validate", "no.such"})),
+              ::testing::ExitedWithCode(2),
+              "intox: unknown scenario 'no.such'");
+}
+
+TEST(CliDeathTest, KnobsUnknownScenarioExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "knobs", "no.such"})),
+              ::testing::ExitedWithCode(2),
+              "intox: unknown scenario 'no.such'");
+}
+
+TEST(CliDeathTest, ShimRejectsUnknownArgument) {
+  LegacySpec spec;
+  spec.value_flags = {{"--runs", "runs"}};
+  EXPECT_EXIT(
+      std::exit(shim("blink.fig2", {"bench_blink_fig2", "--frobs", "4"},
+                     spec)),
+      ::testing::ExitedWithCode(2), "intox: unknown argument '--frobs'");
+}
+
+TEST(CliDeathTest, ShimRejectsDanglingValueFlag) {
+  LegacySpec spec;
+  spec.value_flags = {{"--runs", "runs"}};
+  EXPECT_EXIT(
+      std::exit(shim("blink.fig2", {"bench_blink_fig2", "--runs"}, spec)),
+      ::testing::ExitedWithCode(2), "intox: --runs requires a value");
+}
+
+TEST(CliDeathTest, ShimForwardsMalformedValueToKnobParser) {
+  LegacySpec spec;
+  spec.value_flags = {{"--runs", "runs"}};
+  EXPECT_EXIT(std::exit(shim("blink.fig2",
+                             {"bench_blink_fig2", "--runs", "many"},
+                             spec)),
+              ::testing::ExitedWithCode(2),
+              "intox: knob 'runs' expects an unsigned integer");
+}
+
+TEST(CliDeathTest, ShimRejectsSecondPositional) {
+  LegacySpec spec;
+  spec.positional_knob = "bots";
+  EXPECT_EXIT(
+      std::exit(shim("blink.hijack", {"blink_hijack", "50", "60"}, spec)),
+      ::testing::ExitedWithCode(2), "intox: unknown argument '60'");
+}
+
+TEST(CliDeathTest, HelpExitsZero) {
+  EXPECT_EXIT(std::exit(run({"intox", "help"})),
+              ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, ListExitsZero) {
+  EXPECT_EXIT(std::exit(run({"intox", "list"})),
+              ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, KnobsExitsZero) {
+  EXPECT_EXIT(std::exit(run({"intox", "knobs", "blink.fig2"})),
+              ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace intox::scenario

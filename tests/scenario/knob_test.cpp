@@ -1,0 +1,93 @@
+// KnobSet: strict typed parsing with one-line diagnostics — the same
+// reject-don't-default contract obs::parse_threads_arg established.
+#include "scenario/knob.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intox::scenario {
+namespace {
+
+KnobSet sample() {
+  KnobSet knobs;
+  knobs.declare_bool("attack", false, "enable the attack");
+  knobs.declare_u64("trials", 8, "trial count", 1, 100);
+  knobs.declare_double("floor", 0.5, "accuracy floor", 0.0, 1.0);
+  knobs.declare_string("label", "clean", "free-form label");
+  return knobs;
+}
+
+TEST(KnobSet, DefaultsAreVisibleThroughTypedAccessors) {
+  const KnobSet knobs = sample();
+  EXPECT_FALSE(knobs.b("attack"));
+  EXPECT_EQ(knobs.u("trials"), 8u);
+  EXPECT_DOUBLE_EQ(knobs.d("floor"), 0.5);
+  EXPECT_EQ(knobs.s("label"), "clean");
+}
+
+TEST(KnobSet, SetParsesEveryKind) {
+  KnobSet knobs = sample();
+  EXPECT_EQ(knobs.set("attack", "true"), "");
+  EXPECT_EQ(knobs.set("trials", "42"), "");
+  EXPECT_EQ(knobs.set("floor", "0.75"), "");
+  EXPECT_EQ(knobs.set("label", "poisoned"), "");
+  EXPECT_TRUE(knobs.b("attack"));
+  EXPECT_EQ(knobs.u("trials"), 42u);
+  EXPECT_DOUBLE_EQ(knobs.d("floor"), 0.75);
+  EXPECT_EQ(knobs.s("label"), "poisoned");
+}
+
+TEST(KnobSet, BoolAcceptsZeroOne) {
+  KnobSet knobs = sample();
+  EXPECT_EQ(knobs.set("attack", "1"), "");
+  EXPECT_TRUE(knobs.b("attack"));
+  EXPECT_EQ(knobs.set("attack", "0"), "");
+  EXPECT_FALSE(knobs.b("attack"));
+}
+
+TEST(KnobSet, UnknownKeyNamesTheDeclaredKnobs) {
+  KnobSet knobs = sample();
+  const std::string err = knobs.set("bogus", "1");
+  EXPECT_NE(err.find("unknown knob 'bogus'"), std::string::npos) << err;
+  EXPECT_NE(err.find("trials"), std::string::npos) << err;
+}
+
+TEST(KnobSet, MalformedValuesAreRejected) {
+  KnobSet knobs = sample();
+  EXPECT_NE(knobs.set("attack", "yes"), "");
+  EXPECT_NE(knobs.set("trials", "abc"), "");
+  EXPECT_NE(knobs.set("trials", "-3"), "");
+  EXPECT_NE(knobs.set("trials", "12x"), "");
+  EXPECT_NE(knobs.set("floor", "fast"), "");
+  // The stored values stay untouched after a rejected set.
+  EXPECT_EQ(knobs.u("trials"), 8u);
+  EXPECT_DOUBLE_EQ(knobs.d("floor"), 0.5);
+}
+
+TEST(KnobSet, RangeViolationsAreRejected) {
+  KnobSet knobs = sample();
+  EXPECT_NE(knobs.set("trials", "0"), "");
+  EXPECT_NE(knobs.set("trials", "101"), "");
+  EXPECT_NE(knobs.set("floor", "1.5"), "");
+  EXPECT_EQ(knobs.set("trials", "1"), "");
+  EXPECT_EQ(knobs.set("trials", "100"), "");
+}
+
+TEST(KnobSet, WrongKindAccessIsAProgrammingError) {
+  const KnobSet knobs = sample();
+  EXPECT_THROW((void)knobs.u("attack"), std::logic_error);
+  EXPECT_THROW((void)knobs.b("trials"), std::logic_error);
+  EXPECT_THROW((void)knobs.u("nope"), std::logic_error);
+}
+
+TEST(KnobSet, FindExposesDeclaredMetadata) {
+  const KnobSet knobs = sample();
+  const Knob* k = knobs.find("trials");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->kind, KnobKind::kU64);
+  EXPECT_TRUE(k->has_range);
+  EXPECT_EQ(k->default_text, "8");
+  EXPECT_EQ(knobs.find("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace intox::scenario

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Golden-stdout parity between a legacy bench/example binary and the
+unified driver.
+
+Usage:
+  parity_test.py INTOX LEGACY SCENARIO [legacy args...] -- [driver args...]
+
+Runs `LEGACY legacy-args...` and `INTOX run SCENARIO driver-args...` and
+requires byte-identical stdout and equal exit codes. Stderr is free to
+differ (perf records carry wall-clock timings).
+"""
+
+import subprocess
+import sys
+
+
+def run(cmd):
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL
+    )
+    return proc.returncode, proc.stdout
+
+
+def main():
+    if len(sys.argv) < 4:
+        sys.exit(f"usage: {sys.argv[0]} INTOX LEGACY SCENARIO "
+                 "[legacy args...] -- [driver args...]")
+    intox, legacy, scenario = sys.argv[1:4]
+    rest = sys.argv[4:]
+    if "--" in rest:
+        split = rest.index("--")
+        legacy_args, driver_args = rest[:split], rest[split + 1:]
+    else:
+        legacy_args, driver_args = rest, []
+
+    legacy_rc, legacy_out = run([legacy] + legacy_args)
+    driver_rc, driver_out = run([intox, "run", scenario] + driver_args)
+
+    if legacy_rc != driver_rc:
+        sys.exit(f"exit codes differ: {legacy} -> {legacy_rc}, "
+                 f"intox run {scenario} -> {driver_rc}")
+    if legacy_out != driver_out:
+        for lineno, (a, b) in enumerate(
+            zip(legacy_out.splitlines(), driver_out.splitlines()), 1
+        ):
+            if a != b:
+                sys.exit(
+                    f"stdout diverges at line {lineno}:\n"
+                    f"  legacy: {a!r}\n  driver: {b!r}"
+                )
+        sys.exit(f"stdout lengths differ: legacy {len(legacy_out)} bytes, "
+                 f"driver {len(driver_out)} bytes")
+    print(f"parity ok: {scenario}, {len(driver_out)} bytes, "
+          f"exit {driver_rc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+// The scenario registry: every bench family is represented, names are
+// unique and sorted, knob declarations are well-formed, and duplicate
+// registration aborts loudly.
+#include "scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace intox::scenario {
+namespace {
+
+TEST(Registry, EnumeratesAtLeastTwelveScenarios) {
+  EXPECT_GE(Registry::instance().all().size(), 12u);
+}
+
+TEST(Registry, CoversEveryBenchFamily) {
+  std::set<std::string> families;
+  for (const Scenario* sc : Registry::instance().all()) {
+    families.insert(sc->family);
+  }
+  for (const char* family :
+       {"FIG2", "BLINK-TR", "BLINK-E2E", "PCC-OSC", "PCC-FLEET",
+        "PYTH-QOE", "PYTH-CDN", "SKETCH", "SPPIFO", "NETHIDE", "DEFENSE",
+        "EXT"}) {
+    EXPECT_TRUE(families.count(family)) << "missing family " << family;
+  }
+}
+
+TEST(Registry, CoversTheExampleWalkthroughs) {
+  for (const char* name :
+       {"quickstart", "blink.hijack", "pcc.mitm", "pytheas.streaming",
+        "nethide.traceroute", "attack.synthesis", "egress.steering"}) {
+    EXPECT_NE(Registry::instance().find(name), nullptr)
+        << "missing scenario " << name;
+  }
+}
+
+TEST(Registry, AllIsSortedAndUnique) {
+  const auto all = Registry::instance().all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name, all[i]->name);
+  }
+}
+
+TEST(Registry, FindReturnsNullForUnknownName) {
+  EXPECT_EQ(Registry::instance().find("no.such.scenario"), nullptr);
+}
+
+TEST(Registry, EveryScenarioIsFullyDeclared) {
+  for (const Scenario* sc : Registry::instance().all()) {
+    EXPECT_FALSE(sc->name.empty());
+    EXPECT_FALSE(sc->family.empty());
+    EXPECT_FALSE(sc->description.empty()) << sc->name;
+    EXPECT_NE(sc->run, nullptr) << sc->name;
+  }
+}
+
+TEST(Registry, KnobDeclarationsAreWellFormed) {
+  for (const Scenario* sc : Registry::instance().all()) {
+    if (sc->declare_knobs == nullptr) continue;
+    KnobSet knobs;
+    sc->declare_knobs(knobs);
+    for (const Knob& k : knobs.all()) {
+      EXPECT_FALSE(k.name.empty()) << sc->name;
+      EXPECT_FALSE(k.help.empty()) << sc->name << "." << k.name;
+      if (k.has_range && k.kind == KnobKind::kU64) {
+        const double def = static_cast<double>(k.u);
+        EXPECT_GE(def, k.min_value) << sc->name << "." << k.name;
+        EXPECT_LE(def, k.max_value) << sc->name << "." << k.name;
+      }
+      if (k.has_range && k.kind == KnobKind::kDouble) {
+        EXPECT_GE(k.d, k.min_value) << sc->name << "." << k.name;
+        EXPECT_LE(k.d, k.max_value) << sc->name << "." << k.name;
+      }
+    }
+  }
+}
+
+using RegistryDeathTest = Registry;
+
+TEST(RegistryDeathTest, DuplicateRegistrationAborts) {
+  Scenario dup;
+  dup.name = "blink.fig2";  // already registered
+  dup.family = "FIG2";
+  dup.description = "duplicate";
+  EXPECT_DEATH(Registry::instance().add(dup),
+               "duplicate scenario registration 'blink.fig2'");
+}
+
+}  // namespace
+}  // namespace intox::scenario

@@ -189,6 +189,30 @@ void check_invariants(const FileClass& fc, const TokenStream& toks,
   }
 }
 
+// ---------------------------------------------------------------------------
+// cli
+
+// Bench and example binaries must not parse their command line by hand:
+// the scenario registry owns knob declaration and the intox driver owns
+// strict --set/--sweep/--config validation, so a binary that indexes
+// argv reinvents (and inevitably weakens) that contract. Shim mains
+// forward argc/argv wholesale to intox::scenario::run_legacy_shim.
+void check_cli(const FileClass& fc, const TokenStream& toks,
+               std::vector<Finding>& out) {
+  if (!fc.in_bench && !fc.in_examples) return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || t.text != "argv") continue;
+    if (toks[i + 1].text != "[") continue;
+    out.push_back(
+        {fc.rel_path, t.line, "cli",
+         "hand-rolled argv parsing in a bench/example binary; declare a "
+         "scenario knob and forward the command line through "
+         "intox::scenario::run_legacy_shim (src/scenario/) so strict "
+         "--set/--sweep validation stays in one place"});
+  }
+}
+
 const std::regex& metric_name_regex() {
   // family.name[.more]: lowercase dotted components, digits and
   // underscores allowed after the leading letter.
@@ -253,7 +277,7 @@ FileClass classify(const std::string& rel_path) {
 
 const std::vector<std::string>& check_names() {
   static const std::vector<std::string> names = {
-      "determinism", "invariant", "metrics", "header", "pragma"};
+      "determinism", "invariant", "metrics", "header", "cli", "pragma"};
   return names;
 }
 
@@ -267,6 +291,7 @@ void Checker::scan_file(const FileClass& fc, const TokenStream& toks,
     check_determinism(fc, toks, out);
   if (!is_macro_home) check_invariants(fc, toks, out);
   check_headers(fc, toks, out);
+  check_cli(fc, toks, out);
 
   // metrics: record registration sites; duplicates resolve in finish().
   if (fc.in_src || fc.in_bench || fc.in_examples) {

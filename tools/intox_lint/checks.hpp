@@ -26,6 +26,12 @@
 //                at header scope, and no <iostream> in src/ headers
 //                (hot-path translation units must not inherit stream
 //                globals and their static initializers).
+//
+//   cli          Bench/example binaries are thin shims onto the
+//                scenario registry; indexing argv there is hand-rolled
+//                argument parsing that bypasses the driver's strict
+//                --set/--sweep validation. Forward argc/argv to
+//                intox::scenario::run_legacy_shim instead.
 #pragma once
 
 #include <map>
