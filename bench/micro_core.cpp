@@ -10,6 +10,7 @@
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/link.hpp"
 #include "sim/rng.hpp"
 #include "sketch/flowradar.hpp"
 #include "sppifo/sppifo.hpp"
@@ -64,6 +65,92 @@ void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerChurn);
+
+void BM_SchedulerSameInstantStorm(benchmark::State& state) {
+  // Every event at the same timestamp — the binary heap's worst case
+  // (every pop sifts through equal keys) and the timing wheel's best
+  // (one bucket, drained head-first in FIFO order).
+  for (auto _ : state) {
+    sim::Scheduler s;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(1000, [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSameInstantStorm);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  // Timer-style workload: half of everything scheduled is cancelled
+  // before it fires. The wheel unlinks in O(1) and reuses the slab slot
+  // immediately; the old heap tombstoned cancels and paid for them at
+  // pop time.
+  std::vector<sim::Scheduler::EventId> ids;
+  ids.reserve(1000);
+  for (auto _ : state) {
+    sim::Scheduler s;
+    ids.clear();
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(s.schedule_at(i, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_SchedulerSteadyStateTimers(benchmark::State& state) {
+  // A population of self-rescheduling periodic timers at staggered
+  // phases — the scheduler shape of a running simulation (trafficgen
+  // senders, MI timers, link deliveries).
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::uint64_t fired = 0;
+    std::vector<std::function<void()>> timers(64);
+    for (int i = 0; i < 64; ++i) {
+      timers[i] = [&s, &timers, &fired, i] {
+        ++fired;
+        if (fired < 1000) s.schedule_after(17 + i, timers[i]);
+      };
+      s.schedule_at(i, timers[i]);
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSteadyStateTimers);
+
+void BM_LinkDelivery(benchmark::State& state) {
+  // Packet transmit -> serialize -> deliver through a Link: exercises
+  // the in-flight packet slab and the small-buffer delivery closures.
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::uint64_t delivered = 0;
+    sim::LinkConfig cfg;
+    cfg.rate_bps = 100e9;  // keep the queue from dropping
+    cfg.queue_limit_bytes = 64 * 1024 * 1024;
+    sim::Link link{s, cfg, [&delivered](net::Packet) { ++delivered; }};
+    net::Packet p;
+    p.src = net::Ipv4Addr{10, 0, 0, 1};
+    p.dst = net::Ipv4Addr{10, 0, 0, 2};
+    p.l4 = net::UdpHeader{1234, 80};
+    p.payload_bytes = 512;
+    for (int i = 0; i < 1000; ++i) {
+      link.transmit(p);
+      if ((i & 63) == 63) s.run();  // drain in bursts: bounded in-flight
+    }
+    s.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkDelivery);
 
 void BM_BlinkObserve(benchmark::State& state) {
   // Blink's per-packet pipeline work (hash, cell access, retransmission
@@ -137,6 +224,27 @@ void BM_PacketSerializeParse(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSerializeParse);
 
+// Console reporter that additionally records every finished benchmark as
+// a SweepPerf into the ambient BenchSession, so `--metrics-out` /
+// INTOX_METRICS produces a BENCH_*.json the perf gate can diff against
+// committed baselines.
+class SessionReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      if (!run.aggregate_name.empty()) continue;  // mean/median/stddev rows
+      obs::SweepPerf perf;
+      perf.name = run.benchmark_name();
+      perf.trials = static_cast<std::size_t>(run.iterations);
+      perf.threads = 1;
+      perf.wall_seconds = run.real_accumulated_time;
+      obs::emit_sweep_perf(perf);
+    }
+  }
+};
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN with an env-only observability session
@@ -146,6 +254,7 @@ int main(int argc, char** argv) {
   intox::obs::BenchSession session{0, nullptr, "MICRO"};
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  SessionReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

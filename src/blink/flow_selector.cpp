@@ -3,11 +3,45 @@
 namespace intox::blink {
 
 FlowSelector::FlowSelector(const BlinkConfig& config)
-    : config_(config), cells_(config.cells) {}
+    : config_(config),
+      occupied_(config.cells, 0),
+      flow_(config.cells),
+      tag_(config.cells, 0),
+      sampled_at_(config.cells, 0),
+      last_seen_(config.cells, 0),
+      last_seq_(config.cells, 0),
+      has_seq_(config.cells, 0),
+      last_retransmit_(config.cells, kNever),
+      episode_start_(config.cells, kNever),
+      episode_retransmits_(config.cells, 0) {}
 
-void FlowSelector::release(Cell& cell, sim::Time now) {
-  residency_.add(sim::to_seconds(now - cell.sampled_at));
-  cell = Cell{};
+void FlowSelector::release(std::size_t i, sim::Time now) {
+  residency_.add(sim::to_seconds(now - sampled_at_[i]));
+  occupied_[i] = 0;
+  flow_[i] = net::FiveTuple{};
+  tag_[i] = 0;
+  sampled_at_[i] = 0;
+  last_seen_[i] = 0;
+  last_seq_[i] = 0;
+  has_seq_[i] = 0;
+  last_retransmit_[i] = kNever;
+  episode_start_[i] = kNever;
+  episode_retransmits_[i] = 0;
+}
+
+Cell FlowSelector::cell(std::size_t i) const {
+  Cell c;
+  c.occupied = occupied_[i] != 0;
+  c.flow = flow_[i];
+  c.tag = tag_[i];
+  c.sampled_at = sampled_at_[i];
+  c.last_seen = last_seen_[i];
+  c.last_seq = last_seq_[i];
+  c.has_seq = has_seq_[i] != 0;
+  c.last_retransmit = last_retransmit_[i];
+  c.episode_start = episode_start_[i];
+  c.episode_retransmits = episode_retransmits_[i];
+  return c;
 }
 
 PacketVerdict FlowSelector::observe(const net::FiveTuple& flow,
@@ -15,71 +49,73 @@ PacketVerdict FlowSelector::observe(const net::FiveTuple& flow,
                                     bool fin_or_rst, sim::Time now) {
   PacketVerdict v;
   const std::size_t idx =
-      net::flow_hash(flow, config_.hash_seed) % cells_.size();
-  Cell& cell = cells_[idx];
+      net::flow_hash(flow, config_.hash_seed) % occupied_.size();
 
-  if (cell.occupied && cell.flow == flow) {
+  if (occupied_[idx] && flow_[idx] == flow) {
     v.monitored = true;
     if (fin_or_rst) {
       // Flow completed: free the cell for the next flow.
-      release(cell, now);
+      release(idx, now);
       v.evicted_occupant = true;
       return v;
     }
-    v.retransmission = cell.has_seq && seq == cell.last_seq;
+    v.retransmission = has_seq_[idx] && seq == last_seq_[idx];
     if (v.retransmission) {
-      if (now - cell.last_retransmit > kEpisodeGap) {
-        cell.episode_start = now;
-        cell.episode_retransmits = 0;
+      if (now - last_retransmit_[idx] > kEpisodeGap) {
+        episode_start_[idx] = now;
+        episode_retransmits_[idx] = 0;
       }
-      ++cell.episode_retransmits;
-      cell.last_retransmit = now;
+      ++episode_retransmits_[idx];
+      last_retransmit_[idx] = now;
     }
-    cell.last_seq = seq;
-    cell.has_seq = true;
-    cell.last_seen = now;
+    last_seq_[idx] = seq;
+    has_seq_[idx] = 1;
+    last_seen_[idx] = now;
     return v;
   }
 
-  if (cell.occupied) {
+  if (occupied_[idx]) {
     // Collision with a different flow: only take over if the occupant has
     // gone quiet for the eviction timeout.
-    if (now - cell.last_seen < config_.eviction_timeout) return v;
-    release(cell, now);
+    if (now - last_seen_[idx] < config_.eviction_timeout) return v;
+    release(idx, now);
     v.evicted_occupant = true;
   }
 
   if (fin_or_rst) return v;  // don't sample a flow on its final segment
 
-  cell.occupied = true;
-  cell.flow = flow;
-  cell.tag = tag;
-  cell.sampled_at = now;
-  cell.last_seen = now;
-  cell.last_seq = seq;
-  cell.has_seq = true;
-  cell.last_retransmit = kNever;
+  occupied_[idx] = 1;
+  flow_[idx] = flow;
+  tag_[idx] = tag;
+  sampled_at_[idx] = now;
+  last_seen_[idx] = now;
+  last_seq_[idx] = seq;
+  has_seq_[idx] = 1;
+  last_retransmit_[idx] = kNever;
   v.monitored = true;
   v.newly_sampled = true;
   return v;
 }
 
 void FlowSelector::reset(sim::Time now) {
-  for (Cell& cell : cells_) {
-    if (cell.occupied) release(cell, now);
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (occupied_[i]) release(i, now);
   }
 }
 
 std::size_t FlowSelector::occupied_count() const {
   std::size_t n = 0;
-  for (const Cell& c : cells_) n += c.occupied;
+  for (const std::uint8_t o : occupied_) n += o;
   return n;
 }
 
 std::size_t FlowSelector::retransmitting_count(sim::Time now) const {
   std::size_t n = 0;
-  for (const Cell& c : cells_) {
-    if (c.occupied && now - c.last_retransmit <= config_.retransmit_window) ++n;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (occupied_[i] &&
+        now - last_retransmit_[i] <= config_.retransmit_window) {
+      ++n;
+    }
   }
   return n;
 }
@@ -87,8 +123,8 @@ std::size_t FlowSelector::retransmitting_count(sim::Time now) const {
 std::size_t FlowSelector::count_tagged(
     const std::function<bool(std::uint64_t)>& pred) const {
   std::size_t n = 0;
-  for (const Cell& c : cells_) {
-    if (c.occupied && pred(c.tag)) ++n;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (occupied_[i] && pred(tag_[i])) ++n;
   }
   return n;
 }

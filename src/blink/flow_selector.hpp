@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "blink/config.hpp"
@@ -29,6 +30,12 @@ namespace intox::blink {
 
 inline constexpr sim::Time kNever = INT64_MIN / 4;
 
+/// Logical record of one selector cell. Storage is structure-of-arrays
+/// (one column per field, below) so the periodic whole-array scans —
+/// retransmitting_count, the supervisor's episode audit, reset — walk
+/// packed columns instead of striding over 80-byte records; `Cell` is
+/// the snapshot type `FlowSelector::cell(i)` materializes for cold
+/// paths and tests.
 struct Cell {
   bool occupied = false;
   net::FiveTuple flow{};
@@ -69,7 +76,7 @@ class FlowSelector {
   /// Control-plane sample reset: frees every cell.
   void reset(sim::Time now);
 
-  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t cell_count() const { return occupied_.size(); }
   [[nodiscard]] std::size_t occupied_count() const;
 
   /// Number of cells whose occupant retransmitted within the sliding
@@ -81,7 +88,28 @@ class FlowSelector {
   [[nodiscard]] std::size_t count_tagged(
       const std::function<bool(std::uint64_t)>& pred) const;
 
-  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  // SoA columns, one entry per cell. Scans pick exactly the columns
+  // they need (the supervisor's audit reads 4 of the 10 fields; the
+  // retransmit count reads 2).
+  [[nodiscard]] std::span<const std::uint8_t> occupied() const {
+    return occupied_;
+  }
+  [[nodiscard]] std::span<const net::FiveTuple> flows() const {
+    return flow_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> tags() const { return tag_; }
+  [[nodiscard]] std::span<const sim::Time> last_retransmit() const {
+    return last_retransmit_;
+  }
+  [[nodiscard]] std::span<const sim::Time> episode_start() const {
+    return episode_start_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> episode_retransmits() const {
+    return episode_retransmits_;
+  }
+
+  /// AoS snapshot of cell `i` for cold paths and tests.
+  [[nodiscard]] Cell cell(std::size_t i) const;
 
   /// Residency times of flows that left the sample (eviction, FIN, or
   /// reset) — the empirical t_R of §3.1.
@@ -90,10 +118,20 @@ class FlowSelector {
   }
 
  private:
-  void release(Cell& cell, sim::Time now);
+  void release(std::size_t i, sim::Time now);
 
   BlinkConfig config_;
-  std::vector<Cell> cells_;
+  // Parallel columns (all sized config.cells).
+  std::vector<std::uint8_t> occupied_;
+  std::vector<net::FiveTuple> flow_;
+  std::vector<std::uint64_t> tag_;
+  std::vector<sim::Time> sampled_at_;
+  std::vector<sim::Time> last_seen_;
+  std::vector<std::uint32_t> last_seq_;
+  std::vector<std::uint8_t> has_seq_;
+  std::vector<sim::Time> last_retransmit_;
+  std::vector<sim::Time> episode_start_;
+  std::vector<std::uint32_t> episode_retransmits_;
   sim::RunningStats residency_;
 };
 

@@ -123,14 +123,15 @@ void PccSender::begin_mi(sim::Time now) {
   mi_event_ = sched_.schedule_at(current_.end, [this] {
     // Close this MI, park it until the ACK grace period elapses, then
     // evaluate; meanwhile the next MI starts immediately.
-    MonitorInterval closed = current_;
-    pending_mis_[closed.id] = closed;
+    pending_mis_.push_back(current_);
     const auto grace = sim::seconds(srtt_s_ * config_.mi_grace_rtt);
-    const std::uint64_t id = closed.id;
+    const std::uint64_t id = current_.id;
     sched_.schedule_after(grace, [this, id] {
-      auto it = pending_mis_.find(id);
+      const auto it = std::find_if(
+          pending_mis_.begin(), pending_mis_.end(),
+          [id](const MonitorInterval& m) { return m.id == id; });
       if (it == pending_mis_.end()) return;
-      MonitorInterval mi = it->second;
+      const MonitorInterval mi = *it;
       pending_mis_.erase(it);
       finish_mi(mi);
     });
@@ -152,8 +153,8 @@ void PccSender::send_packet() {
   // UDP framing (PCC runs its own sequencing above UDP).
   const std::uint32_t seq = next_seq_++;
   p.flow_tag = seq;
-  seq_to_mi_[seq] = current_.id;
-  send_times_[seq] = sched_.now();
+  send_ring_[seq & (kSendRingSize - 1)] =
+      SendRecord{seq, current_.id, sched_.now()};
   ++current_.sent;
   sink_(std::move(p));
   schedule_next_send();
@@ -169,21 +170,20 @@ void PccSender::schedule_next_send() {
 }
 
 void PccSender::on_ack(std::uint32_t seq, sim::Time now) {
-  auto st = send_times_.find(seq);
-  if (st != send_times_.end()) {
-    const double sample = sim::to_seconds(now - st->second);
-    srtt_s_ = 0.9 * srtt_s_ + 0.1 * sample;
-    send_times_.erase(st);
-  }
-  auto it = seq_to_mi_.find(seq);
-  if (it == seq_to_mi_.end()) return;
-  const std::uint64_t mi_id = it->second;
-  seq_to_mi_.erase(it);
+  SendRecord& rec = send_ring_[seq & (kSendRingSize - 1)];
+  if (rec.seq != seq) return;  // never sent, overwritten, or already acked
+  const double sample = sim::to_seconds(now - rec.sent_at);
+  srtt_s_ = 0.9 * srtt_s_ + 0.1 * sample;
+  const std::uint64_t mi_id = rec.mi_id;
+  rec = SendRecord{};  // duplicate ACKs miss from here on
   if (mi_id == current_.id) {
     ++current_.acked;
-  } else if (auto p = pending_mis_.find(mi_id); p != pending_mis_.end()) {
-    ++p->second.acked;
+    return;
   }
+  const auto p = std::find_if(
+      pending_mis_.begin(), pending_mis_.end(),
+      [mi_id](const MonitorInterval& m) { return m.id == mi_id; });
+  if (p != pending_mis_.end()) ++p->acked;
 }
 
 void PccSender::finish_mi(MonitorInterval mi) {

@@ -16,10 +16,8 @@
 // arms observe.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -140,9 +138,24 @@ class PccSender {
   MonitorInterval current_;
   std::uint64_t next_mi_id_ = 1;
   std::uint32_t next_seq_ = 1;
-  std::unordered_map<std::uint32_t, std::uint64_t> seq_to_mi_;
-  std::unordered_map<std::uint64_t, MonitorInterval> pending_mis_;
-  std::unordered_map<std::uint32_t, sim::Time> send_times_;
+  /// Per-packet send records in a flat power-of-two ring indexed by
+  /// seq & (kSendRingSize - 1). Sequence numbers are consecutive, so
+  /// the ring always holds the most recent kSendRingSize sends; a
+  /// record is cleared when its ACK arrives. Records of lost packets
+  /// are overwritten one ring revolution (~32k packets) later — beyond
+  /// any simulated ACK latency, so lookups behave exactly like the old
+  /// per-seq hash maps (which additionally leaked lost-packet entries
+  /// forever).
+  struct SendRecord {
+    std::uint32_t seq = 0;  // 0 = empty (sequence numbers start at 1)
+    std::uint64_t mi_id = 0;
+    sim::Time sent_at = 0;
+  };
+  static constexpr std::uint32_t kSendRingSize = 1u << 15;
+  std::vector<SendRecord> send_ring_ = std::vector<SendRecord>(kSendRingSize);
+  /// MIs closed but awaiting their ACK grace period — a handful at a
+  /// time, so a flat vector with linear scans beats hashing.
+  std::vector<MonitorInterval> pending_mis_;
 
   double srtt_s_;
   bool running_ = false;

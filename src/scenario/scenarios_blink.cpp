@@ -2,12 +2,14 @@
 // sweep, and the end-to-end hijack over the packet-level switch
 // pipeline. Ported verbatim from the pre-registry bench binaries; the
 // console output is byte-identical at default knobs.
+#include <chrono>
 #include <cmath>
 #include <vector>
 
 #include "blink/attacker.hpp"
 #include "blink/cell_process.hpp"
 #include "dataplane/switch.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 #include "sim/network.hpp"
@@ -258,9 +260,12 @@ Table run_e2e(Ctx& ctx) {
     legit_to_attacker += !blink::is_malicious_tag(p.flow_tag);
   });
 
+  std::uint64_t injected = 0;
   trafficgen::FlowPopulation pop{
-      sched, rng.fork("drivers"),
-      [&](net::Packet p) { source.inject(0, std::move(p)); }};
+      sched, rng.fork("drivers"), [&](net::Packet p) {
+        ++injected;
+        source.inject(0, std::move(p));
+      }};
   {
     sim::Rng trng = rng.fork("trace");
     for (const auto& f : trafficgen::synthesize_trace(trace, trng)) {
@@ -278,9 +283,25 @@ Table run_e2e(Ctx& ctx) {
     }
   }
 
+  // Time the simulation span and record injected-packets/sec as a perf
+  // sweep. Goes to stderr + the BENCH json only, never stdout, so the
+  // scenario's parity golden is unaffected.
+  // intox-lint: allow(determinism)  -- perf timing only, never stdout
+  const auto wall_start = std::chrono::steady_clock::now();
   pop.start_all();
   sched.run_until(trace.horizon);
   pop.stop_all();
+  const std::chrono::duration<double> wall =
+      // intox-lint: allow(determinism)  -- perf timing only, never stdout
+      std::chrono::steady_clock::now() - wall_start;
+  {
+    obs::SweepPerf perf;
+    perf.name = "e2e_packets";
+    perf.trials = injected;
+    perf.threads = 1;
+    perf.wall_seconds = wall.count();
+    obs::emit_sweep_perf(perf);
+  }
 
   const auto& reroutes = node.reroutes();
   ctx.out.row("reroute events:        %zu", reroutes.size());

@@ -1,10 +1,45 @@
 #include "sim/event_queue.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "validate/invariant.hpp"
+#include "validate/oracles.hpp"
 
 namespace intox::sim {
+
+namespace {
+
+// EventId <-> wheel handle. Slab slot in the low 32 bits (+1 so a
+// default-constructed id stays invalid), generation above. Generations
+// start at 1, so a live event's value is never 0.
+Scheduler::EventId encode_id(TimingWheel::Ref ref) {
+  return Scheduler::EventId{
+      (static_cast<std::uint64_t>(ref.gen) << 32) |
+      (static_cast<std::uint64_t>(ref.index) + 1)};
+}
+
+TimingWheel::Ref decode_id(Scheduler::EventId id) {
+  return TimingWheel::Ref{
+      static_cast<std::uint32_t>((id.value & 0xffffffffull) - 1),
+      static_cast<std::uint32_t>(id.value >> 32)};
+}
+
+bool oracle_armed_by_env() {
+  static const bool armed = [] {
+    const char* v = std::getenv("INTOX_SCHED_ORACLE");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return armed;
+}
+
+}  // namespace
+
+Scheduler::Scheduler() {
+  if (oracle_armed_by_env()) enable_oracle();
+}
 
 Scheduler::~Scheduler() {
   // Retirement-time accounting: a single fold into the registry per
@@ -21,43 +56,71 @@ Scheduler::~Scheduler() {
   }
 }
 
+void Scheduler::enable_oracle() {
+  if (oracle_) return;
+  INTOX_INVARIANT(pending() == 0,
+                  "oracle attached to a scheduler with %zu pending events "
+                  "(the mirror starts empty)", pending());
+  oracle_ = std::make_unique<validate::SchedulerOracle>();
+}
+
 Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   INTOX_INVARIANT(static_cast<bool>(cb),
                   "null callback scheduled at t=%lld would crash at fire "
                   "time", static_cast<long long>(t));
   if (!cb) return EventId{};  // counter-only mode: refuse, return invalid id
   if (t < now_) t = now_;
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  const EventId id = encode_id(wheel_.insert(t, std::move(cb)));
+  if (oracle_) oracle_->mirror_schedule(t, id.value, pending());
   if (const std::size_t depth = pending(); depth > depth_hwm_) {
     depth_hwm_ = depth;
   }
-  return EventId{id};
+  return id;
+}
+
+Scheduler::EventId Scheduler::schedule_after(Duration d, Callback cb) {
+  if (d < 0) d = 0;
+  // Saturating add (satellite of the wheel rewrite): now_ + d used to
+  // wrap for huge delays, scheduling the event in the deep past. The
+  // event now parks at kTimeMax — "never", observably — and the
+  // overflow itself is reported.
+  INTOX_INVARIANT(d <= kTimeMax - now_,
+                  "schedule_after overflow: now=%lld + d=%lld exceeds the "
+                  "time horizon; saturating to kTimeMax",
+                  static_cast<long long>(now_), static_cast<long long>(d));
+  return schedule_at(saturating_add(now_, d), std::move(cb));
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
-  return true;
+  const bool erased = wheel_.erase(decode_id(id));
+  if (oracle_) oracle_->mirror_cancel(id.value, erased, pending());
+  return erased;
 }
 
-bool Scheduler::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    out = e;
-    return true;
-  }
-  return false;
+bool Scheduler::fire_next(Time bound) {
+  Callback cb;
+  Time t = 0;
+  TimingWheel::Ref ref;
+  if (!wheel_.pop_min_until(bound, cb, t, &ref)) return false;
+  // The wheel must hand back events in non-decreasing time order; a
+  // violation means bucket corruption (or an externally-forced clock)
+  // and every subsequent timestamp would be wrong.
+  INTOX_INVARIANT(t >= now_,
+                  "scheduler time went backwards: popped t=%lld with "
+                  "now=%lld", static_cast<long long>(t),
+                  static_cast<long long>(now_));
+  const bool have_cb = static_cast<bool>(cb);
+  INTOX_INVARIANT(have_cb,
+                  "live wheel event id=%llu has no callback (slab "
+                  "bookkeeping corruption)",
+                  static_cast<unsigned long long>(encode_id(ref).value));
+  if (oracle_) oracle_->mirror_fire(encode_id(ref).value, t, pending());
+  if (t > now_) now_ = t;
+  if (!have_cb) return true;  // counter-only mode: consume, skip
+  cb();
+  ++processed_;
+  return true;
 }
 
 std::size_t Scheduler::run(std::size_t limit) {
@@ -66,27 +129,9 @@ std::size_t Scheduler::run(std::size_t limit) {
   const bool tracing = obs::trace_enabled();
   const double span_start = tracing ? obs::trace_now_us() : 0.0;
   std::size_t n = 0;
-  Entry e;
-  while (n < limit && pop_next(e)) {
-    // The heap must hand back entries in non-decreasing time order; a
-    // violation means heap corruption (or an externally-forced clock)
-    // and every subsequent timestamp would be wrong.
-    INTOX_INVARIANT(e.time >= now_,
-                    "scheduler time went backwards: popped t=%lld with "
-                    "now=%lld", static_cast<long long>(e.time),
-                    static_cast<long long>(now_));
-    auto it = callbacks_.find(e.id);
-    INTOX_INVARIANT(it != callbacks_.end(),
-                    "live heap entry id=%llu has no callback (tombstone "
-                    "bookkeeping leak)",
-                    static_cast<unsigned long long>(e.id));
-    if (it == callbacks_.end()) continue;  // counter-only mode: skip
-    if (e.time > now_) now_ = e.time;
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    cb();
-    ++n;
-    ++processed_;
+  const std::uint64_t before = processed_;
+  while (n < limit && fire_next(kTimeMax)) {
+    n = static_cast<std::size_t>(processed_ - before);
   }
   if (tracing && n > 0) {
     obs::trace_complete("scheduler.drain", "sim", span_start, "events", n,
@@ -98,35 +143,13 @@ std::size_t Scheduler::run(std::size_t limit) {
 std::size_t Scheduler::run_until(Time t) {
   const bool tracing = obs::trace_enabled();
   const double span_start = tracing ? obs::trace_now_us() : 0.0;
-  std::size_t n = 0;
-  while (!heap_.empty()) {
-    // Peek through tombstones without popping live entries early.
-    Entry top = heap_.top();
-    if (cancelled_.count(top.id)) {
-      heap_.pop();
-      cancelled_.erase(top.id);
-      continue;
-    }
-    if (top.time > t) break;
-    heap_.pop();
-    INTOX_INVARIANT(top.time >= now_,
-                    "scheduler time went backwards: popped t=%lld with "
-                    "now=%lld", static_cast<long long>(top.time),
-                    static_cast<long long>(now_));
-    auto it = callbacks_.find(top.id);
-    INTOX_INVARIANT(it != callbacks_.end(),
-                    "live heap entry id=%llu has no callback (tombstone "
-                    "bookkeeping leak)",
-                    static_cast<unsigned long long>(top.id));
-    if (it == callbacks_.end()) continue;  // counter-only mode: skip
-    if (top.time > now_) now_ = top.time;
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    cb();
-    ++n;
-    ++processed_;
+  const std::uint64_t before = processed_;
+  while (fire_next(t)) {
   }
   if (now_ < t) now_ = t;
+  wheel_.advance_cursor(t);
+  if (oracle_) oracle_->mirror_boundary(t, pending());
+  const auto n = static_cast<std::size_t>(processed_ - before);
   if (tracing && n > 0) {
     obs::trace_complete("scheduler.drain_until", "sim", span_start, "events",
                         n, "pending", pending());

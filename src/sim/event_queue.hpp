@@ -1,19 +1,30 @@
 // Discrete-event scheduler.
 //
-// A single-threaded event queue with a simulated clock. Events scheduled
-// for the same instant fire in scheduling order (FIFO), which keeps runs
-// fully deterministic. Cancellation is O(1) amortized: cancelled events
-// are tombstoned and skipped lazily when popped.
+// A single-threaded event queue with a simulated clock, built on a
+// hierarchical timing wheel with slab-allocated events (sim/timing_wheel).
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps runs fully deterministic; runs of same-timestamp events
+// drain straight out of one wheel bucket with no per-event re-ordering
+// work. Cancellation unlinks and reclaims in O(1) — there are no
+// tombstones — and a stale cancel (the event already fired, or its slab
+// slot was reused) is refused via the handle's generation tag.
+//
+// A differential oracle (validate::SchedulerOracle, a sorted-vector
+// reference queue) can be attached — programmatically or with
+// INTOX_SCHED_ORACLE=1 — to cross-check every schedule/cancel/fire
+// against the obviously-correct implementation while the sim runs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include <memory>
 
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace intox::validate {
+class SchedulerOracle;
+}  // namespace intox::validate
 
 namespace intox::sim {
 
@@ -21,7 +32,7 @@ class Scheduler {
  public:
   using Callback = std::function<void()>;
 
-  Scheduler() = default;
+  Scheduler();
   /// Publishes lifetime totals (events processed, queue-depth high-water
   /// mark) into the obs metrics registry — retirement-time accounting,
   /// so the drain loop itself carries no per-event registry cost.
@@ -30,6 +41,7 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Opaque handle for cancellation. Default-constructed ids are invalid.
+  /// Encodes (slab slot, generation); the value is NOT sequential.
   struct EventId {
     std::uint64_t value = 0;
     [[nodiscard]] bool valid() const { return value != 0; }
@@ -40,10 +52,11 @@ class Scheduler {
   /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
   EventId schedule_at(Time t, Callback cb);
 
-  /// Schedules `cb` after `d` nanoseconds (clamped to >= 0).
-  EventId schedule_after(Duration d, Callback cb) {
-    return schedule_at(now_ + (d < 0 ? 0 : d), std::move(cb));
-  }
+  /// Schedules `cb` after `d` nanoseconds (clamped to >= 0). The add
+  /// saturates at kTimeMax — a huge delay parks the event at the end of
+  /// time (and raises an INTOX_INVARIANT) instead of wrapping into the
+  /// past.
+  EventId schedule_after(Duration d, Callback cb);
 
   /// Cancels a pending event. Returns false if it already fired, was
   /// already cancelled, or the id is invalid.
@@ -56,46 +69,37 @@ class Scheduler {
   /// Runs all events with timestamp <= t, then advances the clock to t.
   std::size_t run_until(Time t);
 
-  [[nodiscard]] std::size_t pending() const {
-    return heap_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending() const { return wheel_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   /// Most live events ever pending at once on this scheduler.
   [[nodiscard]] std::size_t queue_depth_high_water() const {
     return depth_hwm_;
   }
-  /// Cancelled-but-not-yet-popped entries still occupying the heap.
-  /// Tests assert this drains back to zero (no tombstone leak) once the
-  /// clock passes the cancelled events' deadlines.
-  [[nodiscard]] std::size_t tombstones() const { return cancelled_.size(); }
+  /// Cancelled-but-unreclaimed entries. Always 0 on the timing wheel —
+  /// cancel unlinks eagerly — kept so depth accounting reads uniformly
+  /// across scheduler implementations (and tests can pin the guarantee).
+  [[nodiscard]] std::size_t tombstones() const { return 0; }
+
+  /// Attaches the sorted-vector differential oracle: every subsequent
+  /// schedule/cancel/fire is mirrored and cross-checked (INTOX_INVARIANT
+  /// on divergence). Also armed at construction by INTOX_SCHED_ORACLE=1.
+  /// Call with pending() == 0 — the mirror starts empty.
+  void enable_oracle();
+  [[nodiscard]] bool oracle_enabled() const { return oracle_ != nullptr; }
 
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;  // tie-breaker: FIFO within an instant
-    std::uint64_t id;
-    // Heap is a max-heap by default; invert to get earliest-first.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  // Pops the next non-cancelled entry; returns false if none.
-  bool pop_next(Entry& out);
+  // Pops the next due event (time <= bound), fires it, advances now_.
+  bool fire_next(Time bound);
 
   Time now_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t depth_hwm_ = 0;
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  TimingWheel wheel_;
+  std::unique_ptr<validate::SchedulerOracle> oracle_;
 
   // Test-only seam: lets the integrity tests corrupt internal state
-  // (e.g. force the clock past a pending event) and assert that the
-  // INTOX_INVARIANT checks in run()/run_until() catch it.
+  // (e.g. force the clock past a pending event, null out a parked
+  // callback) and assert that the INTOX_INVARIANT checks catch it.
   friend class SchedulerTestPeer;
 };
 

@@ -101,9 +101,15 @@ void Link::transmit(net::Packet pkt) {
                   static_cast<long long>(arrival),
                   static_cast<long long>(now));
 
-  sched_.schedule_at(arrival, [this, pkt = std::move(pkt)]() mutable {
+  const auto h = in_flight_.allocate();
+  in_flight_[h] = std::move(pkt);
+  sched_.schedule_at(arrival, [this, h] {
     ++counters_.delivered_packets;
-    deliver_(std::move(pkt));
+    // Move out and release before delivering: the sink may reenter
+    // transmit() and reuse (or grow past) this slot.
+    net::Packet delivered = std::move(in_flight_[h]);
+    in_flight_.release(h);
+    deliver_(std::move(delivered));
   });
 }
 

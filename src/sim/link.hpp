@@ -15,6 +15,7 @@
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/slab.hpp"
 
 namespace intox::sim {
 
@@ -83,6 +84,11 @@ class Link {
   Time next_free_ = 0;  // when the transmitter finishes its current backlog
   Counters counters_;
   Rng red_rng_{config_.red_seed};
+  /// In-flight packets parked between serialization and delivery. The
+  /// delivery closure captures only {this, handle} (16 bytes), so it
+  /// fits std::function's small-buffer storage — the per-packet path
+  /// stops heap-allocating, and packet payloads reuse slab slots.
+  SlabPool<net::Packet> in_flight_;
 };
 
 }  // namespace intox::sim

@@ -7,16 +7,22 @@ Assessment BlinkRtoGuard::assess(const blink::FlowSelector& selector,
   ++stats_.assessed;
   std::size_t retransmitting = 0;
   std::size_t implausible = 0;
-  for (const blink::Cell& cell : selector.cells()) {
-    if (!cell.occupied || cell.last_retransmit == blink::kNever) continue;
+  // Column scan over the selector's SoA state: the audit touches only 4
+  // of the 10 per-cell fields.
+  const auto occupied = selector.occupied();
+  const auto last_retransmit = selector.last_retransmit();
+  const auto episode_start = selector.episode_start();
+  const auto episode_retransmits = selector.episode_retransmits();
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    if (!occupied[i] || last_retransmit[i] == blink::kNever) continue;
     // Only cells contributing to the failure signal matter.
-    if (now - cell.last_retransmit > sim::millis(800)) continue;
+    if (now - last_retransmit[i] > sim::millis(800)) continue;
     ++retransmitting;
     const bool old_episode =
-        cell.episode_start != blink::kNever &&
-        now - cell.episode_start > config_.max_episode_age;
+        episode_start[i] != blink::kNever &&
+        now - episode_start[i] > config_.max_episode_age;
     const bool too_chatty =
-        cell.episode_retransmits > config_.max_episode_retransmits;
+        episode_retransmits[i] > config_.max_episode_retransmits;
     if (old_episode || too_chatty) ++implausible;
   }
 

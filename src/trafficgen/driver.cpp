@@ -122,28 +122,27 @@ FlowPopulation::FlowPopulation(sim::Scheduler& sched, sim::Rng rng,
     : sched_(sched), rng_(rng), sink_(std::move(sink)) {}
 
 void FlowPopulation::add_legit(const FlowSpec& spec) {
-  legit_.push_back(std::make_unique<LegitFlowDriver>(
-      sched_, rng_.fork(next_fork_++), spec, sink_));
+  legit_.emplace_back(sched_, rng_.fork(next_fork_++), spec, sink_);
 }
 
 void FlowPopulation::add_malicious(const FlowSpec& spec,
                                    MaliciousFlowDriver::Options options) {
-  malicious_.push_back(std::make_unique<MaliciousFlowDriver>(
-      sched_, rng_.fork(next_fork_++), spec, sink_, options));
+  malicious_.emplace_back(sched_, rng_.fork(next_fork_++), spec, sink_,
+                          options);
 }
 
 void FlowPopulation::start_all() {
-  for (auto& d : legit_) d->start();
-  for (auto& d : malicious_) d->start();
+  for (auto& d : legit_) d.start();
+  for (auto& d : malicious_) d.start();
 }
 
 void FlowPopulation::fail_all_legit() {
-  for (auto& d : legit_) d->enter_failure_mode();
+  for (auto& d : legit_) d.enter_failure_mode();
 }
 
 void FlowPopulation::stop_all() {
-  for (auto& d : legit_) d->stop();
-  for (auto& d : malicious_) d->stop();
+  for (auto& d : legit_) d.stop();
+  for (auto& d : malicious_) d.stop();
 }
 
 }  // namespace intox::trafficgen

@@ -14,9 +14,8 @@
 //    matching the paper's observation that none is needed.
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <memory>
-#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -126,8 +125,12 @@ class FlowPopulation {
   sim::Rng rng_;
   PacketSink sink_;
   std::uint64_t next_fork_ = 0;
-  std::vector<std::unique_ptr<LegitFlowDriver>> legit_;
-  std::vector<std::unique_ptr<MaliciousFlowDriver>> malicious_;
+  // By-value driver pools: deque keeps element addresses stable (the
+  // drivers' scheduled closures capture `this`) while storing them in
+  // contiguous chunks instead of one heap allocation per flow, so the
+  // start_all/fail_all sweeps walk dense memory.
+  std::deque<LegitFlowDriver> legit_;
+  std::deque<MaliciousFlowDriver> malicious_;
 };
 
 }  // namespace intox::trafficgen

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "validate/invariant.hpp"
+
 namespace intox::validate {
 
 namespace {
@@ -117,6 +119,70 @@ std::vector<ReferenceQueue::Fired> ReferenceQueue::run(std::size_t limit) {
     fired.push_back(*next);
   }
   return fired;
+}
+
+void ReferenceQueue::schedule_at(sim::Time t, std::uint64_t id) {
+  if (t < now_) t = now_;
+  entries_.push_back(Entry{t, next_seq_++, id});
+}
+
+void SchedulerOracle::check_pending(std::size_t pending, const char* op) {
+  INTOX_INVARIANT(ref_.pending() == pending,
+                  "scheduler/oracle diverged after %s: wheel pending=%zu "
+                  "reference pending=%zu", op, pending, ref_.pending());
+}
+
+void SchedulerOracle::mirror_schedule(sim::Time t, std::uint64_t id,
+                                      std::size_t pending) {
+  ref_.schedule_at(t, id);
+  ++checks_;
+  check_pending(pending, "schedule");
+}
+
+void SchedulerOracle::mirror_cancel(std::uint64_t id, bool cancelled,
+                                    std::size_t pending) {
+  const bool ref_cancelled = ref_.cancel(id);
+  ++checks_;
+  INTOX_INVARIANT(ref_cancelled == cancelled,
+                  "scheduler/oracle diverged on cancel(id=%llu): wheel=%d "
+                  "reference=%d",
+                  static_cast<unsigned long long>(id), cancelled,
+                  ref_cancelled);
+  check_pending(pending, "cancel");
+}
+
+void SchedulerOracle::mirror_fire(std::uint64_t id, sim::Time t,
+                                  std::size_t pending) {
+  const auto fired = ref_.run(1);
+  ++checks_;
+  INTOX_INVARIANT(!fired.empty(),
+                  "scheduler fired id=%llu at t=%lld but the reference "
+                  "queue is empty",
+                  static_cast<unsigned long long>(id),
+                  static_cast<long long>(t));
+  if (fired.empty()) return;  // count mode: cannot compare further
+  INTOX_INVARIANT(fired[0].id == id && fired[0].time == t,
+                  "scheduler/oracle fire order diverged: wheel fired "
+                  "id=%llu t=%lld, reference expected id=%llu t=%lld",
+                  static_cast<unsigned long long>(id),
+                  static_cast<long long>(t),
+                  static_cast<unsigned long long>(fired[0].id),
+                  static_cast<long long>(fired[0].time));
+  check_pending(pending, "fire");
+}
+
+void SchedulerOracle::mirror_boundary(sim::Time t, std::size_t pending) {
+  const auto leftover = ref_.run_until(t);
+  ++checks_;
+  INTOX_INVARIANT(leftover.empty(),
+                  "run_until(%lld) drain diverged: reference still held "
+                  "%zu due event(s), first id=%llu t=%lld",
+                  static_cast<long long>(t), leftover.size(),
+                  static_cast<unsigned long long>(
+                      leftover.empty() ? 0 : leftover[0].id),
+                  static_cast<long long>(
+                      leftover.empty() ? 0 : leftover[0].time));
+  check_pending(pending, "run_until boundary");
 }
 
 }  // namespace intox::validate

@@ -60,7 +60,8 @@ double exact_quantile(std::vector<double> xs, double q);
 // fire in (time, scheduling order); past times clamp to `now`; cancel
 // removes eagerly (no tombstones to get wrong). Tests drive a Scheduler
 // and a ReferenceQueue with the same operation sequence and compare the
-// firing logs.
+// firing logs; SchedulerOracle (below) automates exactly that as an
+// always-on mirror inside the Scheduler itself.
 class ReferenceQueue {
  public:
   struct Fired {
@@ -69,10 +70,13 @@ class ReferenceQueue {
     friend bool operator==(const Fired&, const Fired&) = default;
   };
 
-  /// Mirrors Scheduler::schedule_at (including clamp-to-now); returns the
-  /// event id, which matches the Scheduler's id sequence when both are
-  /// driven identically (ids start at 1 and increment per schedule).
+  /// Mirrors Scheduler::schedule_at (including clamp-to-now); returns a
+  /// self-assigned event id (ids start at 1 and increment per schedule).
   std::uint64_t schedule_at(sim::Time t);
+
+  /// Same, under a caller-supplied id — the form the SchedulerOracle
+  /// uses, since the timing wheel's slab handles are not sequential.
+  void schedule_at(sim::Time t, std::uint64_t id);
 
   /// Mirrors Scheduler::cancel. Returns false for unknown/fired ids.
   bool cancel(std::uint64_t id);
@@ -98,6 +102,36 @@ class ReferenceQueue {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::vector<Entry> entries_;  // unsorted; pop scans for min (time, seq)
+};
+
+// --- Scheduler differential oracle ------------------------------------
+//
+// The always-on mirror for the timing-wheel scheduler: Scheduler (with
+// the oracle enabled — programmatically or via INTOX_SCHED_ORACLE=1)
+// forwards every schedule/cancel/fire/boundary to this class, which
+// replays it on the ReferenceQueue and raises an INTOX_INVARIANT on any
+// divergence in fire order, timestamps, cancel results, or pending
+// counts. O(n) per fire — for validate runs and tests, not benches.
+class SchedulerOracle {
+ public:
+  /// `t` is the post-clamp timestamp; `pending` the scheduler's live
+  /// count after the operation (likewise for the other hooks).
+  void mirror_schedule(sim::Time t, std::uint64_t id, std::size_t pending);
+  void mirror_cancel(std::uint64_t id, bool cancelled, std::size_t pending);
+  void mirror_fire(std::uint64_t id, sim::Time t, std::size_t pending);
+  /// End of Scheduler::run_until(t): the mirror must agree that nothing
+  /// was left due at or before `t`.
+  void mirror_boundary(sim::Time t, std::size_t pending);
+
+  [[nodiscard]] const ReferenceQueue& reference() const { return ref_; }
+  /// Cross-checks performed so far (tests pin that the mirror really ran).
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  void check_pending(std::size_t pending, const char* op);
+
+  ReferenceQueue ref_;
+  std::uint64_t checks_ = 0;
 };
 
 }  // namespace intox::validate

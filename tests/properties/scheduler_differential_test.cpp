@@ -1,0 +1,108 @@
+// Randomized differential suite for the timing-wheel scheduler: 1e5-op
+// schedule/schedule_after/cancel/run_until/run workloads executed on the
+// wheel with the SchedulerOracle armed, so every operation is replayed
+// on the sorted-vector ReferenceQueue and compared (fire order,
+// timestamps, cancel results, pending counts) as it happens. Any
+// divergence raises InvariantError (throw mode) and fails the test.
+//
+// This binary carries the `sanitize` label: the asan-ubsan and tsan
+// presets run it, so the wheel's intrusive-list surgery and slab reuse
+// are additionally checked for memory and lifetime errors.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "validate/invariant.hpp"
+#include "validate/oracles.hpp"
+
+namespace intox::sim {
+namespace {
+
+class SchedulerDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SchedulerDifferential, RandomOpSequenceNeverDivergesFromOracle) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Rng rng{GetParam()};
+  Scheduler s;
+  s.enable_oracle();
+  ASSERT_TRUE(s.oracle_enabled());
+
+  std::vector<Scheduler::EventId> live;
+  constexpr int kOps = 25'000;  // x4 seeds = 1e5 ops total
+  for (int op = 0; op < kOps; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.55 || live.empty()) {
+      // Schedule: a mix of absolute times (possibly in the past —
+      // clamped) and relative delays.
+      if (rng.bernoulli(0.5)) {
+        const Time t = s.now() + static_cast<Time>(rng.uniform_int(0, 5000)) -
+                       500;  // may be < now
+        live.push_back(s.schedule_at(t, [] {}));
+      } else {
+        const auto d = static_cast<Duration>(rng.uniform_int(0, 5000));
+        live.push_back(s.schedule_after(d, [] {}));
+      }
+    } else if (roll < 0.80) {
+      // Cancel a random remembered id. Roughly half are already fired
+      // (stale) — the wheel and the reference must agree on the result.
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(live.size()) - 1));
+      s.cancel(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 0.95) {
+      s.run_until(s.now() + static_cast<Time>(rng.uniform_int(0, 3000)));
+    } else {
+      s.run(static_cast<std::size_t>(rng.uniform_int(1, 50)));
+    }
+  }
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST_P(SchedulerDifferential, NestedSchedulingNeverDivergesFromOracle) {
+  // Callbacks that schedule (at `now`, nearby, or clamped-past times)
+  // and cancel during the drain — the paths where FIFO-within-instant
+  // and the cursor rules are easiest to get wrong.
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Rng rng{GetParam() ^ 0xd1ffULL};
+  Scheduler s;
+  s.enable_oracle();
+
+  int remaining = 5'000;
+  std::vector<Scheduler::EventId> cancellable;
+  std::function<void()> spawn = [&] {
+    if (--remaining <= 0) return;
+    const int children = static_cast<int>(rng.uniform_int(0, 2));
+    for (int c = 0; c < children; ++c) {
+      // Offset may be negative: clamps to now and fires this instant,
+      // after every already-queued peer.
+      const auto d =
+          static_cast<Duration>(rng.uniform_int(0, 800)) - 100;
+      const auto id = s.schedule_after(d, spawn);
+      if (rng.bernoulli(0.2)) cancellable.push_back(id);
+    }
+    if (!cancellable.empty() && rng.bernoulli(0.3)) {
+      s.cancel(cancellable.back());
+      cancellable.pop_back();
+    }
+  };
+  for (int i = 0; i < 200; ++i) {
+    s.schedule_at(static_cast<Time>(rng.uniform_int(0, 1000)), spawn);
+  }
+  while (s.pending() > 0) {
+    s.run_until(s.now() + 500);
+  }
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferential,
+                         ::testing::Values(0x1ull, 0xbeefull, 0xc0ffeeull,
+                                           0x5eed5ull));
+
+}  // namespace
+}  // namespace intox::sim

@@ -51,14 +51,13 @@ TEST_P(SelectorProperties, InvariantsUnderRandomTraffic) {
       // Invariant 1: occupied count never exceeds the cell count.
       ASSERT_LE(sel.occupied_count(), param.cells);
       // Invariant 2: each occupied cell's flow hashes to its own index.
-      const auto& cells = sel.cells();
-      for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (!cells[i].occupied) continue;
-        ASSERT_EQ(net::flow_hash(cells[i].flow, cfg.hash_seed) % param.cells,
-                  i);
+      for (std::size_t i = 0; i < sel.cell_count(); ++i) {
+        const auto cell = sel.cell(i);
+        if (!cell.occupied) continue;
+        ASSERT_EQ(net::flow_hash(cell.flow, cfg.hash_seed) % param.cells, i);
         // Invariant 3: timestamps are coherent.
-        ASSERT_LE(cells[i].sampled_at, cells[i].last_seen);
-        ASSERT_LE(cells[i].last_seen, now);
+        ASSERT_LE(cell.sampled_at, cell.last_seen);
+        ASSERT_LE(cell.last_seen, now);
       }
       // Invariant 4: retransmitting count is bounded by occupancy.
       ASSERT_LE(sel.retransmitting_count(now), sel.occupied_count());
@@ -91,8 +90,8 @@ TEST_P(SelectorProperties, MonitoredFlowIsAlwaysTheCellOccupant) {
     if (v.monitored) {
       const std::size_t idx =
           net::flow_hash(flow, cfg.hash_seed) % param.cells;
-      EXPECT_TRUE(sel.cells()[idx].occupied);
-      EXPECT_EQ(sel.cells()[idx].flow, flow);
+      EXPECT_TRUE(sel.cell(idx).occupied);
+      EXPECT_EQ(sel.cell(idx).flow, flow);
     }
   }
 }

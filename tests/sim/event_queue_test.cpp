@@ -4,21 +4,11 @@
 
 #include <vector>
 
+#include "wheel_test_peer.hpp"
 #include "validate/invariant.hpp"
 #include "validate/oracles.hpp"
 
 namespace intox::sim {
-
-/// Test-only peer (friended by Scheduler): injects internal-state
-/// corruption so the integrity tests can prove INTOX_INVARIANT catches it.
-class SchedulerTestPeer {
- public:
-  static void force_clock(Scheduler& s, Time t) { s.now_ = t; }
-  static void drop_callback(Scheduler& s, Scheduler::EventId id) {
-    s.callbacks_.erase(id.value);  // heap entry stays: bookkeeping leak
-  }
-};
-
 namespace {
 
 TEST(Scheduler, FiresInTimeOrder) {
@@ -149,22 +139,81 @@ TEST(Timer, CancelStopsExpiry) {
   EXPECT_EQ(fires, 0);
 }
 
-TEST(Scheduler, CancelThenRunUntilDrainsTombstones) {
-  // Cancelled entries are tombstoned in the heap; once run_until passes
-  // their deadlines every tombstone must be reclaimed — a leak here grows
-  // cancelled_ without bound in timer-heavy workloads (Timer re-arms
-  // cancel on every re-arm).
+TEST(Scheduler, CancelReclaimsEagerly) {
+  // The timing wheel unlinks cancelled events in O(1) at cancel time, so
+  // there is never a tombstone phase: pending() drops immediately and the
+  // slab slot is back on the freelist before run_until ever passes the
+  // deadline. (The old heap tombstoned cancels and reclaimed lazily.)
   Scheduler s;
   std::vector<Scheduler::EventId> ids;
   for (int i = 1; i <= 50; ++i) {
     ids.push_back(s.schedule_at(i * 10, [] {}));
   }
   for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
-  EXPECT_EQ(s.tombstones(), 25u);
+  EXPECT_EQ(s.tombstones(), 0u);
+  EXPECT_EQ(s.pending(), 25u);
   s.run_until(1000);
   EXPECT_EQ(s.tombstones(), 0u);
   EXPECT_EQ(s.pending(), 0u);
   EXPECT_EQ(s.events_processed(), 25u);
+}
+
+TEST(Scheduler, CancelAfterFireKeepsPendingConsistent) {
+  // Regression (pending-underflow satellite): cancelling an id that has
+  // already fired must be a clean `false` and must not disturb the live
+  // count. The heap implementation derived pending() by subtraction
+  // (heap size minus cancel-set size), which could underflow to SIZE_MAX
+  // on exactly this cancel-then-fire interleaving; the wheel counts live
+  // nodes directly, and the slab generation check rejects the dead id.
+  Scheduler s;
+  const auto id = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  s.run_until(10);  // `id` fires
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_LT(s.pending(), 1000u);  // not SIZE_MAX
+  EXPECT_FALSE(s.cancel(id));  // still idempotent
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, StaleHandleAfterSlotReuseIsRejected) {
+  // The freelist hands a cancelled event's slab slot to the next
+  // schedule. The old id carries the previous generation, so cancelling
+  // it must fail — and must not kill the unrelated new tenant.
+  Scheduler s;
+  const auto old_id = s.schedule_at(10, [] {});
+  const auto slot = SchedulerTestPeer::slab_slot(old_id);
+  ASSERT_TRUE(s.cancel(old_id));
+  bool fired = false;
+  const auto new_id = s.schedule_at(20, [&] { fired = true; });
+  ASSERT_EQ(SchedulerTestPeer::slab_slot(new_id), slot)
+      << "freelist should reuse the freed slot (LIFO)";
+  ASSERT_NE(old_id.value, new_id.value);  // generations differ
+  EXPECT_FALSE(s.cancel(old_id));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, ScheduleAfterSaturatesAtTimeHorizon) {
+  // Regression (saturating-add satellite): now + d used to wrap for huge
+  // delays, parking the event in the deep past where the next run()
+  // fired it immediately. It must instead saturate to kTimeMax ("never",
+  // for any realistic horizon) and raise an invariant violation.
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kCount};
+  validate::reset_invariant_violations();
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run();  // now() == 100
+  bool fired = false;
+  const auto id = s.schedule_after(kTimeMax, [&] { fired = true; });
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(validate::invariant_violations(), 1u);
+  s.run_until(1'000'000'000);  // a full simulated second later: still parked
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(s.cancel(id));
 }
 
 TEST(Scheduler, TimerRearmStormLeavesNoTombstonesBehind) {
@@ -218,25 +267,31 @@ TEST(SchedulerOracle, RandomWorkloadMatchesReferenceQueue) {
     lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
     return lcg >> 33;
   };
-  std::vector<Scheduler::EventId> live;
+  // The wheel's slab-handle ids are not sequential, so both sides key on
+  // a test-assigned label instead: the scheduler callback captures it,
+  // the reference takes it via the caller-supplied-id overload.
+  struct Live {
+    Scheduler::EventId id;
+    std::uint64_t label;
+  };
+  std::vector<Live> live;
   Time boundary = 0;
-  std::uint64_t expected_id = 1;  // Scheduler ids start at 1, +1 per schedule
+  std::uint64_t next_label = 1;
   for (int round = 0; round < 20; ++round) {
     for (int k = 0; k < 50; ++k) {
       const Time t = static_cast<Time>(next() % 10000);
-      const std::uint64_t my_id = expected_id++;
-      const auto id = s.schedule_at(t, [&got, &s, my_id] {
-        got.push_back({my_id, s.now()});
+      const std::uint64_t label = next_label++;
+      const auto id = s.schedule_at(t, [&got, &s, label] {
+        got.push_back({label, s.now()});
       });
-      const std::uint64_t ref_id = ref.schedule_at(t);
-      ASSERT_EQ(id.value, my_id);
-      ASSERT_EQ(ref_id, my_id);
-      live.push_back(id);
+      ASSERT_TRUE(id.valid());
+      ref.schedule_at(t, label);
+      live.push_back({id, label});
     }
     for (int k = 0; k < 10 && !live.empty(); ++k) {
       const std::size_t pick = next() % live.size();
-      const bool a = s.cancel(live[pick]);
-      const bool b = ref.cancel(live[pick].value);
+      const bool a = s.cancel(live[pick].id);
+      const bool b = ref.cancel(live[pick].label);
       EXPECT_EQ(a, b);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
     }
@@ -269,8 +324,27 @@ TEST(SchedulerIntegrity, DroppedCallbackBookkeepingIsCaught) {
   validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
   Scheduler s;
   const auto id = s.schedule_at(10, [] {});
-  SchedulerTestPeer::drop_callback(s, id);  // heap/cancelled_ leak
+  SchedulerTestPeer::null_callback(s, id);  // parked event, callback gone
   EXPECT_THROW(s.run(), validate::InvariantError);
+}
+
+TEST(SchedulerOracle, EnabledOracleCrossChecksWithoutDivergence) {
+  // Smoke test for the always-on mirror: with the oracle armed, a mixed
+  // schedule/cancel/run_until workload must complete with zero invariant
+  // violations (any wheel/reference divergence would raise one).
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  Scheduler s;
+  s.enable_oracle();
+  ASSERT_TRUE(s.oracle_enabled());
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(s.schedule_at((i * 37) % 500, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) s.cancel(ids[i]);
+  s.run_until(250);
+  s.schedule_after(100, [] {});
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
 }
 
 TEST(SchedulerIntegrity, NullCallbackIsRejected) {

@@ -1,0 +1,231 @@
+// Timing-wheel unit tests: level placement, cascade boundaries (level
+// rollover ticks, multi-level descents, far-future overflow, kTimeMax),
+// cursor-bound behavior, and slab/freelist reuse. The end-to-end
+// ordering contract is exercised by the Scheduler tests and the
+// differential property suite; these tests pin the wheel geometry
+// itself via the TimingWheelTestPeer.
+#include "sim/timing_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "wheel_test_peer.hpp"
+#include "validate/invariant.hpp"
+
+namespace intox::sim {
+namespace {
+
+using Peer = TimingWheelTestPeer;
+
+Time drain_next(TimingWheel& w, Time bound = kTimeMax) {
+  TimingWheel::Callback cb;
+  Time t = -1;
+  if (!w.pop_min_until(bound, cb, t)) return -1;
+  if (cb) cb();
+  return t;
+}
+
+TEST(TimingWheel, LevelPlacementMatchesDistanceFromCursor) {
+  // With the cursor at 0, an event parks at the highest level where its
+  // timestamp differs from the cursor: level k spans 64^k ns.
+  TimingWheel w;
+  const struct {
+    Time t;
+    int level;
+  } cases[] = {
+      {0, 0},        {1, 0},          {63, 0},
+      {64, 1},       {4095, 1},       // 64^2 - 1: highest differing bit 11
+      {4096, 2},     {262143, 2},     // 64^3 - 1
+      {262144, 3},   {kTimeMax, 10},  // bit 62 -> level 10 (overflow range)
+  };
+  for (const auto& c : cases) {
+    const auto ref = w.insert(c.t, [] {});
+    EXPECT_EQ(Peer::level_of(w, ref), c.level) << "t=" << c.t;
+    ASSERT_TRUE(w.erase(ref));
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, LevelRolloverTicksFireInOrder) {
+  // Events straddling every level-rollover boundary (64^k - 1, 64^k,
+  // 64^k + 1) must come out in time order despite living at different
+  // levels initially.
+  TimingWheel w;
+  std::vector<Time> times;
+  for (Time boundary : {Time{64}, Time{4096}, Time{262144}, Time{16777216}}) {
+    times.push_back(boundary - 1);
+    times.push_back(boundary);
+    times.push_back(boundary + 1);
+  }
+  // Insert in reverse to rule out insertion-order luck.
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    w.insert(*it, [] {});
+  }
+  for (Time expect : times) {
+    EXPECT_EQ(drain_next(w), expect);
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, CascadeDescendsThroughAllLevels) {
+  // A single event at 64^3 sits at level 3; popping it forces cascades
+  // down to level 0 (each a whole-bucket redistribution), and the pop
+  // must still report the exact timestamp.
+  TimingWheel w;
+  const Time t = 262144;  // 64^3
+  const auto ref = w.insert(t, [] {});
+  ASSERT_EQ(Peer::level_of(w, ref), 3);
+  EXPECT_EQ(drain_next(w), t);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.cursor(), t);
+}
+
+TEST(TimingWheel, CascadePreservesFifoWithinInstant) {
+  // Many same-timestamp events parked at a high level must replay their
+  // insertion order exactly after cascading to level 0 — this is the
+  // property the 17 scenario parity goldens rest on.
+  TimingWheel w;
+  const Time t = 70000;  // level 2 from cursor 0
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    w.insert(t, [&order, i] { order.push_back(i); });
+  }
+  while (drain_next(w) >= 0) {
+  }
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TimingWheel, FarFutureOverflowSlotHoldsAndFires) {
+  // kTimeMax lives in level 10 (the overflow range past any realistic
+  // horizon) and must still fire exactly once at its timestamp.
+  TimingWheel w;
+  bool fired = false;
+  const auto ref = w.insert(kTimeMax, [&fired] { fired = true; });
+  EXPECT_EQ(Peer::level_of(w, ref), 10);
+  // Bounded pops below it never disturb it.
+  TimingWheel::Callback cb;
+  Time t = 0;
+  EXPECT_FALSE(w.pop_min_until(1'000'000'000, cb, t));
+  EXPECT_TRUE(w.is_live(ref));
+  EXPECT_EQ(drain_next(w, kTimeMax), kTimeMax);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, BoundedPopNeverOvershootsCursor) {
+  // pop_min_until(bound) with nothing due must NOT advance the cursor
+  // past `bound`: a later insert between `bound` and the next event
+  // would otherwise land behind the cursor (an insert-invariant breach).
+  TimingWheel w;
+  w.insert(1000, [] {});
+  TimingWheel::Callback cb;
+  Time t = 0;
+  EXPECT_FALSE(w.pop_min_until(500, cb, t));
+  EXPECT_LE(w.cursor(), 500);
+  // The late arrival in (cursor, 1000) must be accepted and fire first.
+  w.insert(600, [] {});
+  EXPECT_EQ(drain_next(w), 600);
+  EXPECT_EQ(drain_next(w), 1000);
+}
+
+TEST(TimingWheel, EraseIsStaleSafeAndReturnsSlotsLifo) {
+  TimingWheel w;
+  const auto a = w.insert(10, [] {});
+  EXPECT_TRUE(w.is_live(a));
+  EXPECT_TRUE(w.erase(a));
+  EXPECT_FALSE(w.is_live(a));
+  EXPECT_FALSE(w.erase(a));  // stale: already erased
+  // The freed slot is reused (LIFO) under a new generation; the old
+  // handle must not alias the new tenant.
+  const auto b = w.insert(20, [] {});
+  EXPECT_EQ(b.index, a.index);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_FALSE(w.erase(a));
+  EXPECT_TRUE(w.is_live(b));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.slab_capacity(), 1u);  // no growth across the reuse cycle
+}
+
+TEST(TimingWheel, PopReportsTheRefTheOracleMirrors) {
+  TimingWheel w;
+  const auto ref = w.insert(42, [] {});
+  TimingWheel::Callback cb;
+  Time t = 0;
+  TimingWheel::Ref popped;
+  ASSERT_TRUE(w.pop_min_until(kTimeMax, cb, t, &popped));
+  EXPECT_EQ(t, 42);
+  EXPECT_EQ(popped.index, ref.index);
+  EXPECT_EQ(popped.gen, ref.gen);
+}
+
+TEST(TimingWheel, AdvanceCursorPastPendingEventIsCaught) {
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kThrow};
+  TimingWheel w;
+  w.insert(50, [] {});
+  EXPECT_THROW(w.advance_cursor(100), validate::InvariantError);
+}
+
+TEST(TimingWheel, AdvanceCursorDegradedPathKeepsTheEvent) {
+  // In count mode (the NDEBUG default) the misuse is recorded but the
+  // event must survive: the wheel re-parks it and refuses the jump.
+  validate::ScopedInvariantMode guard{validate::InvariantMode::kCount};
+  validate::reset_invariant_violations();
+  TimingWheel w;
+  bool fired = false;
+  w.insert(50, [&fired] { fired = true; });
+  w.advance_cursor(100);
+  EXPECT_EQ(validate::invariant_violations(), 1u);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(drain_next(w), 50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimingWheel, AdvanceCursorToDrainedBoundaryAcceptsNearInserts) {
+  // The normal run_until(t) sequence: drain, then advance the floor to
+  // t. Inserts right at the new cursor must land at level 0.
+  TimingWheel w;
+  w.insert(10, [] {});
+  EXPECT_EQ(drain_next(w), 10);
+  w.advance_cursor(1'000'000);
+  EXPECT_EQ(w.cursor(), 1'000'000);
+  const auto ref = w.insert(1'000'000, [] {});
+  EXPECT_EQ(Peer::level_of(w, ref), 0);
+  EXPECT_EQ(drain_next(w), 1'000'000);
+}
+
+TEST(TimingWheel, MixedWorkloadMatchesSortInsertionOrderTieBreak) {
+  // 1000 events over a small time range (heavy instant collisions),
+  // inserted in scrambled order: pops must come out sorted by
+  // (time, insertion seq).
+  TimingWheel w;
+  struct Expect {
+    Time t;
+    int label;
+  };
+  std::vector<Expect> inserted;
+  std::uint64_t lcg = 99;
+  for (int i = 0; i < 1000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const Time t = static_cast<Time>((lcg >> 33) % 97);
+    inserted.push_back({t, i});
+  }
+  std::vector<int> fired;
+  for (const auto& e : inserted) {
+    w.insert(e.t, [&fired, label = e.label] { fired.push_back(label); });
+  }
+  while (drain_next(w) >= 0) {
+  }
+  std::vector<Expect> want = inserted;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const Expect& a, const Expect& b) { return a.t < b.t; });
+  ASSERT_EQ(fired.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(fired[i], want[i].label) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace intox::sim

@@ -1,0 +1,56 @@
+// Test-only peers (friended by TimingWheel / Scheduler): expose wheel
+// internals to the cascade-boundary tests and inject internal-state
+// corruption so the integrity tests can prove INTOX_INVARIANT catches it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace intox::sim {
+
+class TimingWheelTestPeer {
+ public:
+  static std::uint64_t occupancy(const TimingWheel& w, int level) {
+    return w.occupancy_[level];
+  }
+  /// level * kSlots + slot of a live event's bucket.
+  static int bucket_of(const TimingWheel& w, TimingWheel::Ref ref) {
+    return w.nodes_[ref.index].bucket;
+  }
+  static int level_of(const TimingWheel& w, TimingWheel::Ref ref) {
+    return bucket_of(w, ref) / TimingWheel::kSlots;
+  }
+  static std::uint64_t raw_cursor(const TimingWheel& w) { return w.cursor_; }
+  static std::uint32_t generation_at(const TimingWheel& w,
+                                     std::uint32_t index) {
+    return w.nodes_[index].gen;
+  }
+  /// Corruption seam: wipes a parked event's callback in place (slab
+  /// bookkeeping leak) without unlinking it.
+  static void null_callback(TimingWheel& w, TimingWheel::Ref ref) {
+    w.nodes_[ref.index].cb = nullptr;
+  }
+};
+
+class SchedulerTestPeer {
+ public:
+  static void force_clock(Scheduler& s, Time t) { s.now_ = t; }
+  static TimingWheel& wheel(Scheduler& s) { return s.wheel_; }
+  static TimingWheel::Ref decode(Scheduler::EventId id) {
+    return TimingWheel::Ref{
+        static_cast<std::uint32_t>((id.value & 0xffffffffull) - 1),
+        static_cast<std::uint32_t>(id.value >> 32)};
+  }
+  /// The old "drop_callback" bookkeeping leak, wheel edition: the event
+  /// stays parked but its callback is gone.
+  static void null_callback(Scheduler& s, Scheduler::EventId id) {
+    TimingWheelTestPeer::null_callback(s.wheel_, decode(id));
+  }
+  static std::uint32_t slab_slot(Scheduler::EventId id) {
+    return decode(id).index;
+  }
+};
+
+}  // namespace intox::sim

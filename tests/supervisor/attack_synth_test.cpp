@@ -32,8 +32,10 @@ double blink_score(dataplane::PacketProcessor& p) {
   // crucially — the high-water mark of *simultaneously* retransmitting
   // cells (the timing structure the failure inference keys on).
   double s = static_cast<double>(sel->occupied_count());
-  for (const auto& cell : sel->cells()) {
-    if (cell.occupied && cell.last_retransmit != blink::kNever) s += 10.0;
+  const auto occupied = sel->occupied();
+  const auto last_retransmit = sel->last_retransmit();
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    if (occupied[i] && last_retransmit[i] != blink::kNever) s += 10.0;
   }
   s += 50.0 * static_cast<double>(node.max_retransmitting());
   s += 1000.0 * static_cast<double>(node.reroutes().size());
