@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Validates intox.bench_report.v1 documents (and, with --trace, Chrome
-trace-event files) emitted by the observability layer.
+"""Validates the JSON documents emitted by the observability layer:
+intox.bench_report.v1, intox.sweep_report.v1, intox.point_record.v1
+(dispatched on the top-level "schema" field) and, with --trace, Chrome
+trace-event files.
 
 Usage:
     scripts/check_metrics_schema.py BENCH_FIG2.json [more.json ...]
+    scripts/check_metrics_schema.py sweep_report.json
     scripts/check_metrics_schema.py --trace out.trace.json
 
 Stdlib-only on purpose: CI runs it right after `python3 -m json.tool`,
@@ -15,6 +18,8 @@ import json
 import sys
 
 SCHEMA = "intox.bench_report.v1"
+SWEEP_SCHEMA = "intox.sweep_report.v1"
+POINT_SCHEMA = "intox.point_record.v1"
 
 
 class SchemaError(Exception):
@@ -84,6 +89,35 @@ def check_histogram(hist, path):
                "non-empty histogram must have numeric min/max")
 
 
+def check_metrics(metrics, path):
+    expect(isinstance(metrics, dict), path, "must be an object")
+    for section, pred, what in (
+        ("counters", is_uint, "non-negative integer"),
+        ("gauges", is_num, "number"),
+    ):
+        block = metrics.get(section)
+        expect(isinstance(block, dict), f"{path}.{section}",
+               "must be an object")
+        for name, value in block.items():
+            expect(pred(value), f"{path}.{section}.{name}",
+                   f"must be a {what}")
+    hists = metrics.get("histograms")
+    expect(isinstance(hists, dict), f"{path}.histograms",
+           "must be an object")
+    for name, hist in hists.items():
+        check_histogram(hist, f"{path}.histograms.{name}")
+
+
+def check_invariants(inv, path):
+    expect(isinstance(inv, dict), path, "must be an object")
+    expect(inv.get("mode") in ("fatal", "count", "throw"),
+           f"{path}.mode", "must be fatal|count|throw")
+    expect(is_uint(inv.get("violations")), f"{path}.violations",
+           "must be a non-negative integer")
+    expect(isinstance(inv.get("last_message"), str),
+           f"{path}.last_message", "must be a string")
+
+
 def check_report(doc, path):
     expect(isinstance(doc, dict), path, "report must be an object")
     expect(doc.get("schema") == SCHEMA, f"{path}.schema",
@@ -98,32 +132,61 @@ def check_report(doc, path):
     for i, sweep in enumerate(doc["sweeps"]):
         check_sweep(sweep, f"{path}.sweeps[{i}]")
 
-    metrics = doc.get("metrics")
-    expect(isinstance(metrics, dict), f"{path}.metrics", "must be an object")
-    for section, pred, what in (
-        ("counters", is_uint, "non-negative integer"),
-        ("gauges", is_num, "number"),
-    ):
-        block = metrics.get(section)
-        expect(isinstance(block, dict), f"{path}.metrics.{section}",
-               "must be an object")
-        for name, value in block.items():
-            expect(pred(value), f"{path}.metrics.{section}.{name}",
-                   f"must be a {what}")
-    hists = metrics.get("histograms")
-    expect(isinstance(hists, dict), f"{path}.metrics.histograms",
-           "must be an object")
-    for name, hist in hists.items():
-        check_histogram(hist, f"{path}.metrics.histograms.{name}")
+    check_metrics(doc.get("metrics"), f"{path}.metrics")
+    check_invariants(doc.get("invariants"), f"{path}.invariants")
 
-    inv = doc.get("invariants")
-    expect(isinstance(inv, dict), f"{path}.invariants", "must be an object")
-    expect(inv.get("mode") in ("fatal", "count", "throw"),
-           f"{path}.invariants.mode", "must be fatal|count|throw")
-    expect(is_uint(inv.get("violations")), f"{path}.invariants.violations",
+
+def check_point_record(doc, path):
+    expect(isinstance(doc, dict), path, "point record must be an object")
+    expect(doc.get("schema") == POINT_SCHEMA, f"{path}.schema",
+           f"must be '{POINT_SCHEMA}' (got {doc.get('schema')!r})")
+    for key in ("scenario", "family"):
+        expect(isinstance(doc.get(key), str) and doc[key], f"{path}.{key}",
+               "must be a non-empty string")
+    knobs = doc.get("knobs")
+    expect(isinstance(knobs, dict), f"{path}.knobs", "must be an object")
+    for name, value in knobs.items():
+        expect(isinstance(value, str), f"{path}.knobs.{name}",
+               "must be a string (knobs are recorded as rendered text)")
+    expect(isinstance(doc.get("banner"), str), f"{path}.banner",
+           "must be a string (empty for a pointless run)")
+    expect(is_uint(doc.get("exit")), f"{path}.exit",
            "must be a non-negative integer")
-    expect(isinstance(inv.get("last_message"), str),
-           f"{path}.invariants.last_message", "must be a string")
+    expect(isinstance(doc.get("stdout"), str), f"{path}.stdout",
+           "must be a string")
+    check_metrics(doc.get("metrics"), f"{path}.metrics")
+    check_invariants(doc.get("invariants"), f"{path}.invariants")
+
+
+def check_sweep_report(doc, path):
+    expect(isinstance(doc, dict), path, "sweep report must be an object")
+    expect(doc.get("schema") == SWEEP_SCHEMA, f"{path}.schema",
+           f"must be '{SWEEP_SCHEMA}' (got {doc.get('schema')!r})")
+    for key in ("scenario", "family"):
+        expect(isinstance(doc.get(key), str) and doc[key], f"{path}.{key}",
+               "must be a non-empty string")
+    axes = doc.get("axes")
+    expect(isinstance(axes, list), f"{path}.axes", "must be an array")
+    expected_points = 1
+    for i, axis in enumerate(axes):
+        apath = f"{path}.axes[{i}]"
+        expect(isinstance(axis, dict), apath, "axis must be an object")
+        expect(isinstance(axis.get("key"), str) and axis["key"],
+               f"{apath}.key", "must be a non-empty string")
+        values = axis.get("values")
+        expect(isinstance(values, list) and values, f"{apath}.values",
+               "must be a non-empty array")
+        expect(all(isinstance(v, str) for v in values), f"{apath}.values",
+               "entries must be strings (rendered knob values)")
+        expected_points *= len(values)
+    records = doc.get("records")
+    expect(isinstance(records, list), f"{path}.records", "must be an array")
+    expect(doc.get("points") == len(records), f"{path}.points",
+           f"must equal len(records) == {len(records)}")
+    expect(len(records) == expected_points, f"{path}.records",
+           f"must hold the full cross product ({expected_points} points)")
+    for i, record in enumerate(records):
+        check_point_record(record, f"{path}.records[{i}]")
 
 
 def check_trace(doc, path):
@@ -171,14 +234,23 @@ def main(argv):
                 raise SchemaError("empty input file (no JSON content)")
             doc = json.loads(raw.decode("utf-8"))
             if trace_mode:
+                kind = "trace"
                 check_trace(doc, filename)
+            elif (isinstance(doc, dict)
+                  and doc.get("schema") == SWEEP_SCHEMA):
+                kind = "sweep report"
+                check_sweep_report(doc, filename)
+            elif (isinstance(doc, dict)
+                  and doc.get("schema") == POINT_SCHEMA):
+                kind = "point record"
+                check_point_record(doc, filename)
             else:
+                kind = "report"
                 check_report(doc, filename)
         except (OSError, ValueError, SchemaError) as err:
             print(f"FAIL {filename}: {err}", file=sys.stderr)
             failures += 1
             continue
-        kind = "trace" if trace_mode else "report"
         print(f"ok {filename} ({kind})")
     return 1 if failures else 0
 

@@ -16,10 +16,11 @@ The tolerance is stored *in each baseline file* (default 0.5: fail below
 half the recorded throughput). The band is deliberately wide — CI
 machines are slower and noisier than the box that recorded the baseline;
 the gate exists to catch order-of-magnitude regressions, not 10% jitter.
-Baselines record only sweeps that exist at re-baseline time; sweeps
-present in a report but absent from the baseline are ignored (new
+Sweeps present in a report but absent from the baseline are ignored (new
 benchmarks do not need a baseline to land, they get one on the next
-re-baseline).
+re-baseline). The reverse direction is never silent: a baseline-named
+sweep missing from the fresh reports fails both `check` and `--update`
+— dropping a floor requires an explicit `--allow-drop NAME`.
 
 Re-baselining (after a deliberate perf change or a runner upgrade):
     INTOX_METRICS=reports ./build/bench/bench_micro_core \
@@ -93,6 +94,11 @@ def check(baseline_path, reports_dir):
     report_path = find_report(reports_dir, family)
     current = report_sweeps(load_json(report_path), report_path)
 
+    if not baseline.get("sweeps"):
+        fail(f"{baseline_path}: baseline guards no sweeps (an empty "
+             f"'sweeps' object gates nothing; delete the file or "
+             f"re-baseline)")
+
     failures = []
     for name, entry in sorted(baseline.get("sweeps", {}).items()):
         floor = entry.get("trials_per_s")
@@ -115,7 +121,7 @@ def check(baseline_path, reports_dir):
     return failures
 
 
-def update(baseline_path, reports_dir):
+def update(baseline_path, reports_dir, allow_drop):
     baseline = load_json(baseline_path)
     family = baseline.get("family")
     report_path = find_report(reports_dir, family)
@@ -124,8 +130,18 @@ def update(baseline_path, reports_dir):
     sweeps = {}
     for name in sorted(names):
         if name not in current:
-            print(f"  {family}/{name}: dropped (not in {report_path})")
-            continue
+            # A baseline-named sweep that vanished from the fresh report
+            # is a hard error: silently dropping it here would un-guard
+            # the floor forever (the gate only checks names the baseline
+            # records). Deleting a benchmark on purpose requires saying
+            # so with --allow-drop.
+            if name in allow_drop:
+                print(f"  {family}/{name}: dropped (--allow-drop)")
+                continue
+            fail(f"{baseline_path}: sweep {name!r} is in the baseline but "
+                 f"not in {report_path}; a silent drop would un-guard its "
+                 f"floor. Re-run the bench that produces it, or pass "
+                 f"--allow-drop {name} if it was deleted on purpose.")
         sweeps[name] = {"trials_per_s": round(current[name], 1)}
         print(f"  {family}/{name}: baseline := {current[name]:,.0f} trials/s")
     baseline["schema"] = BASELINE_SCHEMA
@@ -146,6 +162,11 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the fresh reports "
                              "instead of checking")
+    parser.add_argument("--allow-drop", action="append", default=[],
+                        metavar="SWEEP",
+                        help="with --update: permit removing this "
+                             "baseline sweep when it is absent from the "
+                             "fresh reports (repeatable)")
     args = parser.parse_args()
 
     baseline_files = sorted(
@@ -158,7 +179,7 @@ def main():
     for path in baseline_files:
         print(f"{path}:")
         if args.update:
-            update(path, args.reports)
+            update(path, args.reports, set(args.allow_drop))
         else:
             all_failures += check(path, args.reports)
     if all_failures:

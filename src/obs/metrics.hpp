@@ -179,16 +179,31 @@ class Registry {
   void register_external_counter(std::string name,
                                  std::function<std::uint64_t()> fn);
 
+  /// Declares a metric as placement-dependent: its value describes this
+  /// process's scheduling (e.g. the runner's shard-imbalance high-water
+  /// mark), not the simulated system, so it is excluded from
+  /// deterministic snapshots. Call once, next to the registration site.
+  void mark_placement_dependent(std::string_view name);
+
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramMetric::Snapshot> histograms;
   };
   [[nodiscard]] Snapshot snapshot() const;
+  /// Like snapshot(), minus every placement-dependent metric: the view
+  /// whose serialization is a pure function of the work performed (at
+  /// --threads 1 byte-exact; at higher thread counts histogram double
+  /// `sum` fields may still differ in the last ulp — see the header
+  /// comment). Point records (obs/report.hpp) embed this view.
+  [[nodiscard]] Snapshot deterministic_snapshot() const;
 
   /// Serializes a snapshot as the report schema's "metrics" object.
   static std::string to_json(const Snapshot& snap);
   [[nodiscard]] std::string json() const { return to_json(snapshot()); }
+  [[nodiscard]] std::string deterministic_json() const {
+    return to_json(deterministic_snapshot());
+  }
 
   /// Zeroes every registered metric (registrations and external
   /// providers survive). Test isolation only.
@@ -204,6 +219,7 @@ class Registry {
       histograms_;
   std::map<std::string, std::function<std::uint64_t()>, std::less<>>
       external_counters_;
+  std::vector<std::string> placement_dependent_;
 };
 
 }  // namespace intox::obs

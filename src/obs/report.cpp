@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
@@ -135,6 +136,16 @@ BenchSession* BenchSession::current() {
   return g_current.load(std::memory_order_acquire);
 }
 
+void BenchSession::apply_point_suffix(std::size_t point_index) {
+  if (path_.empty()) return;
+  std::string suffix = ".point" + std::to_string(point_index) + ".json";
+  if (ends_with(path_, ".json")) {
+    path_.replace(path_.size() - 5, 5, suffix);
+  } else {
+    path_ += suffix;
+  }
+}
+
 void BenchSession::record_sweep(SweepPerf sweep) {
   std::lock_guard<std::mutex> lock(mu_);
   sweeps_.push_back(std::move(sweep));
@@ -198,6 +209,55 @@ bool BenchSession::write() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     dirty_ = false;
+  }
+  return ok;
+}
+
+bool write_point_record(const std::string& path, const PointRecord& record) {
+  export_invariant_counters();
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kPointRecordSchema);
+  w.key("scenario").value(record.scenario);
+  w.key("family").value(record.family);
+  w.key("knobs").begin_object();
+  for (const auto& [key, value] : record.knobs) {
+    w.key(key).value(value);
+  }
+  w.end_object();
+  w.key("banner").value(record.banner);
+  w.key("exit").value(static_cast<std::int64_t>(record.exit_code));
+  w.key("stdout").value(record.stdout_text);
+  w.key("metrics").raw(Registry::global().deterministic_json());
+  w.key("invariants").begin_object();
+  w.key("mode").value(invariant_mode_name());
+  w.key("violations").value(validate::invariant_violations());
+  w.key("last_message").value(validate::last_invariant_message());
+  w.end_object();
+  w.end_object();
+
+  // Write-temp-then-rename within the destination directory, so the
+  // final path only ever holds a complete record (POSIX rename is atomic
+  // on one filesystem). The pid in the temp name keeps two workers
+  // racing on the same point from trampling each other's half-written
+  // bytes; whichever rename lands last wins with identical content.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write point record to %s\n",
+                 tmp.c_str());
+    return false;
+  }
+  const std::string& doc = w.str();
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+            std::fputc('\n', f) != EOF;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "warning: cannot commit point record to %s\n",
+                 path.c_str());
   }
   return ok;
 }

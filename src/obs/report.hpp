@@ -31,11 +31,13 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace intox::obs {
 
 inline constexpr const char* kReportSchema = "intox.bench_report.v1";
+inline constexpr const char* kPointRecordSchema = "intox.point_record.v1";
 
 /// One sweep's perf record — the structured form of the legacy stderr
 /// perf line, plus the per-shard timing the runner now measures.
@@ -85,6 +87,12 @@ class BenchSession {
 
   void record_sweep(SweepPerf sweep);
 
+  /// Renames the report destination for a single sweep point: `--point N`
+  /// runs executing concurrently under one INTOX_METRICS directory must
+  /// not clobber each other's BENCH_<family>.json, so point N writes
+  /// BENCH_<family>.point<N>.json instead. No-op without a destination.
+  void apply_point_suffix(std::size_t point_index);
+
   /// The full report document (also what the destructor writes).
   [[nodiscard]] std::string to_json() const;
   /// Serializes and writes now; returns false on I/O failure. The
@@ -102,6 +110,32 @@ class BenchSession {
   std::vector<SweepPerf> sweeps_;
   bool dirty_ = false;
 };
+
+/// One sweep point's deterministic run record (intox.point_record.v1):
+/// what the `intox run ... --point N --point-record FILE` protocol
+/// leaves behind for the sweep orchestrator's cache, and what the merge
+/// path folds into the combined sweep report. Deliberately excludes
+/// every wall-clock quantity (no SweepPerf), so a record's bytes are a
+/// pure function of (binary, scenario, knob vector) and a resumed sweep
+/// merges byte-identically to an uninterrupted one.
+struct PointRecord {
+  std::string scenario;
+  std::string family;
+  /// The *full* resolved knob vector (declaration order), swept and
+  /// fixed knobs alike, in canonical render_value form.
+  std::vector<std::pair<std::string, std::string>> knobs;
+  /// The swept subset, "k=v k2=v2" — the serial path's banner body.
+  std::string banner;
+  int exit_code = 0;
+  std::string stdout_text;
+};
+
+/// Serializes `record` (plus the metrics registry and the invariant
+/// counters, exactly as BenchSession::to_json embeds them) and writes it
+/// to `path` via write-temp-then-rename: a worker killed mid-write
+/// leaves at most a *.tmp.<pid> turd, never a torn record. Returns false
+/// on I/O failure with a one-line stderr warning.
+bool write_point_record(const std::string& path, const PointRecord& record);
 
 /// Emits the legacy one-line perf JSON on stderr (now correctly
 /// escaped) and records the sweep into the current BenchSession, if

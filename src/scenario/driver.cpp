@@ -1,10 +1,14 @@
 #include "scenario/driver.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +19,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/runner.hpp"
+#include "sweep/point.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::scenario {
@@ -41,6 +46,14 @@ void usage(std::FILE* out) {
                "      --metrics-out FILE     write the BENCH_<family>.json "
                "report here\n"
                "      --trace-out FILE       write trace spans here\n"
+               "      --point N              run only point N of the sweep "
+               "cross-product\n"
+               "      --point-record FILE    with --point: write a point "
+               "record instead of stdout\n"
+               "  sweep <scenario> [options] run a sweep across worker "
+               "processes\n"
+               "      (run + --workers N, --cache-dir DIR, --out FILE; see "
+               "'intox sweep --help')\n"
                "  validate [scenario...]     rerun with throw-mode "
                "invariants, console off\n"
                "  help                       this text\n");
@@ -113,72 +126,70 @@ std::string apply_config(const std::string& path, KnobSet* knobs) {
   return "";
 }
 
-struct SweepSpec {
-  std::string key;
-  std::vector<std::string> values;  // pre-rendered, validated via set()
-};
-
-/// Parses `key=a:b:step` against the declared knobs. Returns empty on
-/// success and fills *out, else the diagnostic.
-std::string parse_sweep(const std::string& text, const KnobSet& knobs,
-                        SweepSpec* out) {
-  const auto eq = text.find('=');
-  if (eq == std::string::npos || eq == 0) {
-    return "--sweep expects key=a:b:step, got '" + text + "'";
-  }
-  out->key = text.substr(0, eq);
-  const Knob* knob = knobs.find(out->key);
-  if (knob == nullptr) {
-    return "--sweep: unknown knob '" + out->key + "'";
-  }
-  if (knob->kind != KnobKind::kU64 && knob->kind != KnobKind::kDouble) {
-    return "--sweep: knob '" + out->key + "' is " +
-           to_string(knob->kind) + "; only u64/double knobs sweep";
-  }
-  const std::string range = text.substr(eq + 1);
-  double parts[3];
-  std::size_t pos = 0;
-  for (int i = 0; i < 3; ++i) {
-    const auto colon = range.find(':', pos);
-    const bool last = i == 2;
-    if (last != (colon == std::string::npos)) {
-      return "--sweep expects key=a:b:step, got '" + text + "'";
-    }
-    const std::string piece =
-        last ? range.substr(pos) : range.substr(pos, colon - pos);
-    char* tail = nullptr;
-    parts[i] = std::strtod(piece.c_str(), &tail);
-    if (piece.empty() || tail == nullptr || *tail != '\0') {
-      return "--sweep: '" + piece + "' in '" + text + "' is not a number";
-    }
-    pos = colon == std::string::npos ? range.size() : colon + 1;
-  }
-  const double lo = parts[0], hi = parts[1], step = parts[2];
-  if (step <= 0.0) return "--sweep: step must be > 0 in '" + text + "'";
-  if (lo > hi) return "--sweep: empty range in '" + text + "' (a > b)";
-  for (double v = lo; v <= hi + step * 1e-9; v += step) {
-    char buf[64];
-    if (knob->kind == KnobKind::kU64) {
-      const double rounded = std::round(v);
-      if (std::fabs(v - rounded) > 1e-6) {
-        return "--sweep: integer knob '" + out->key +
-               "' hit non-integer value in '" + text + "'";
-      }
-      std::snprintf(buf, sizeof buf, "%llu",
-                    static_cast<unsigned long long>(rounded));
-    } else {
-      std::snprintf(buf, sizeof buf, "%.12g", v);
-    }
-    out->values.emplace_back(buf);
-  }
-  return "";
-}
-
 int run_once(const Scenario& sc, const KnobSet& knobs, Console* console,
              sim::ParallelRunner* runner) {
   Ctx ctx{knobs, *console, *runner};
   Table table = sc.run(ctx);
   return table.exit_code;
+}
+
+/// Redirects fd 1 into a tmpfile between begin() and end(), so a
+/// `--point-record` worker can embed the scenario's table output in its
+/// record instead of interleaving it with the orchestrator's own
+/// stdout. Scenarios print through stdio, so an fd-level swap catches
+/// everything, including child-library printf.
+class StdoutCapture {
+ public:
+  ~StdoutCapture() {
+    if (active_) end();
+  }
+
+  bool begin() {
+    std::fflush(stdout);
+    saved_fd_ = ::dup(1);
+    tmp_ = std::tmpfile();
+    if (saved_fd_ < 0 || tmp_ == nullptr ||
+        ::dup2(::fileno(tmp_), 1) < 0) {
+      if (saved_fd_ >= 0) ::close(saved_fd_);
+      if (tmp_ != nullptr) std::fclose(tmp_);
+      saved_fd_ = -1;
+      tmp_ = nullptr;
+      return false;
+    }
+    active_ = true;
+    return true;
+  }
+
+  std::string end() {
+    if (!active_) return "";
+    std::fflush(stdout);
+    ::dup2(saved_fd_, 1);
+    ::close(saved_fd_);
+    active_ = false;
+    std::string text;
+    std::rewind(tmp_);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, tmp_)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(tmp_);
+    tmp_ = nullptr;
+    return text;
+  }
+
+ private:
+  int saved_fd_ = -1;
+  std::FILE* tmp_ = nullptr;
+  bool active_ = false;
+};
+
+bool knob_is_swept(const std::vector<sweep::SweepAxis>& axes,
+                   std::string_view key) {
+  for (const sweep::SweepAxis& axis : axes) {
+    if (axis.key == key) return true;
+  }
+  return false;
 }
 
 int cmd_run(int argc, char** argv) {
@@ -190,7 +201,10 @@ int cmd_run(int argc, char** argv) {
   KnobSet knobs;
   if (sc->declare_knobs != nullptr) sc->declare_knobs(knobs);
 
-  std::vector<SweepSpec> sweeps;
+  std::vector<sweep::SweepAxis> axes;
+  std::vector<std::string> set_keys;
+  std::optional<std::size_t> point;
+  std::string point_record_path;
   for (int i = 3; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--set") {
@@ -200,18 +214,47 @@ int cmd_run(int argc, char** argv) {
       if (eq == std::string::npos || eq == 0) {
         return fail("--set expects key=value, got '" + kv + "'");
       }
-      std::string err = knobs.set(kv.substr(0, eq), kv.substr(eq + 1));
+      std::string key = kv.substr(0, eq);
+      if (knob_is_swept(axes, key)) {
+        return fail("--set and --sweep both name knob '" + key +
+                    "' (a sweep decides that knob's value)");
+      }
+      std::string err = knobs.set(key, kv.substr(eq + 1));
       if (!err.empty()) return fail(err);
+      set_keys.push_back(std::move(key));
     } else if (arg == "--sweep") {
       if (i + 1 >= argc) return fail("--sweep requires key=a:b:step");
-      SweepSpec spec;
-      std::string err = parse_sweep(argv[++i], knobs, &spec);
+      sweep::SweepAxis axis;
+      std::string err = sweep::parse_sweep_axis(argv[++i], knobs, &axis);
       if (!err.empty()) return fail(err);
-      sweeps.push_back(std::move(spec));
+      if (std::find(set_keys.begin(), set_keys.end(), axis.key) !=
+          set_keys.end()) {
+        return fail("--set and --sweep both name knob '" + axis.key +
+                    "' (a sweep decides that knob's value)");
+      }
+      if (knob_is_swept(axes, axis.key)) {
+        return fail("--sweep: knob '" + axis.key + "' swept twice");
+      }
+      axes.push_back(std::move(axis));
     } else if (arg == "--config") {
       if (i + 1 >= argc) return fail("--config requires a file path");
       std::string err = apply_config(argv[++i], &knobs);
       if (!err.empty()) return fail(err);
+    } else if (arg == "--point") {
+      if (i + 1 >= argc) return fail("--point requires an index");
+      const char* s = argv[++i];
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(s, &end, 10);
+      if (s[0] == '\0' || end == s || *end != '\0' || errno == ERANGE ||
+          s[0] == '-') {
+        return fail(std::string("--point expects a non-negative integer, "
+                                "got '") + s + "'");
+      }
+      point = static_cast<std::size_t>(v);
+    } else if (arg == "--point-record") {
+      if (i + 1 >= argc) return fail("--point-record requires a file path");
+      point_record_path = argv[++i];
     } else if (arg == "--threads" || arg == "--metrics-out" ||
                arg == "--trace-out") {
       // Value validated and consumed by BenchSession from the original
@@ -226,32 +269,71 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  if (!point_record_path.empty() && !point.has_value()) {
+    return fail("--point-record requires --point");
+  }
+  const std::size_t total = sweep::point_count(axes);
+  if (total == 0) {
+    return fail("--sweep cross product exceeds " +
+                std::to_string(sweep::kMaxSweepPoints) + " points");
+  }
+  if (point.has_value() && *point >= total) {
+    return fail("--point " + std::to_string(*point) +
+                " out of range (sweep has " + std::to_string(total) +
+                (total == 1 ? " point)" : " points)"));
+  }
+
   obs::BenchSession session{argc, argv, sc->family};
+  if (point.has_value()) session.apply_point_suffix(*point);
   sim::ParallelRunner runner{session.threads()};
   Console console;
 
-  if (sweeps.empty()) return run_once(*sc, knobs, &console, &runner);
+  if (point.has_value()) {
+    // Worker mode: execute exactly one point of the product. With
+    // --point-record, stdout goes into the record file instead of the
+    // terminal — the orchestrator merges records in point order, so the
+    // concatenated output is byte-identical to the serial sweep.
+    const sweep::Point pt = sweep::point_at(axes, *point);
+    for (const auto& [key, value] : pt) {
+      std::string err = knobs.set(key, value);
+      if (!err.empty()) return fail(err);  // range-rejected sweep point
+    }
+    StdoutCapture capture;
+    const bool recording = !point_record_path.empty();
+    if (recording && !capture.begin()) {
+      return fail("--point-record: cannot capture stdout");
+    }
+    if (!axes.empty()) {
+      std::printf("[sweep] %s\n", sweep::point_banner(pt).c_str());
+    }
+    const int exit_code = run_once(*sc, knobs, &console, &runner);
+    if (recording) {
+      obs::PointRecord record;
+      record.scenario = sc->name;
+      record.family = sc->family;
+      for (const Knob& k : knobs.all()) {
+        record.knobs.emplace_back(k.name, render_value(k));
+      }
+      record.banner = sweep::point_banner(pt);
+      record.exit_code = exit_code;
+      record.stdout_text = capture.end();
+      if (!obs::write_point_record(point_record_path, record)) return 1;
+    }
+    return exit_code;
+  }
+
+  if (axes.empty()) return run_once(*sc, knobs, &console, &runner);
 
   // Cross-product in flag order; first --sweep varies slowest.
   int exit_code = 0;
-  std::vector<std::size_t> index(sweeps.size(), 0);
-  for (;;) {
-    std::string banner;
-    for (std::size_t s = 0; s < sweeps.size(); ++s) {
-      const std::string& value = sweeps[s].values[index[s]];
-      std::string err = knobs.set(sweeps[s].key, value);
+  for (std::size_t i = 0; i < total; ++i) {
+    const sweep::Point pt = sweep::point_at(axes, i);
+    for (const auto& [key, value] : pt) {
+      std::string err = knobs.set(key, value);
       if (!err.empty()) return fail(err);  // range-rejected sweep point
-      if (!banner.empty()) banner += ' ';
-      banner += sweeps[s].key + "=" + value;
     }
-    std::printf("[sweep] %s\n", banner.c_str());
+    std::printf("[sweep] %s\n", sweep::point_banner(pt).c_str());
     exit_code = std::max(exit_code, run_once(*sc, knobs, &console, &runner));
-    std::size_t s = sweeps.size();
-    while (s > 0 && ++index[s - 1] == sweeps[s - 1].values.size()) {
-      index[s - 1] = 0;
-      --s;
-    }
-    if (s == 0) break;
   }
   return exit_code;
 }

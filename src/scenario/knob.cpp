@@ -1,5 +1,6 @@
 #include "scenario/knob.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -26,6 +27,30 @@ std::string render_default(const Knob& knob) {
 }
 
 }  // namespace
+
+std::string render_value(const Knob& knob) {
+  switch (knob.kind) {
+    case KnobKind::kBool:
+      return knob.b ? "true" : "false";
+    case KnobKind::kU64: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(knob.u));
+      return buf;
+    }
+    case KnobKind::kDouble: {
+      // Shortest round-trip form: KnobSet::set(render_value(k)) restores
+      // the exact bits, and distinct doubles never collide as text.
+      char buf[32];
+      const auto [end, ec] =
+          std::to_chars(buf, buf + sizeof buf, knob.d);
+      return ec == std::errc{} ? std::string(buf, end) : "nan";
+    }
+    case KnobKind::kString:
+      return knob.s;
+  }
+  return "";
+}
 
 const char* to_string(KnobKind kind) {
   switch (kind) {

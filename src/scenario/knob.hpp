@@ -20,6 +20,14 @@ enum class KnobKind { kBool, kU64, kDouble, kString };
 
 const char* to_string(KnobKind kind);
 
+struct Knob;
+
+/// Renders a knob's *current* value as text that round-trips exactly
+/// through KnobSet::set (doubles in shortest round-trip form). This is
+/// the canonical form the sweep cache keys and point records use — two
+/// distinct values never render to the same string.
+std::string render_value(const Knob& knob);
+
 struct Knob {
   std::string name;
   KnobKind kind = KnobKind::kU64;

@@ -1,5 +1,14 @@
+#include <string_view>
+
 #include "scenario/driver.hpp"
+#include "sweep/orchestrator.hpp"
 
 int main(int argc, char** argv) {
+  // The sweep orchestrator dispatches here, not in driver_main:
+  // intox_sweep links against intox_scenario, so the driver library
+  // cannot depend back on it.
+  if (argc >= 2 && std::string_view(argv[1]) == "sweep") {
+    return intox::sweep::sweep_main(argc, argv);
+  }
   return intox::scenario::driver_main(argc, argv);
 }

@@ -80,6 +80,16 @@ class Scheduler {
   /// across scheduler implementations (and tests can pin the guarantee).
   [[nodiscard]] std::size_t tombstones() const { return 0; }
 
+  /// Hands out consecutive ordinals (0, 1, 2, ...) for entities that
+  /// need their own RNG stream — links fork their RED AQM stream as
+  /// Rng{seed}.fork(ordinal). Construction order is deterministic in a
+  /// scenario, so the assignment is reproducible; distinct ordinals
+  /// keep per-entity streams decorrelated even when every entity is
+  /// configured with the same base seed.
+  [[nodiscard]] std::uint64_t next_stream_ordinal() {
+    return stream_ordinals_++;
+  }
+
   /// Attaches the sorted-vector differential oracle: every subsequent
   /// schedule/cancel/fire is mirrored and cross-checked (INTOX_INVARIANT
   /// on divergence). Also armed at construction by INTOX_SCHED_ORACLE=1.
@@ -93,6 +103,7 @@ class Scheduler {
 
   Time now_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t stream_ordinals_ = 0;
   std::size_t depth_hwm_ = 0;
   TimingWheel wheel_;
   std::unique_ptr<validate::SchedulerOracle> oracle_;

@@ -29,6 +29,12 @@ struct LinkConfig {
   std::uint32_t red_min_bytes = 0;
   std::uint32_t red_max_bytes = 0;
   double red_max_prob = 0.1;
+  /// Base seed of the link's RED drop stream. Each link forks this with
+  /// its scheduler-assigned stream ordinal, so two links sharing the
+  /// default seed still draw *independent* drop sequences — seeding the
+  /// raw constant into every link made identical backlogs drop in
+  /// lockstep across a topology, correlating losses that the paper's
+  /// experiments treat as independent.
   std::uint64_t red_seed = 0x51ed;
 };
 
@@ -41,7 +47,9 @@ class Link {
   using Tap = std::function<TapAction(net::Packet&)>;
 
   Link(Scheduler& sched, LinkConfig config, Sink deliver)
-      : sched_(sched), config_(config), deliver_(std::move(deliver)) {}
+      : sched_(sched), config_(config), deliver_(std::move(deliver)),
+        red_rng_(Rng{config_.red_seed}.fork(sched_.next_stream_ordinal())) {
+  }
   /// Publishes the lifetime counters (packets, bytes, drops by cause)
   /// into the obs metrics registry — one fold per link, zero cost on
   /// the per-packet path.
@@ -83,7 +91,7 @@ class Link {
   bool up_ = true;
   Time next_free_ = 0;  // when the transmitter finishes its current backlog
   Counters counters_;
-  Rng red_rng_{config_.red_seed};
+  Rng red_rng_;  // forked per link in the constructor
   /// In-flight packets parked between serialization and delivery. The
   /// delivery closure captures only {this, handle} (16 bytes), so it
   /// fits std::function's small-buffer storage — the per-packet path

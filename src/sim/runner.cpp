@@ -103,8 +103,14 @@ void ParallelRunner::dispatch(std::size_t n_trials,
       obs::Registry::global().counter("sim.runner.trials");
   static obs::Counter& dispatch_counter =
       obs::Registry::global().counter("sim.runner.dispatches");
-  static obs::Gauge& imbalance_gauge =
-      obs::Registry::global().gauge("sim.runner.shard_imbalance_hwm");
+  static obs::Gauge& imbalance_gauge = []() -> obs::Gauge& {
+    // Placement-dependent by nature (it measures this process's thread
+    // scheduling), so deterministic snapshots — the sweep point records
+    // — leave it out.
+    obs::Registry::global().mark_placement_dependent(
+        "sim.runner.shard_imbalance_hwm");
+    return obs::Registry::global().gauge("sim.runner.shard_imbalance_hwm");
+  }();
   trials_counter.add(n_trials);
   dispatch_counter.add(1);
   imbalance_gauge.update_max(report_.shard_imbalance());

@@ -1,0 +1,110 @@
+#include "sweep/merge.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+namespace intox::sweep {
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string render_merged_report(const MergeInput& in, std::string* error) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kSweepReportSchema);
+  w.key("scenario").value(in.scenario);
+  w.key("family").value(in.family);
+  w.key("axes").begin_array();
+  for (const SweepAxis& axis : in.axes) {
+    w.begin_object();
+    w.key("key").value(axis.key);
+    w.key("values").begin_array();
+    for (const std::string& v : axis.values) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("points").value(static_cast<std::uint64_t>(in.record_paths.size()));
+  w.key("records").begin_array();
+  std::string record;
+  for (std::size_t i = 0; i < in.record_paths.size(); ++i) {
+    if (!read_file(in.record_paths[i], &record)) {
+      *error = "cannot read point record '" + in.record_paths[i] + "'";
+      return "";
+    }
+    // Records end with the writer's trailing newline; strip it so the
+    // splice stays a single JSON token.
+    while (!record.empty() &&
+           (record.back() == '\n' || record.back() == '\r')) {
+      record.pop_back();
+    }
+    if (record.empty() || record.front() != '{' || record.back() != '}') {
+      *error = "point record '" + in.record_paths[i] +
+               "' is not a JSON object";
+      return "";
+    }
+    w.raw(record);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string commit_report(const std::string& path, const std::string& doc) {
+  if (path.empty()) {
+    if (std::fwrite(doc.data(), 1, doc.size(), stdout) != doc.size()) {
+      return "cannot write report to stdout";
+    }
+    std::fflush(stdout);
+    return "";
+  }
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return "cannot write report to '" + tmp + "': " + std::strerror(errno);
+  }
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return "cannot commit report to '" + path + "'";
+  }
+  return "";
+}
+
+int record_exit_code(const std::string& record_json, int fallback) {
+  // Safe as a substring scan: JSON escaping means a raw '"' never
+  // occurs inside a string value, so the first `"exit":` is the key the
+  // known writer emitted.
+  static constexpr char kNeedle[] = "\"exit\":";
+  const auto pos = record_json.find(kNeedle);
+  if (pos == std::string::npos) return fallback;
+  const char* s = record_json.c_str() + pos + sizeof kNeedle - 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s) return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace intox::sweep

@@ -1,0 +1,456 @@
+#include "sweep/orchestrator.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "scenario/knob.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/merge.hpp"
+#include "sweep/point.hpp"
+#include "sweep/task_file.hpp"
+
+extern char** environ;
+
+namespace intox::sweep {
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "intox: %s\n", message.c_str());
+  return 2;
+}
+
+void sweep_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: intox sweep <scenario> [options]\n"
+      "  --set key=value        override a knob (all points)\n"
+      "  --sweep key=a:b:step   sweep a numeric knob (cross-product)\n"
+      "  --config FILE          key=value lines, '#' comments\n"
+      "  --threads N            per-point worker threads (default 1,\n"
+      "                         which keeps point records byte-exact)\n"
+      "  --workers N            concurrent worker processes (0 = auto)\n"
+      "  --cache-dir DIR        point cache (default .intox-sweep-cache,\n"
+      "                         or $INTOX_SWEEP_CACHE)\n"
+      "  --out FILE             merged report path (default: stdout)\n"
+      "  --metrics-out FILE     orchestrator BENCH_SWEEP.json report\n"
+      "\n"
+      "Completed points are cached by (binary, scenario, knob vector);\n"
+      "rerunning the same command resumes an interrupted sweep and\n"
+      "yields a byte-identical merged report.\n");
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+bool knob_is_swept(const std::vector<SweepAxis>& axes, std::string_view key) {
+  for (const SweepAxis& axis : axes) {
+    if (axis.key == key) return true;
+  }
+  return false;
+}
+
+/// Everything cmd_run-compatible that the orchestrator parsed.
+struct SweepArgs {
+  const scenario::Scenario* sc = nullptr;
+  scenario::KnobSet knobs;               // base config: --config + --set
+  std::vector<SweepAxis> axes;           // in flag order
+  std::vector<std::string> child_flags;  // forwarded verbatim to workers
+  std::size_t workers = 0;               // 0 = auto
+  std::string cache_dir;
+  std::string out_path;                  // empty = stdout
+};
+
+/// Applies a key=value config file (same semantics as `intox run`).
+std::string apply_config(const std::string& path,
+                         scenario::KnobSet* knobs) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "--config: cannot open '" + path + "'";
+  std::string line;
+  char buf[4096];
+  int lineno = 0;
+  std::string error;
+  while (error.empty() && std::fgets(buf, sizeof buf, f) != nullptr) {
+    ++lineno;
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    const auto begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t");
+    std::string body = line.substr(begin, end - begin + 1);
+    if (body.empty() || body[0] == '#') continue;
+    const auto eq = body.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      error = path + ":" + std::to_string(lineno) +
+              ": expected key=value, got '" + body + "'";
+      break;
+    }
+    error = knobs->set(body.substr(0, eq), body.substr(eq + 1));
+    if (!error.empty()) {
+      error = path + ":" + std::to_string(lineno) + ": " + error;
+    }
+  }
+  std::fclose(f);
+  return error;
+}
+
+std::string parse_count(std::string_view flag, const char* s,
+                        std::size_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (s[0] == '\0' || s[0] == '-' || end == s || *end != '\0' ||
+      errno == ERANGE) {
+    return std::string(flag) + " expects a non-negative integer, got '" +
+           s + "'";
+  }
+  *out = static_cast<std::size_t>(v);
+  return "";
+}
+
+/// Parses the sweep command line. Returns empty on success, else the
+/// diagnostic (the caller prints and exits 2).
+std::string parse_args(int argc, char** argv, SweepArgs* out) {
+  if (argc < 3) return "sweep: missing scenario name";
+  if (std::string_view(argv[2]) == "--help" ||
+      std::string_view(argv[2]) == "-h") {
+    sweep_usage(stdout);
+    std::exit(0);
+  }
+  out->sc = scenario::Registry::instance().find(argv[2]);
+  if (out->sc == nullptr) {
+    return std::string("unknown scenario '") + argv[2] +
+           "' (run 'intox list' to enumerate)";
+  }
+  if (out->sc->declare_knobs != nullptr) out->sc->declare_knobs(out->knobs);
+
+  std::vector<std::string> set_keys;
+  bool threads_given = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--set") {
+      if (i + 1 >= argc) return "--set requires key=value";
+      const std::string kv = argv[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return "--set expects key=value, got '" + kv + "'";
+      }
+      std::string key = kv.substr(0, eq);
+      if (knob_is_swept(out->axes, key)) {
+        return "--set and --sweep both name knob '" + key +
+               "' (a sweep decides that knob's value)";
+      }
+      std::string err = out->knobs.set(key, kv.substr(eq + 1));
+      if (!err.empty()) return err;
+      set_keys.push_back(std::move(key));
+      out->child_flags.insert(out->child_flags.end(), {"--set", kv});
+    } else if (arg == "--sweep") {
+      if (i + 1 >= argc) return "--sweep requires key=a:b:step";
+      const std::string spec = argv[++i];
+      SweepAxis axis;
+      std::string err = parse_sweep_axis(spec, out->knobs, &axis);
+      if (!err.empty()) return err;
+      if (std::find(set_keys.begin(), set_keys.end(), axis.key) !=
+          set_keys.end()) {
+        return "--set and --sweep both name knob '" + axis.key +
+               "' (a sweep decides that knob's value)";
+      }
+      if (knob_is_swept(out->axes, axis.key)) {
+        return "--sweep: knob '" + axis.key + "' swept twice";
+      }
+      out->axes.push_back(std::move(axis));
+      out->child_flags.insert(out->child_flags.end(), {"--sweep", spec});
+    } else if (arg == "--config") {
+      if (i + 1 >= argc) return "--config requires a file path";
+      const std::string path = argv[++i];
+      std::string err = apply_config(path, &out->knobs);
+      if (!err.empty()) return err;
+      out->child_flags.insert(out->child_flags.end(), {"--config", path});
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return "--threads requires a value";
+      std::size_t threads = 0;
+      std::string err = parse_count(arg, argv[++i], &threads);
+      if (!err.empty()) return err;
+      threads_given = true;
+      out->child_flags.insert(out->child_flags.end(),
+                              {"--threads", argv[i]});
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc) return "--workers requires a value";
+      std::string err = parse_count(arg, argv[++i], &out->workers);
+      if (!err.empty()) return err;
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) return "--cache-dir requires a directory";
+      out->cache_dir = argv[++i];
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return "--out requires a file path";
+      out->out_path = argv[++i];
+    } else if (arg == "--metrics-out" || arg == "--trace-out") {
+      // Orchestrator-side sinks, consumed by BenchSession from argv.
+      if (i + 1 >= argc) return std::string(arg) + " requires a value";
+      ++i;
+    } else {
+      return "unknown argument '" + std::string(arg) +
+             "' (try 'intox sweep --help')";
+    }
+  }
+  if (!threads_given) {
+    // Default worker points to one thread: at --threads 1 the metrics
+    // fold in point records is byte-exact, which the resume
+    // byte-identity guarantee builds on.
+    out->child_flags.insert(out->child_flags.end(), {"--threads", "1"});
+  }
+  if (out->cache_dir.empty()) {
+    if (const char* env = std::getenv("INTOX_SWEEP_CACHE")) {
+      if (env[0] != '\0') out->cache_dir = env;
+    }
+  }
+  if (out->cache_dir.empty()) out->cache_dir = ".intox-sweep-cache";
+  return "";
+}
+
+/// Runs one worker child to completion, stderr redirected to
+/// `log_path`. Returns true when the child could be spawned and waited
+/// (the point outcome is judged by the cache afterwards, not here).
+bool run_child(const std::vector<std::string>& args,
+               const std::string& log_path, std::string* error) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, 2, log_path.c_str(),
+                                   O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, args[0].c_str(), &actions, nullptr, argv.data(),
+                    environ);
+  posix_spawn_file_actions_destroy(&actions);
+  if (rc != 0) {
+    *error = std::string("cannot spawn worker: ") + std::strerror(rc);
+    return false;
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      *error = std::string("waitpid failed: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int sweep_main(int argc, char** argv) {
+  SweepArgs args;
+  {
+    std::string err = parse_args(argc, argv, &args);
+    if (!err.empty()) return fail(err);
+  }
+  const std::size_t total = point_count(args.axes);
+  if (total == 0) {
+    return fail("--sweep cross product exceeds " +
+                std::to_string(kMaxSweepPoints) + " points");
+  }
+  const std::string exe = self_exe_path();
+  if (exe.empty()) return fail("cannot resolve own binary path");
+
+  // Content-address every point: base knobs + the point's own values.
+  const std::uint64_t fp = binary_fingerprint();
+  std::vector<CacheKey> keys;
+  keys.reserve(total);
+  std::string key_preimage;
+  for (std::size_t i = 0; i < total; ++i) {
+    scenario::KnobSet resolved = args.knobs;
+    for (const auto& [key, value] : point_at(args.axes, i)) {
+      std::string err = resolved.set(key, value);
+      if (!err.empty()) return fail(err);  // range-rejected sweep point
+    }
+    std::vector<std::pair<std::string, std::string>> vec;
+    vec.reserve(resolved.all().size());
+    for (const scenario::Knob& k : resolved.all()) {
+      vec.emplace_back(k.name, scenario::render_value(k));
+    }
+    keys.push_back(point_cache_key(fp, args.sc->name, vec));
+    key_preimage += keys.back().hex();
+    key_preimage += '\n';
+  }
+
+  PointCache cache{args.cache_dir};
+  {
+    std::string err = cache.ensure_dir();
+    if (!err.empty()) return fail(err);
+  }
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!cache.has(keys[i])) pending.push_back(i);
+  }
+
+  obs::BenchSession session{argc, argv, "SWEEP"};
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& c_total = reg.counter("sweep.points_total");
+  obs::Counter& c_cached = reg.counter("sweep.points_cached");
+  obs::Counter& c_executed = reg.counter("sweep.points_executed");
+  obs::Counter& c_failed = reg.counter("sweep.points_failed");
+  c_total.add(total);
+  c_cached.add(total - pending.size());
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> failed{0};
+  // Orchestration wall time is perf telemetry (stderr + BENCH_SWEEP
+  // report); point *results* are content-addressed and deterministic.
+  // intox-lint: allow(determinism)
+  const auto start = std::chrono::steady_clock::now();
+
+  std::size_t workers = 0;
+  if (!pending.empty()) {
+    // The task file is named by the sweep's own content (the point key
+    // list), so a resumed run coordinates through the same file path.
+    const std::uint64_t sweep_hash = net::fnv1a64(
+        std::as_bytes(std::span<const char>{key_preimage.data(),
+                                            key_preimage.size()}));
+    char task_name[64];
+    std::snprintf(task_name, sizeof task_name, "/task.%016llx",
+                  static_cast<unsigned long long>(sweep_hash));
+    TaskFile tasks;
+    {
+      std::string err = tasks.create(args.cache_dir + task_name, pending);
+      if (!err.empty()) return fail(err);
+    }
+
+    workers = args.workers;
+    if (workers == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw > 0 ? hw : 1;
+    }
+    workers = std::min(workers, pending.size());
+
+    std::mutex stderr_mu;
+    auto worker = [&] {
+      std::size_t idx = 0;
+      while (tasks.claim(&idx)) {
+        std::vector<std::string> child{exe, "run", args.sc->name};
+        child.insert(child.end(), args.child_flags.begin(),
+                     args.child_flags.end());
+        child.insert(child.end(),
+                     {"--point", std::to_string(idx), "--point-record",
+                      cache.record_path(keys[idx])});
+        std::string err;
+        const bool spawned =
+            run_child(child, cache.log_path(keys[idx]), &err);
+        if (spawned && cache.has(keys[idx])) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        failed.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(stderr_mu);
+        std::fprintf(stderr, "intox sweep: point %zu failed%s%s (see %s)\n",
+                     idx, err.empty() ? "" : ": ", err.c_str(),
+                     cache.log_path(keys[idx]).c_str());
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  c_executed.add(executed.load(std::memory_order_relaxed));
+  c_failed.add(failed.load(std::memory_order_relaxed));
+
+  const double wall = std::chrono::duration<double>(
+      // intox-lint: allow(determinism)  -- orchestration perf telemetry
+      std::chrono::steady_clock::now() - start).count();
+  obs::SweepPerf perf;
+  perf.name = "sweep.orchestrator";
+  perf.trials = executed.load(std::memory_order_relaxed);
+  perf.threads = workers;
+  perf.wall_seconds = wall;
+  obs::emit_sweep_perf(perf);
+
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!cache.has(keys[i])) ++missing;
+  }
+  std::fprintf(stderr,
+               "intox sweep: %s: %zu points (%zu cached, %zu executed, "
+               "%zu failed)\n",
+               args.sc->name.c_str(), total, total - pending.size(),
+               executed.load(std::memory_order_relaxed),
+               failed.load(std::memory_order_relaxed));
+  if (missing > 0) {
+    std::fprintf(stderr,
+                 "intox sweep: %zu of %zu points incomplete; rerun the "
+                 "same command to resume\n",
+                 missing, total);
+    return 1;
+  }
+
+  MergeInput in;
+  in.scenario = args.sc->name;
+  in.family = args.sc->family;
+  in.axes = args.axes;
+  in.record_paths.reserve(total);
+  int exit_code = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    in.record_paths.push_back(cache.record_path(keys[i]));
+  }
+  std::string error;
+  const std::string doc = render_merged_report(in, &error);
+  if (doc.empty()) return fail(error);
+  {
+    std::string err = commit_report(args.out_path, doc);
+    if (!err.empty()) return fail(err);
+  }
+  if (!args.out_path.empty()) {
+    std::fprintf(stderr, "intox sweep: merged report -> %s\n",
+                 args.out_path.c_str());
+  }
+  // The sweep's exit is the worst point exit, matching the serial
+  // `intox run --sweep` contract.
+  for (std::size_t i = 0; i < total; ++i) {
+    std::FILE* f = std::fopen(in.record_paths[i].c_str(), "rb");
+    if (f == nullptr) continue;
+    std::string record;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) record.append(buf, n);
+    std::fclose(f);
+    exit_code = std::max(exit_code, record_exit_code(record));
+  }
+  return exit_code;
+}
+
+}  // namespace intox::sweep

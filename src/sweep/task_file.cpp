@@ -1,0 +1,174 @@
+#include "sweep/task_file.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace intox::sweep {
+
+namespace {
+
+constexpr char kHeader[] = "intox.task.v1\n";
+constexpr std::size_t kHeaderLen = sizeof kHeader - 1;  // 14
+constexpr std::size_t kLineLen = 11;                    // 10 digits + \n
+constexpr std::size_t kCursorOff = kHeaderLen;
+constexpr std::size_t kEntriesOff = kHeaderLen + kLineLen;
+
+void format_line(std::size_t value, char out[kLineLen]) {
+  std::snprintf(out, kLineLen + 1, "%010zu\n", value);
+}
+
+bool parse_line(const char in[kLineLen], std::size_t* value) {
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < kLineLen - 1; ++i) {
+    if (in[i] < '0' || in[i] > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(in[i] - '0');
+  }
+  if (in[kLineLen - 1] != '\n') return false;
+  *value = v;
+  return true;
+}
+
+/// flock with EINTR retry.
+bool lock(int fd, int op) {
+  while (::flock(fd, op) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t n, off_t off) {
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, data, n, off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+    off += w;
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t n, off_t off) {
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, data, n, off);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    data += r;
+    n -= static_cast<std::size_t>(r);
+    off += r;
+  }
+  return true;
+}
+
+}  // namespace
+
+TaskFile::~TaskFile() { close(); }
+
+void TaskFile::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  entries_ = 0;
+}
+
+std::string TaskFile::create(const std::string& path,
+                             const std::vector<std::size_t>& pending) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0666);
+  if (fd < 0) {
+    return "cannot open task file '" + path + "': " + std::strerror(errno);
+  }
+  // The rewrite happens under the same lock claims take, so a racing
+  // orchestrator on the identical sweep sees either the old complete
+  // list or the new one, never a torn file.
+  if (!lock(fd, LOCK_EX)) {
+    ::close(fd);
+    return "cannot lock task file '" + path + "': " + std::strerror(errno);
+  }
+  std::string doc{kHeader};
+  char line[kLineLen + 1];
+  format_line(0, line);
+  doc.append(line, kLineLen);
+  for (std::size_t idx : pending) {
+    format_line(idx, line);
+    doc.append(line, kLineLen);
+  }
+  bool ok = ::ftruncate(fd, 0) == 0 &&
+            write_all(fd, doc.data(), doc.size(), 0);
+  lock(fd, LOCK_UN);
+  if (!ok) {
+    ::close(fd);
+    return "cannot write task file '" + path + "': " + std::strerror(errno);
+  }
+  fd_ = fd;
+  entries_ = pending.size();
+  return "";
+}
+
+std::string TaskFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return "cannot open task file '" + path + "': " + std::strerror(errno);
+  }
+  char header[kHeaderLen];
+  struct stat st{};
+  if (!read_all(fd, header, kHeaderLen, 0) ||
+      std::memcmp(header, kHeader, kHeaderLen) != 0 ||
+      ::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < kEntriesOff ||
+      (static_cast<std::size_t>(st.st_size) - kEntriesOff) % kLineLen != 0) {
+    ::close(fd);
+    return "'" + path + "' is not an intox.task.v1 file";
+  }
+  fd_ = fd;
+  entries_ = (static_cast<std::size_t>(st.st_size) - kEntriesOff) / kLineLen;
+  return "";
+}
+
+bool TaskFile::claim(std::size_t* index) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (fd_ < 0) return false;
+  if (!lock(fd_, LOCK_EX)) return false;
+  bool claimed = false;
+  char line[kLineLen];
+  std::size_t cursor = 0;
+  if (read_all(fd_, line, kLineLen, kCursorOff) &&
+      parse_line(line, &cursor) && cursor < entries_) {
+    const off_t off =
+        static_cast<off_t>(kEntriesOff + cursor * kLineLen);
+    if (read_all(fd_, line, kLineLen, off) && parse_line(line, index)) {
+      char next[kLineLen + 1];
+      format_line(cursor + 1, next);
+      if (write_all(fd_, next, kLineLen, kCursorOff)) {
+        claimed = true;
+      } else {
+        std::fprintf(stderr,
+                     "intox sweep: task-file cursor write failed: %s\n",
+                     std::strerror(errno));
+      }
+    }
+  }
+  lock(fd_, LOCK_UN);
+  return claimed;
+}
+
+std::size_t TaskFile::remaining() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (fd_ < 0) return 0;
+  if (!lock(fd_, LOCK_SH)) return 0;
+  char line[kLineLen];
+  std::size_t cursor = entries_;
+  if (read_all(fd_, line, kLineLen, kCursorOff)) parse_line(line, &cursor);
+  lock(fd_, LOCK_UN);
+  return cursor >= entries_ ? 0 : entries_ - cursor;
+}
+
+}  // namespace intox::sweep

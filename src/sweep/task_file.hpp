@@ -1,0 +1,63 @@
+// Shared task file: crash-safe work stealing for `intox sweep`.
+//
+// The orchestrator writes the list of pending point indices once, then
+// every worker slot claims the next index through the same protocol:
+// take an exclusive flock, read the cursor, hand out the entry it
+// points at, advance the cursor, unlock. Fixed-width records make every
+// offset computable from the file size alone, so a claim is two preads
+// and one pwrite — no parsing, no rewrite of the tail.
+//
+// Layout (all lines fixed width):
+//   offset  0: "intox.task.v1\n"              header, 14 bytes
+//   offset 14: <cursor, 10 digits>"\n"        next unclaimed slot
+//   offset 25: <index, 10 digits>"\n" ...     one line per pending point
+//
+// The flock serializes claims across *processes*; an internal mutex
+// serializes the threads of one process sharing the TaskFile (flock is
+// per open-file-description, so same-fd lockers would not exclude each
+// other). A claim only advances the cursor — completion is recorded by
+// the point cache, not here — so a worker killed mid-point costs one
+// orphaned claim, and the next `intox sweep` run rewrites the file from
+// a fresh cache scan and re-runs exactly the missing points.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace intox::sweep {
+
+class TaskFile {
+ public:
+  TaskFile() = default;
+  ~TaskFile();
+  TaskFile(const TaskFile&) = delete;
+  TaskFile& operator=(const TaskFile&) = delete;
+
+  /// Creates (or truncates) the file at `path` and writes the pending
+  /// list with the cursor at zero. Returns empty on success, else the
+  /// diagnostic. The instance holds the file open for claim().
+  [[nodiscard]] std::string create(const std::string& path,
+                                   const std::vector<std::size_t>& pending);
+
+  /// Opens an existing task file written by create() — the cross-process
+  /// attach path. Returns empty on success, else the diagnostic.
+  [[nodiscard]] std::string open(const std::string& path);
+
+  /// Claims the next pending index. Returns false when the list is
+  /// exhausted (or on I/O error, which it reports to stderr once).
+  bool claim(std::size_t* index);
+
+  /// Pending entries remaining (unclaimed), for progress reporting.
+  [[nodiscard]] std::size_t remaining();
+
+  void close();
+
+ private:
+  std::mutex mu_;  // intra-process; flock covers inter-process
+  int fd_ = -1;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace intox::sweep

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""check_perf_gate.py must never un-guard a floor silently.
+
+Regression under test: `--update` used to print "dropped (not in ...)"
+for a baseline-named sweep missing from the fresh reports and exit 0 —
+the documented re-baseline recipe would then commit a baseline without
+the floor, and the gate never checked that sweep again. Missing sweeps
+are now a hard failure in both modes, with an explicit --allow-drop
+escape hatch for deliberate benchmark deletions.
+
+Usage: perf_gate_test.py <path-to-check_perf_gate.py>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+def fail(msg):
+    print(f"perf_gate_test: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def write_json(path, doc):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+        f.write("\n")
+
+
+def gate(script, *args):
+    return subprocess.run([sys.executable, script, *args],
+                          capture_output=True, text=True, timeout=60)
+
+
+def setup(tmp, baseline_sweeps, report_sweeps):
+    baselines = os.path.join(tmp, "baselines")
+    reports = os.path.join(tmp, "reports")
+    os.makedirs(baselines, exist_ok=True)
+    os.makedirs(reports, exist_ok=True)
+    write_json(os.path.join(baselines, "core.json"), {
+        "schema": "intox.perf_baseline.v1",
+        "family": "CORE",
+        "tolerance": 0.5,
+        "sweeps": baseline_sweeps,
+    })
+    write_json(os.path.join(reports, "BENCH_CORE.json"), {
+        "schema": "intox.bench_report.v1",
+        "family": "CORE",
+        "threads_requested": 0,
+        "sweeps": [{"sweep": name, "trials": 10, "threads": 1,
+                    "wall_s": 1.0, "trials_per_s": tps}
+                   for name, tps in report_sweeps.items()],
+    })
+    return baselines, reports
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: perf_gate_test.py <check_perf_gate.py>")
+    script = sys.argv[1]
+
+    # Healthy pass: floors hold.
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines, reports = setup(
+            tmp, {"sched": {"trials_per_s": 100.0}}, {"sched": 120.0})
+        res = gate(script, "--reports", reports, "--baselines", baselines)
+        if res.returncode != 0:
+            fail(f"healthy check failed: {res.stderr}")
+
+    # Regression detection still works.
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines, reports = setup(
+            tmp, {"sched": {"trials_per_s": 100.0}}, {"sched": 10.0})
+        res = gate(script, "--reports", reports, "--baselines", baselines)
+        if res.returncode == 0:
+            fail("a 10x throughput drop passed the gate")
+
+    # check: a baseline-named sweep absent from the report is a failure.
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines, reports = setup(
+            tmp, {"sched": {"trials_per_s": 100.0}}, {"other": 500.0})
+        res = gate(script, "--reports", reports, "--baselines", baselines)
+        if res.returncode == 0:
+            fail("check passed with the baseline sweep missing from "
+                 "the report")
+
+    # check: a baseline that guards nothing is a failure, not a no-op.
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines, reports = setup(tmp, {}, {"sched": 100.0})
+        res = gate(script, "--reports", reports, "--baselines", baselines)
+        if res.returncode == 0:
+            fail("an empty baseline (guards no sweeps) passed the gate")
+
+    # --update: missing baseline sweep must hard-fail...
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines, reports = setup(
+            tmp, {"sched": {"trials_per_s": 100.0}}, {"other": 500.0})
+        baseline_path = os.path.join(baselines, "core.json")
+        with open(baseline_path, encoding="utf-8") as f:
+            before = f.read()
+        res = gate(script, "--reports", reports, "--baselines", baselines,
+                   "--update")
+        if res.returncode == 0:
+            fail("--update silently dropped a baseline sweep (the "
+                 "un-guarded-floor regression)")
+        with open(baseline_path, encoding="utf-8") as f:
+            if f.read() != before:
+                fail("--update rewrote the baseline despite failing")
+
+        # ...unless the drop is explicit.
+        res = gate(script, "--reports", reports, "--baselines", baselines,
+                   "--update", "--allow-drop", "sched")
+        if res.returncode != 0:
+            fail(f"--update --allow-drop failed: {res.stderr}")
+        with open(baseline_path, encoding="utf-8") as f:
+            rewritten = json.load(f)
+        if "sched" in rewritten["sweeps"]:
+            fail("--allow-drop kept the dropped sweep")
+        if rewritten["sweeps"]["other"]["trials_per_s"] != 500.0:
+            fail("--update did not record the fresh throughput")
+
+    print("perf_gate_test: OK")
+
+
+if __name__ == "__main__":
+    main()

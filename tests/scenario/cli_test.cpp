@@ -175,6 +175,57 @@ TEST(CliDeathTest, ShimRejectsSecondPositional) {
       ::testing::ExitedWithCode(2), "intox: unknown argument '60'");
 }
 
+// --set and --sweep fighting over one knob used to resolve silently in
+// favor of the sweep; now it is a config error, in either flag order.
+TEST(CliDeathTest, SetThenSweepSameKnobExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--set",
+                             "runs=4", "--sweep", "runs=1:2:1"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --set and --sweep both name knob 'runs'");
+}
+
+TEST(CliDeathTest, SweepThenSetSameKnobExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=1:2:1", "--set", "runs=4"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --set and --sweep both name knob 'runs'");
+}
+
+TEST(CliDeathTest, DuplicateSweepKnobExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=1:2:1", "--sweep", "runs=3:4:1"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --sweep: knob 'runs' swept twice");
+}
+
+TEST(CliDeathTest, PointOutOfRangeExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--sweep",
+                             "runs=1:4:1", "--point", "4"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --point 4 out of range \\(sweep has 4 points\\)");
+}
+
+TEST(CliDeathTest, PointWithoutSweepOnlyAllowsZero) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--point",
+                             "1"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --point 1 out of range \\(sweep has 1 point\\)");
+}
+
+TEST(CliDeathTest, MalformedPointExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2", "--point",
+                             "two"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --point expects a non-negative integer");
+}
+
+TEST(CliDeathTest, PointRecordWithoutPointExitsTwo) {
+  EXPECT_EXIT(std::exit(run({"intox", "run", "blink.fig2",
+                             "--point-record", "/tmp/r.json"})),
+              ::testing::ExitedWithCode(2),
+              "intox: --point-record requires --point");
+}
+
 TEST(CliDeathTest, HelpExitsZero) {
   EXPECT_EXIT(std::exit(run({"intox", "help"})),
               ::testing::ExitedWithCode(0), "");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "sim/network.hpp"
 
 namespace intox::sim {
@@ -60,6 +62,85 @@ TEST(Link, DropTailWhenQueueFull) {
   EXPECT_EQ(delivered, 2);
   EXPECT_EQ(link.counters().dropped_queue, 3u);
   EXPECT_EQ(link.counters().tx_packets, 5u);
+}
+
+TEST(Link, RedStreamsAreDecorrelatedAcrossLinks) {
+  // Regression: every link used to seed its RED RNG from the same
+  // constant (0x51ed), so two links with identical backlogs dropped the
+  // *same* packets in lockstep — correlated loss across a topology that
+  // the experiments model as independent. Links now fork the seed with
+  // a scheduler-assigned stream ordinal.
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = 0;
+  cfg.queue_limit_bytes = 1 << 20;
+  cfg.red_min_bytes = 1;       // RED active from the first queued byte
+  cfg.red_max_bytes = 200000;  // gentle ramp: drops stay probabilistic
+  cfg.red_max_prob = 0.5;
+
+  auto run_pair = [&cfg] {
+    Scheduler s;
+    std::vector<int> got_a, got_b;
+    Link a{s, cfg, [&](net::Packet) { got_a.push_back(1); }};
+    Link b{s, cfg, [&](net::Packet) { got_b.push_back(1); }};
+    // Identical arrival schedules: both links see the same offered load
+    // at the same instants, so under the old correlated seeding their
+    // drop sequences were identical.
+    for (int i = 0; i < 200; ++i) {
+      a.transmit(make_packet(972));
+      b.transmit(make_packet(972));
+    }
+    s.run();
+    return std::tuple{got_a.size(), got_b.size(), a.counters().dropped_red,
+                      b.counters().dropped_red};
+  };
+
+  const auto [da, db, ra, rb] = run_pair();
+  EXPECT_GT(ra, 0u) << "RED never fired; the test load is too light";
+  EXPECT_GT(rb, 0u);
+  // Decorrelated streams: with 200 Bernoulli decisions per link the
+  // probability of identical drop *counts* by chance is small, and of
+  // identical sequences essentially zero. Seeds are fixed, so this is a
+  // deterministic assertion, not a flaky one: these exact streams
+  // differ.
+  EXPECT_NE(ra, rb)
+      << "two same-config links produced identical RED drop sequences";
+
+  // And the fix must not cost reproducibility: an identical topology
+  // built again draws the identical per-link streams.
+  const auto [da2, db2, ra2, rb2] = run_pair();
+  EXPECT_EQ(da, da2);
+  EXPECT_EQ(db, db2);
+  EXPECT_EQ(ra, ra2);
+  EXPECT_EQ(rb, rb2);
+}
+
+TEST(Link, ExplicitRedSeedStillSelectsTheStream) {
+  // Scenarios that pick distinct seeds per link (pcc/experiment.cpp)
+  // keep that control: changing the base seed changes the stream.
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = 0;
+  cfg.queue_limit_bytes = 1 << 20;
+  cfg.red_min_bytes = 1;
+  cfg.red_max_bytes = 200000;
+  cfg.red_max_prob = 0.5;
+
+  auto drops_with_seed = [&cfg](std::uint64_t seed) {
+    Scheduler s;
+    LinkConfig c = cfg;
+    c.red_seed = seed;
+    int delivered = 0;
+    Link link{s, c, [&](net::Packet) { ++delivered; }};
+    for (int i = 0; i < 200; ++i) link.transmit(make_packet(972));
+    s.run();
+    return link.counters().dropped_red;
+  };
+
+  const auto a = drops_with_seed(1);
+  const auto b = drops_with_seed(2);
+  EXPECT_EQ(a, drops_with_seed(1));  // deterministic per seed
+  EXPECT_NE(a, b);                   // seed still matters
 }
 
 TEST(Link, DownLinkLosesEverything) {

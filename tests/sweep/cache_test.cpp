@@ -1,0 +1,82 @@
+// The content-addressed point cache: keys must move when anything that
+// determines a point's output moves, and must not move otherwise.
+#include "sweep/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace intox::sweep {
+namespace {
+
+using KnobVec = std::vector<std::pair<std::string, std::string>>;
+
+TEST(CacheKey, IsDeterministic) {
+  const KnobVec knobs{{"flows", "4"}, {"seed", "42"}};
+  const CacheKey a = point_cache_key(1, "quickstart", knobs);
+  const CacheKey b = point_cache_key(1, "quickstart", knobs);
+  EXPECT_EQ(a.hex(), b.hex());
+  EXPECT_EQ(a.hex().size(), 32u);
+}
+
+TEST(CacheKey, MovesWithEveryInput) {
+  const KnobVec knobs{{"flows", "4"}, {"seed", "42"}};
+  const std::string base = point_cache_key(1, "quickstart", knobs).hex();
+  EXPECT_NE(point_cache_key(2, "quickstart", knobs).hex(), base);
+  EXPECT_NE(point_cache_key(1, "quickstart2", knobs).hex(), base);
+  EXPECT_NE(point_cache_key(1, "quickstart",
+                            KnobVec{{"flows", "5"}, {"seed", "42"}})
+                .hex(),
+            base);
+  EXPECT_NE(point_cache_key(1, "quickstart",
+                            KnobVec{{"flows", "4"}, {"seed", "43"}})
+                .hex(),
+            base);
+}
+
+TEST(CacheKey, KnobFramingIsInjective) {
+  // ("a", "b\nc=d") must not collide with ("a", "b") + ("c", "d").
+  const std::string one =
+      point_cache_key(0, "s", KnobVec{{"a", "b\nc=d"}}).hex();
+  const std::string two =
+      point_cache_key(0, "s", KnobVec{{"a", "b"}, {"c", "d"}}).hex();
+  EXPECT_NE(one, two);
+}
+
+TEST(BinaryFingerprint, IsStableWithinAProcess) {
+  const std::uint64_t a = binary_fingerprint();
+  const std::uint64_t b = binary_fingerprint();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0u);  // /proc/self/exe is readable on the CI platforms
+}
+
+TEST(PointCache, PathsAndPresence) {
+  const std::string dir =
+      ::testing::TempDir() + "intox_cache_test/nested";
+  PointCache cache{dir};
+  ASSERT_EQ(cache.ensure_dir(), "");
+  const CacheKey key{0x1234, 0xabcd};
+  EXPECT_EQ(cache.record_path(key), dir + "/" + key.hex() + ".json");
+  EXPECT_EQ(cache.log_path(key), dir + "/" + key.hex() + ".log");
+  EXPECT_FALSE(cache.has(key));
+  std::FILE* f = std::fopen(cache.record_path(key).c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{}", f);
+  std::fclose(f);
+  EXPECT_TRUE(cache.has(key));
+  std::remove(cache.record_path(key).c_str());
+}
+
+TEST(PointCache, EnsureDirFailsInsideAFile) {
+  const std::string file = ::testing::TempDir() + "intox_cache_not_a_dir";
+  std::FILE* f = std::fopen(file.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  PointCache cache{file + "/sub"};
+  EXPECT_NE(cache.ensure_dir(), "");
+  std::remove(file.c_str());
+}
+
+}  // namespace
+}  // namespace intox::sweep

@@ -1,0 +1,122 @@
+// Report merging: record order is point order, the envelope is
+// deterministic, and the exit scanner reads what the known writer
+// emits.
+#include "sweep/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace intox::sweep {
+namespace {
+
+std::string write_temp(const char* name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(Merge, ConcatenatesRecordsInPointOrder) {
+  MergeInput in;
+  in.scenario = "quickstart";
+  in.family = "QUICKSTART";
+  SweepAxis axis;
+  axis.key = "flows";
+  axis.values = {"1", "2"};
+  in.axes = {axis};
+  in.record_paths = {
+      write_temp("merge_r0.json", "{\"schema\":\"x\",\"exit\":0}\n"),
+      write_temp("merge_r1.json", "{\"schema\":\"y\",\"exit\":3}\n"),
+  };
+  std::string error;
+  const std::string doc = render_merged_report(in, &error);
+  ASSERT_EQ(error, "");
+  EXPECT_NE(doc.find("\"schema\":\"intox.sweep_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"points\":2"), std::string::npos);
+  // Records appear verbatim, in order.
+  const auto first = doc.find("{\"schema\":\"x\",\"exit\":0}");
+  const auto second = doc.find("{\"schema\":\"y\",\"exit\":3}");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(doc.back(), '\n');
+  for (const std::string& p : in.record_paths) std::remove(p.c_str());
+}
+
+TEST(Merge, MissingRecordIsAnError) {
+  MergeInput in;
+  in.scenario = "s";
+  in.family = "F";
+  in.record_paths = {"/nonexistent/record.json"};
+  std::string error;
+  EXPECT_EQ(render_merged_report(in, &error), "");
+  EXPECT_NE(error.find("/nonexistent/record.json"), std::string::npos);
+}
+
+TEST(Merge, MalformedRecordIsAnError) {
+  MergeInput in;
+  in.scenario = "s";
+  in.family = "F";
+  in.record_paths = {write_temp("merge_bad.json", "not json\n")};
+  std::string error;
+  EXPECT_EQ(render_merged_report(in, &error), "");
+  EXPECT_NE(error.find("not a JSON object"), std::string::npos);
+  std::remove(in.record_paths[0].c_str());
+}
+
+TEST(Merge, CommitReportIsAtomicRename) {
+  const std::string path = ::testing::TempDir() + "merge_commit.json";
+  ASSERT_EQ(commit_report(path, "{\"a\":1}\n"), "");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "{\"a\":1}\n");
+  std::remove(path.c_str());
+}
+
+TEST(Merge, ExitScannerReadsTheTopLevelField) {
+  EXPECT_EQ(record_exit_code("{\"exit\":0}"), 0);
+  EXPECT_EQ(record_exit_code("{\"exit\":3}"), 3);
+  EXPECT_EQ(record_exit_code("{\"banner\":\"k=v\",\"exit\":2}"), 2);
+  // No exit field -> fallback.
+  EXPECT_EQ(record_exit_code("{}", 7), 7);
+  // A *string* containing the text cannot shadow the key: the writer
+  // escapes quotes, so `"exit":` inside a value appears as \"exit\".
+  EXPECT_EQ(record_exit_code(
+                "{\"stdout\":\"fake \\\"exit\\\": 9\",\"exit\":1}"),
+            1);
+}
+
+TEST(Merge, ExitScannerMatchesThePointRecordWriter) {
+  // End-to-end against the real writer: the scanner must find the exit
+  // the record embeds even when stdout carries hostile text.
+  const std::string path = ::testing::TempDir() + "merge_writer.json";
+  obs::PointRecord record;
+  record.scenario = "s";
+  record.family = "F";
+  record.banner = "k=1";
+  record.exit_code = 4;
+  record.stdout_text = "tricky \"exit\": 99 text\n";
+  ASSERT_TRUE(obs::write_point_record(path, record));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string doc;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(record_exit_code(doc), 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace intox::sweep

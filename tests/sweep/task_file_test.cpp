@@ -1,0 +1,110 @@
+// The flock-shared task file: claims are unique, exhaustible, and
+// shared correctly between handles (the cross-process protocol, here
+// exercised with two in-process handles on the same path).
+#include "sweep/task_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace intox::sweep {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(TaskFile, ClaimsEveryEntryOnceInOrder) {
+  const std::string path = temp_path("task_order");
+  TaskFile tasks;
+  ASSERT_EQ(tasks.create(path, {7, 3, 11}), "");
+  EXPECT_EQ(tasks.remaining(), 3u);
+  std::size_t idx = 0;
+  ASSERT_TRUE(tasks.claim(&idx));
+  EXPECT_EQ(idx, 7u);
+  ASSERT_TRUE(tasks.claim(&idx));
+  EXPECT_EQ(idx, 3u);
+  ASSERT_TRUE(tasks.claim(&idx));
+  EXPECT_EQ(idx, 11u);
+  EXPECT_FALSE(tasks.claim(&idx));
+  EXPECT_EQ(tasks.remaining(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TaskFile, EmptyPendingListIsImmediatelyExhausted) {
+  const std::string path = temp_path("task_empty");
+  TaskFile tasks;
+  ASSERT_EQ(tasks.create(path, {}), "");
+  std::size_t idx = 0;
+  EXPECT_FALSE(tasks.claim(&idx));
+  std::remove(path.c_str());
+}
+
+TEST(TaskFile, TwoHandlesShareOneCursor) {
+  // A second handle attached by open() — the shape a second
+  // orchestrator process takes — sees the same cursor through the file.
+  const std::string path = temp_path("task_shared");
+  TaskFile a, b;
+  ASSERT_EQ(a.create(path, {0, 1, 2, 3}), "");
+  ASSERT_EQ(b.open(path), "");
+  std::size_t idx = 0;
+  ASSERT_TRUE(a.claim(&idx));
+  EXPECT_EQ(idx, 0u);
+  ASSERT_TRUE(b.claim(&idx));
+  EXPECT_EQ(idx, 1u);
+  ASSERT_TRUE(a.claim(&idx));
+  EXPECT_EQ(idx, 2u);
+  ASSERT_TRUE(b.claim(&idx));
+  EXPECT_EQ(idx, 3u);
+  EXPECT_FALSE(a.claim(&idx));
+  EXPECT_FALSE(b.claim(&idx));
+  std::remove(path.c_str());
+}
+
+TEST(TaskFile, OpenRejectsForeignFiles) {
+  const std::string path = temp_path("task_foreign");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a task file\n", f);
+  std::fclose(f);
+  TaskFile tasks;
+  EXPECT_NE(tasks.open(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(TaskFile, ConcurrentClaimsNeverDuplicate) {
+  const std::string path = temp_path("task_race");
+  constexpr std::size_t kEntries = 500;
+  std::vector<std::size_t> pending(kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) pending[i] = i * 2;
+
+  TaskFile tasks;
+  ASSERT_EQ(tasks.create(path, pending), "");
+  std::mutex mu;
+  std::vector<std::size_t> claimed;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      std::size_t idx = 0;
+      while (tasks.claim(&idx)) {
+        std::lock_guard<std::mutex> lock(mu);
+        claimed.push_back(idx);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  ASSERT_EQ(claimed.size(), kEntries);
+  std::sort(claimed.begin(), claimed.end());
+  EXPECT_TRUE(std::equal(claimed.begin(), claimed.end(), pending.begin()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace intox::sweep
