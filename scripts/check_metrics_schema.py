@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validates the JSON documents emitted by the observability layer:
-intox.bench_report.v1, intox.sweep_report.v1, intox.point_record.v1
+intox.bench_report.v1, intox.sweep_report.v1.1, intox.point_record.v1,
+intox.flightrec.v1 crash dumps, intox.sweep_failure.v1 sidecars
 (dispatched on the top-level "schema" field) and, with --trace, Chrome
 trace-event files.
 
@@ -18,8 +19,11 @@ import json
 import sys
 
 SCHEMA = "intox.bench_report.v1"
-SWEEP_SCHEMA = "intox.sweep_report.v1"
+SWEEP_SCHEMA = "intox.sweep_report.v1.1"
 POINT_SCHEMA = "intox.point_record.v1"
+FLIGHTREC_SCHEMA = "intox.flightrec.v1"
+FAILURE_SCHEMA = "intox.sweep_failure.v1"
+FLIGHTREC_TYPE_COUNT = 11
 
 
 class SchemaError(Exception):
@@ -108,6 +112,14 @@ def check_metrics(metrics, path):
         check_histogram(hist, f"{path}.histograms.{name}")
 
 
+def check_recent_messages(inv, path):
+    recent = inv.get("recent_messages")
+    expect(isinstance(recent, list), f"{path}.recent_messages",
+           "must be an array")
+    expect(all(isinstance(m, str) for m in recent),
+           f"{path}.recent_messages", "entries must be strings")
+
+
 def check_invariants(inv, path):
     expect(isinstance(inv, dict), path, "must be an object")
     expect(inv.get("mode") in ("fatal", "count", "throw"),
@@ -116,6 +128,7 @@ def check_invariants(inv, path):
            "must be a non-negative integer")
     expect(isinstance(inv.get("last_message"), str),
            f"{path}.last_message", "must be a string")
+    check_recent_messages(inv, path)
 
 
 def check_report(doc, path):
@@ -187,6 +200,105 @@ def check_sweep_report(doc, path):
            f"must hold the full cross product ({expected_points} points)")
     for i, record in enumerate(records):
         check_point_record(record, f"{path}.records[{i}]")
+    aggregates = doc.get("aggregates")
+    apath = f"{path}.aggregates"
+    expect(isinstance(aggregates, dict), apath, "must be an object")
+    for section in ("counters", "gauges"):
+        block = aggregates.get(section)
+        spath = f"{apath}.{section}"
+        expect(isinstance(block, dict), spath, "must be an object")
+        for name, agg in block.items():
+            npath = f"{spath}.{name}"
+            expect(isinstance(agg, dict), npath, "must be an object")
+            for key in ("count", "min", "max", "mean"):
+                expect(is_num(agg.get(key)), f"{npath}.{key}",
+                       "must be a number")
+            expect(is_uint(agg["count"]) and agg["count"] >= 1, npath,
+                   "count must be a positive integer")
+            expect(agg["min"] <= agg["max"], npath, "min must be <= max")
+            # Tolerance absorbs float summation rounding in the mean.
+            tol = 1e-9 * max(abs(agg["min"]), abs(agg["max"]), 1.0)
+            expect(agg["min"] - tol <= agg["mean"] <= agg["max"] + tol,
+                   npath, "mean must lie within [min, max]")
+            expect(agg["count"] <= len(records), npath,
+                   "count cannot exceed the number of points")
+
+
+def check_flightrec(doc, path):
+    expect(isinstance(doc, dict), path, "flightrec dump must be an object")
+    expect(doc.get("schema") == FLIGHTREC_SCHEMA, f"{path}.schema",
+           f"must be '{FLIGHTREC_SCHEMA}' (got {doc.get('schema')!r})")
+    expect(is_uint(doc.get("pid")) and doc["pid"] > 0, f"{path}.pid",
+           "must be a positive integer")
+    expect(isinstance(doc.get("reason"), str) and doc["reason"],
+           f"{path}.reason", "must be a non-empty string")
+    expect(isinstance(doc.get("detail"), str), f"{path}.detail",
+           "must be a string")
+    expect(isinstance(doc.get("scenario"), str), f"{path}.scenario",
+           "must be a string (may be empty outside the driver)")
+    types = doc.get("types")
+    expect(isinstance(types, list) and len(types) == FLIGHTREC_TYPE_COUNT,
+           f"{path}.types",
+           f"must be the {FLIGHTREC_TYPE_COUNT}-entry type-name table")
+    expect(all(isinstance(t, str) and t for t in types), f"{path}.types",
+           "entries must be non-empty strings")
+    inv = doc.get("invariants")
+    expect(isinstance(inv, dict), f"{path}.invariants", "must be an object")
+    expect(is_uint(inv.get("violations")), f"{path}.invariants.violations",
+           "must be a non-negative integer")
+    check_recent_messages(inv, f"{path}.invariants")
+    expect(is_uint(doc.get("dropped_threads")), f"{path}.dropped_threads",
+           "must be a non-negative integer")
+    threads = doc.get("threads")
+    expect(isinstance(threads, list), f"{path}.threads", "must be an array")
+    for i, thread in enumerate(threads):
+        tpath = f"{path}.threads[{i}]"
+        expect(isinstance(thread, dict), tpath, "must be an object")
+        expect(is_uint(thread.get("tid")) and thread["tid"] > 0,
+               f"{tpath}.tid", "must be a positive integer")
+        lanes = thread.get("lanes")
+        expect(isinstance(lanes, list), f"{tpath}.lanes", "must be an array")
+        for lane in lanes:
+            lname = lane.get("lane") if isinstance(lane, dict) else None
+            lpath = f"{tpath}.lanes[{lname!r}]"
+            expect(isinstance(lane, dict), lpath, "must be an object")
+            expect(lname in ("hot", "decision"), f"{lpath}.lane",
+                   "must be 'hot' or 'decision'")
+            expect(is_uint(lane.get("capacity")) and lane["capacity"] > 0,
+                   f"{lpath}.capacity", "must be a positive integer")
+            for key in ("recorded", "dropped"):
+                expect(is_uint(lane.get(key)), f"{lpath}.{key}",
+                       "must be a non-negative integer")
+            records = lane.get("records")
+            expect(isinstance(records, list), f"{lpath}.records",
+                   "must be an array")
+            expect(len(records) <= lane["capacity"], f"{lpath}.records",
+                   "cannot hold more than the lane capacity")
+            expect(lane["dropped"] + len(records) == lane["recorded"],
+                   lpath, "dropped + kept must equal recorded")
+            for j, record in enumerate(records):
+                expect(isinstance(record, list) and len(record) == 5
+                       and all(is_num(w) for w in record),
+                       f"{lpath}.records[{j}]",
+                       "must be a [time, type, a, b, c] array of numbers")
+
+
+def check_sweep_failure(doc, path):
+    expect(isinstance(doc, dict), path, "failure sidecar must be an object")
+    expect(doc.get("schema") == FAILURE_SCHEMA, f"{path}.schema",
+           f"must be '{FAILURE_SCHEMA}' (got {doc.get('schema')!r})")
+    expect(isinstance(doc.get("scenario"), str) and doc["scenario"],
+           f"{path}.scenario", "must be a non-empty string")
+    expect(is_uint(doc.get("point")), f"{path}.point",
+           "must be a non-negative integer")
+    expect(isinstance(doc.get("banner"), str), f"{path}.banner",
+           "must be a string")
+    expect(isinstance(doc.get("log"), str) and doc["log"], f"{path}.log",
+           "must be a non-empty string")
+    flightrec = doc.get("flightrec")
+    expect(flightrec is None or (isinstance(flightrec, str) and flightrec),
+           f"{path}.flightrec",
+           "must be a non-empty dump path or null (no dump committed)")
 
 
 def check_trace(doc, path):
@@ -200,8 +312,9 @@ def check_trace(doc, path):
         expect(isinstance(ev.get("name"), str) and ev["name"], f"{epath}.name",
                "must be a non-empty string")
         ph = ev.get("ph")
-        expect(ph in ("X", "i", "C"), f"{epath}.ph",
-               "must be X (complete), i (instant), or C (counter)")
+        expect(ph in ("X", "i", "C", "M"), f"{epath}.ph",
+               "must be X (complete), i (instant), C (counter), or "
+               "M (metadata)")
         expect(is_num(ev.get("ts")), f"{epath}.ts", "must be a number")
         expect(is_uint(ev.get("pid")), f"{epath}.pid", "must be an integer")
         expect(is_uint(ev.get("tid")), f"{epath}.tid", "must be an integer")
@@ -244,6 +357,14 @@ def main(argv):
                   and doc.get("schema") == POINT_SCHEMA):
                 kind = "point record"
                 check_point_record(doc, filename)
+            elif (isinstance(doc, dict)
+                  and doc.get("schema") == FLIGHTREC_SCHEMA):
+                kind = "flightrec dump"
+                check_flightrec(doc, filename)
+            elif (isinstance(doc, dict)
+                  and doc.get("schema") == FAILURE_SCHEMA):
+                kind = "sweep failure"
+                check_sweep_failure(doc, filename)
             else:
                 kind = "report"
                 check_report(doc, filename)

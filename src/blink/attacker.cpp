@@ -3,6 +3,8 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/flightrec.hpp"
+
 namespace intox::blink {
 
 AttackPlan plan_attack(const BlinkConfig& config, std::size_t legit_flows,
@@ -88,6 +90,10 @@ Fig2Result run_fig2_experiment(const Fig2Config& config) {
   };
   sched.schedule_at(0, sample);
 
+  obs::flightrec_record(
+      obs::FrType::kAttackerAction, static_cast<std::uint64_t>(sched.now()),
+      static_cast<std::uint64_t>(obs::FrAttackerKind::kBlinkFig2Start),
+      config.malicious_flows, config.trace.active_flows);
   pop.start_all();
   sched.run_until(config.trace.horizon);
   pop.stop_all();

@@ -1,8 +1,19 @@
 #include "blink/blink_node.hpp"
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
 namespace intox::blink {
+
+namespace {
+
+void record_decision(obs::FrType type, const net::Prefix& prefix,
+                     sim::Time now, std::size_t retx) {
+  obs::flightrec_record(type, static_cast<std::uint64_t>(now),
+                        prefix.addr().value(), prefix.length(), retx);
+}
+
+}  // namespace
 
 BlinkNode::~BlinkNode() {
   static obs::Counter& retx =
@@ -71,6 +82,7 @@ void BlinkNode::process(const net::Packet& pkt,
   if (!v.retransmission) return;
   ++retx_detections_;
   const std::size_t retx = e.selector->retransmitting_count(now);
+  record_decision(obs::FrType::kBlinkRetx, e.prefix, now, retx);
   if (retx > max_retransmitting_) max_retransmitting_ = retx;
   if (e.rerouted || now < e.holddown_until) return;
   const auto needed = static_cast<std::size_t>(
@@ -80,12 +92,14 @@ void BlinkNode::process(const net::Packet& pkt,
   // Failure inferred. Consult the supervisor (if any) before committing.
   if (guard_ && !guard_(e.prefix, *e.selector, now)) {
     ++vetoed_;
+    record_decision(obs::FrType::kBlinkVeto, e.prefix, now, retx);
     e.holddown_until = now + config_.failure_holddown;
     return;
   }
 
   e.rerouted = true;
   e.holddown_until = now + config_.failure_holddown;
+  record_decision(obs::FrType::kBlinkReroute, e.prefix, now, retx);
   RerouteEvent event{e.prefix, now, retx};
   reroutes_.push_back(event);
   if (on_reroute_) on_reroute_(event);

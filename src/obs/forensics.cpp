@@ -1,0 +1,397 @@
+#include "obs/forensics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+
+namespace intox::obs {
+
+namespace {
+
+std::string ipv4_text(std::uint64_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u",
+                static_cast<unsigned>((addr >> 24) & 0xff),
+                static_cast<unsigned>((addr >> 16) & 0xff),
+                static_cast<unsigned>((addr >> 8) & 0xff),
+                static_cast<unsigned>(addr & 0xff));
+  return buf;
+}
+
+std::string prefix_text(std::uint64_t addr, std::uint64_t len) {
+  return ipv4_text(addr) + "/" + std::to_string(len);
+}
+
+const char* drop_cause_name(std::uint64_t cause) {
+  switch (static_cast<FrDropCause>(cause)) {
+    case FrDropCause::kDown:
+      return "down";
+    case FrDropCause::kTap:
+      return "tap";
+    case FrDropCause::kQueue:
+      return "queue";
+    case FrDropCause::kRed:
+      return "red";
+  }
+  return "unknown";
+}
+
+std::string mbps_text(std::uint64_t bps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(bps) / 1e6);
+  return std::string(buf) + " Mbps";
+}
+
+/// Type-specific one-line decode of a record's payload words.
+std::string describe(const FlightrecRecord& r) {
+  switch (r.type) {
+    case FrType::kSchedFire:
+      return "";
+    case FrType::kLinkDrop:
+      return "cause=" + std::string(drop_cause_name(r.a)) +
+             " dst=" + ipv4_text(r.b) + " bytes=" + std::to_string(r.c);
+    case FrType::kInvariantRaise:
+      return "violation #" + std::to_string(r.a) + " (source line " +
+             std::to_string(r.b) + ")";
+    case FrType::kBlinkRetx:
+      return "prefix=" + prefix_text(r.a, r.b) +
+             " retransmitting_flows=" + std::to_string(r.c);
+    case FrType::kBlinkReroute:
+      return "REROUTE prefix=" + prefix_text(r.a, r.b) +
+             " retransmitting_flows=" + std::to_string(r.c);
+    case FrType::kBlinkVeto:
+      return "veto prefix=" + prefix_text(r.a, r.b) +
+             " retransmitting_flows=" + std::to_string(r.c);
+    case FrType::kPccDecision:
+      if (r.a == 0) return "inconclusive (rate held at " + mbps_text(r.c) + ")";
+      return std::string(r.a == 1 ? "rate UP " : "rate DOWN ") +
+             mbps_text(r.b) + " -> " + mbps_text(r.c);
+    case FrType::kPytheasMove:
+      return "group " + std::to_string(r.a) + " arm " + std::to_string(r.b) +
+             " -> " + std::to_string(r.c);
+    case FrType::kAttackerAction:
+      switch (static_cast<FrAttackerKind>(r.a)) {
+        case FrAttackerKind::kPccMitmDrop:
+          return std::string("pcc-mitm drop (mode=") +
+                 (r.b == 0 ? "omniscient" : "shaper") +
+                 ", total_dropped=" + std::to_string(r.c) + ")";
+        case FrAttackerKind::kBlinkFig2Start:
+          return "blink fig2 attack start (malicious_flows=" +
+                 std::to_string(r.b) + ", legit_flows=" + std::to_string(r.c) +
+                 ")";
+      }
+      return "kind=" + std::to_string(r.a) + " b=" + std::to_string(r.b) +
+             " c=" + std::to_string(r.c);
+    case FrType::kNote:
+      return "a=" + std::to_string(r.a) + " b=" + std::to_string(r.b) +
+             " c=" + std::to_string(r.c);
+    case FrType::kNone:
+      break;
+  }
+  return "";
+}
+
+/// Sim-time words are nanoseconds for every producer except Pytheas
+/// (epoch index); render both readings where ambiguity is harmless.
+std::string time_text(const FlightrecRecord& r) {
+  if (r.type == FrType::kPytheasMove) {
+    return "epoch " + std::to_string(r.time);
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%13.6f s",
+                static_cast<double>(r.time) / 1e9);
+  return buf;
+}
+
+/// Serializes a parsed JsonValue back to a compact token (used when
+/// splicing foreign trace events into a merged document).
+void serialize_json(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Kind::kBool:
+      out->append(v.boolean ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      out->append(json_number(v.number));
+      return;
+    case JsonValue::Kind::kString:
+      out->push_back('"');
+      out->append(json_escape(v.text));
+      out->push_back('"');
+      return;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) out->push_back(',');
+        first = false;
+        serialize_json(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        out->append(json_escape(key));
+        out->append("\":");
+        serialize_json(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace
+
+bool load_flightrec_dump(const std::string& path, FlightrecDump* out,
+                         std::string* error) {
+  JsonValue doc;
+  if (!json_parse_file(path, &doc, error)) return false;
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->text != kFlightrecSchema) {
+    if (error != nullptr) {
+      *error = path + ": not an " + std::string(kFlightrecSchema) +
+               " document";
+    }
+    return false;
+  }
+
+  *out = FlightrecDump{};
+  if (const JsonValue* v = doc.find("pid")) out->pid = v->as_u64();
+  if (const JsonValue* v = doc.find("reason")) out->reason = v->text;
+  if (const JsonValue* v = doc.find("detail")) out->detail = v->text;
+  if (const JsonValue* v = doc.find("scenario")) out->scenario = v->text;
+  if (const JsonValue* v = doc.find("dropped_threads")) {
+    out->dropped_threads = v->as_u64();
+  }
+  if (const JsonValue* inv = doc.find("invariants")) {
+    if (const JsonValue* v = inv->find("violations")) {
+      out->invariant_violations = v->as_u64();
+    }
+    if (const JsonValue* v = inv->find("recent_messages")) {
+      for (const JsonValue& m : v->items) {
+        if (m.is_string()) out->recent_messages.push_back(m.text);
+      }
+    }
+  }
+
+  const JsonValue* threads = doc.find("threads");
+  if (threads == nullptr || !threads->is_array()) {
+    if (error != nullptr) *error = path + ": missing threads array";
+    return false;
+  }
+  for (const JsonValue& thread : threads->items) {
+    const JsonValue* tid_value = thread.find("tid");
+    const JsonValue* lanes = thread.find("lanes");
+    if (tid_value == nullptr || lanes == nullptr || !lanes->is_array()) {
+      continue;
+    }
+    const auto tid = static_cast<std::uint32_t>(tid_value->as_u64());
+    for (const JsonValue& lane : lanes->items) {
+      const JsonValue* lane_name = lane.find("lane");
+      const JsonValue* records = lane.find("records");
+      if (records == nullptr || !records->is_array()) continue;
+      const bool hot =
+          lane_name != nullptr && lane_name->is_string() &&
+          lane_name->text == "hot";
+      if (const JsonValue* dropped = lane.find("dropped")) {
+        out->dropped_records += dropped->as_u64();
+      }
+      std::uint64_t seq = 0;
+      for (const JsonValue& rec : records->items) {
+        if (!rec.is_array() || rec.items.size() != 5) continue;
+        FlightrecRecord r;
+        r.time = rec.items[0].as_u64();
+        const std::uint64_t type_word = rec.items[1].as_u64();
+        r.type = type_word < kFrTypeCount ? static_cast<FrType>(type_word)
+                                          : FrType::kNone;
+        r.a = rec.items[2].as_u64();
+        r.b = rec.items[3].as_u64();
+        r.c = rec.items[4].as_u64();
+        r.tid = tid;
+        r.hot_lane = hot;
+        r.seq = seq++;
+        out->records.push_back(r);
+      }
+    }
+  }
+
+  std::stable_sort(out->records.begin(), out->records.end(),
+                   [](const FlightrecRecord& x, const FlightrecRecord& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     if (x.tid != y.tid) return x.tid < y.tid;
+                     return x.seq < y.seq;
+                   });
+  return true;
+}
+
+std::string render_flightrec_timeline(const FlightrecDump& dump) {
+  std::string out;
+  out += "flight recorder dump (" + std::string(kFlightrecSchema) + ")\n";
+  out += "  scenario: " +
+         (dump.scenario.empty() ? std::string("(unset)") : dump.scenario) +
+         "\n";
+  out += "  reason:   " + dump.reason + "\n";
+  if (!dump.detail.empty()) out += "  detail:   " + dump.detail + "\n";
+  out += "  pid:      " + std::to_string(dump.pid) + "\n";
+  out += "  invariant violations: " +
+         std::to_string(dump.invariant_violations) + "\n";
+  out += "  records:  " + std::to_string(dump.records.size()) + " kept, " +
+         std::to_string(dump.dropped_records) + " overwritten";
+  if (dump.dropped_threads > 0) {
+    out += ", " + std::to_string(dump.dropped_threads) +
+           " threads unrecorded";
+  }
+  out += "\n";
+  if (!dump.recent_messages.empty()) {
+    out += "  recent invariant messages (oldest first):\n";
+    for (const std::string& message : dump.recent_messages) {
+      out += "    - " + message + "\n";
+    }
+  }
+  out += "\ntimeline (merged across threads, oldest first):\n";
+  if (dump.records.empty()) {
+    out += "  (no records)\n";
+    return out;
+  }
+  for (const FlightrecRecord& r : dump.records) {
+    out += "  [" + time_text(r) + "] t" + std::to_string(r.tid) + " " +
+           flightrec_type_name(r.type);
+    const std::string detail = describe(r);
+    if (!detail.empty()) out += "  " + detail;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_flightrec_chrome_trace(const FlightrecDump& dump) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  // Process metadata names the lane in chrome://tracing / Perfetto.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("ts").value(0.0);
+  w.key("pid").value(dump.pid);
+  w.key("tid").value(std::uint64_t{0});
+  w.key("args").begin_object();
+  w.key("name").value("intox " +
+                      (dump.scenario.empty() ? std::string("(unknown)")
+                                             : dump.scenario) +
+                      " [" + dump.reason + "]");
+  w.end_object();
+  w.end_object();
+  for (const FlightrecRecord& r : dump.records) {
+    w.begin_object();
+    w.key("name").value(flightrec_type_name(r.type));
+    w.key("cat").value(r.hot_lane ? "flightrec.hot" : "flightrec.decision");
+    w.key("ph").value("i");
+    // Sim nanoseconds rendered on the trace's microsecond axis.
+    w.key("ts").value(static_cast<double>(r.time) / 1e3);
+    w.key("pid").value(dump.pid);
+    w.key("tid").value(static_cast<std::uint64_t>(r.tid));
+    w.key("args").begin_object();
+    w.key("a").value(r.a);
+    w.key("b").value(r.b);
+    w.key("c").value(r.c);
+    const std::string detail = describe(r);
+    if (!detail.empty()) w.key("detail").value(detail);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool merge_chrome_traces(const std::vector<std::string>& paths,
+                         const std::vector<std::string>& labels,
+                         const std::string& out_path, std::string* error) {
+  std::string body;
+  bool first_event = true;
+  std::size_t readable = 0;
+  // pid -> label of the first input that produced events under it.
+  std::map<std::uint64_t, std::string> pid_labels;
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    JsonValue doc;
+    std::string parse_error;
+    if (!json_parse_file(paths[i], &doc, &parse_error)) continue;
+    const JsonValue* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array()) continue;
+    ++readable;
+    for (const JsonValue& event : events->items) {
+      if (!event.is_object()) continue;
+      if (!first_event) body.push_back(',');
+      first_event = false;
+      serialize_json(event, &body);
+      if (const JsonValue* pid = event.find("pid")) {
+        const std::uint64_t pid_value = pid->as_u64();
+        if (pid_labels.find(pid_value) == pid_labels.end()) {
+          pid_labels.emplace(pid_value,
+                             i < labels.size() ? labels[i] : paths[i]);
+        }
+      }
+    }
+  }
+  if (readable == 0) {
+    if (error != nullptr) *error = "no readable trace inputs";
+    return false;
+  }
+
+  JsonWriter meta;
+  meta.begin_array();  // throwaway scope so sibling objects comma-join
+  for (const auto& [pid, label] : pid_labels) {
+    meta.begin_object();
+    meta.key("name").value("process_name");
+    meta.key("ph").value("M");
+    meta.key("ts").value(0.0);
+    meta.key("pid").value(pid);
+    meta.key("tid").value(std::uint64_t{0});
+    meta.key("args").begin_object();
+    meta.key("name").value(label);
+    meta.end_object();
+    meta.end_object();
+  }
+  meta.end_array();
+  std::string meta_body = meta.str();
+  meta_body = meta_body.substr(1, meta_body.size() - 2);  // strip [ ]
+  if (!meta_body.empty() && !first_event) meta_body.insert(0, ",");
+
+  std::string doc = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  doc += body;
+  doc += meta_body;
+  doc += "]}";
+  return write_file(out_path, doc, error);
+}
+
+}  // namespace intox::obs

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flightrec.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +38,22 @@ bool is_directory(const std::string& path) {
 bool ends_with(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Shared invariants section for run reports and point records:
+// last_message stays for backward compatibility; recent_messages is the
+// bounded ring (kCount mode used to keep only the newest message).
+void write_invariants_block(JsonWriter& w) {
+  w.key("invariants").begin_object();
+  w.key("mode").value(invariant_mode_name());
+  w.key("violations").value(validate::invariant_violations());
+  w.key("last_message").value(validate::last_invariant_message());
+  w.key("recent_messages").begin_array();
+  for (const std::string& message : validate::recent_invariant_messages()) {
+    w.value(message);
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace
@@ -101,8 +118,18 @@ BenchSession::BenchSession(int argc, char** argv, std::string family)
         std::exit(2);
       }
       set_trace_path(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--flightrec-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --flightrec-out requires a path\n");
+        std::exit(2);
+      }
+      set_flightrec_dump_path(argv[i + 1]);
     }
   }
+  // Every bench/scenario process gets the crash plumbing: a fatal
+  // invariant or signal flushes the flight recorder (when a dump path
+  // is configured) before the process dies.
+  flightrec_init();
   if (path_.empty()) {
     if (const char* env = std::getenv("INTOX_METRICS")) {
       if (env[0] != '\0') {
@@ -186,11 +213,7 @@ std::string BenchSession::to_json() const {
   }
   w.end_array();
   w.key("metrics").raw(Registry::global().json());
-  w.key("invariants").begin_object();
-  w.key("mode").value(invariant_mode_name());
-  w.key("violations").value(validate::invariant_violations());
-  w.key("last_message").value(validate::last_invariant_message());
-  w.end_object();
+  write_invariants_block(w);
   w.end_object();
   return w.str();
 }
@@ -229,11 +252,7 @@ bool write_point_record(const std::string& path, const PointRecord& record) {
   w.key("exit").value(static_cast<std::int64_t>(record.exit_code));
   w.key("stdout").value(record.stdout_text);
   w.key("metrics").raw(Registry::global().deterministic_json());
-  w.key("invariants").begin_object();
-  w.key("mode").value(invariant_mode_name());
-  w.key("violations").value(validate::invariant_violations());
-  w.key("last_message").value(validate::last_invariant_message());
-  w.end_object();
+  write_invariants_block(w);
   w.end_object();
 
   // Write-temp-then-rename within the destination directory, so the

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -208,7 +210,8 @@ bool trace_flush() {
     w.key("ph").value(std::string_view{&e.phase, 1});
     w.key("ts").value(e.ts_us);
     if (e.phase == 'X') w.key("dur").value(e.dur_us);
-    w.key("pid").value(std::uint64_t{1});
+    // Real pid so merged multi-process sweep traces get per-pid lanes.
+    w.key("pid").value(static_cast<std::uint64_t>(::getpid()));
     w.key("tid").value(static_cast<std::uint64_t>(e.tid));
     if (e.phase == 'C') {
       w.key("args").begin_object();

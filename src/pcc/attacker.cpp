@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flightrec.hpp"
 #include "pcc/utility.hpp"
 
 namespace intox::pcc {
@@ -20,7 +21,14 @@ sim::TapAction PccMitm::on_packet(net::Packet& pkt) {
   const sim::TapAction action = config_.mode == PccMitmConfig::Mode::kOmniscient
                                     ? omniscient(pkt)
                                     : shaper(pkt);
-  if (action == sim::TapAction::kDrop) ++dropped_;
+  if (action == sim::TapAction::kDrop) {
+    ++dropped_;
+    obs::flightrec_record(
+        obs::FrType::kAttackerAction,
+        static_cast<std::uint64_t>(sched_.now()),
+        static_cast<std::uint64_t>(obs::FrAttackerKind::kPccMitmDrop),
+        config_.mode == PccMitmConfig::Mode::kOmniscient ? 0 : 1, dropped_);
+  }
   return action;
 }
 

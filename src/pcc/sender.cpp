@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "pcc/utility.hpp"
 
@@ -289,11 +290,17 @@ void PccSender::evaluate(const MonitorInterval& mi, double u) {
       direction_ = up_wins ? 1 : -1;
       state_ = State::kAdjusting;
       adjust_step_ = 1;
+      const double old_base_bps = base_rate_bps_;
       rate_bps_ = std::clamp(
           base_rate_bps_ *
               (1.0 + static_cast<double>(direction_) * epsilon_),
           config_.min_rate_bps, config_.max_rate_bps);
       base_rate_bps_ = rate_bps_;
+      obs::flightrec_record(obs::FrType::kPccDecision,
+                            static_cast<std::uint64_t>(mi.end),
+                            up_wins ? 1 : 2,
+                            static_cast<std::uint64_t>(old_base_bps),
+                            static_cast<std::uint64_t>(rate_bps_));
       prev_utility_ = u;  // seed the adjusting phase with the latest sample
       epsilon_ = config_.epsilon_min;
     } else {
@@ -305,6 +312,9 @@ void PccSender::evaluate(const MonitorInterval& mi, double u) {
                            config_.epsilon_max, epsilon_cap_});
       rate_bps_ = base_rate_bps_;
       need_new_experiment_ = true;
+      obs::flightrec_record(obs::FrType::kPccDecision,
+                            static_cast<std::uint64_t>(mi.end), 0, 0,
+                            static_cast<std::uint64_t>(rate_bps_));
     }
   }
 }

@@ -1,5 +1,6 @@
 #include "pytheas/engine.hpp"
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
 namespace intox::pytheas {
@@ -11,6 +12,7 @@ void PytheasEngine::join(SessionId session, const SessionFeatures& features) {
   auto it = groups_.find(features);
   if (it == groups_.end()) {
     it = groups_.emplace(features, std::make_unique<Group>(config_)).first;
+    it->second->id = next_group_id_++;
   }
   it->second->members.push_back(session);
   session_group_[session] = features;
@@ -73,7 +75,14 @@ void PytheasEngine::redeal(Group& group) {
   // provide the bandit's exploration, so the UCB bonus is not applied to
   // the bulk of the traffic (one unlucky arm would otherwise attract the
   // whole group just for being under-sampled).
+  const ArmId prev_best = group.best;
   group.best = static_cast<ArmId>(group.bandit.best_mean_arm());
+  if (group.best != prev_best) {
+    // Time word carries the epoch index: the engine has no scheduler
+    // clock, and the epoch is the decision cadence anyway.
+    obs::flightrec_record(obs::FrType::kPytheasMove, epochs_ended_,
+                          group.id, prev_best, group.best);
+  }
   // Exploration: spread a fraction of members across all arms uniformly;
   // the rest exploit.
   for (SessionId s : group.members) {
@@ -90,6 +99,7 @@ void PytheasEngine::end_epoch() {
   static obs::Counter& epochs =
       obs::Registry::global().counter("pytheas.epochs");
   epochs.add(1);
+  ++epochs_ended_;
   for (auto& [key, group] : groups_) {
     redeal(*group);
     group->bandit.decay();

@@ -70,6 +70,7 @@ class PytheasEngine {
   struct Group {
     DiscountedUcb bandit;
     ArmId best = 0;
+    std::uint64_t id = 0;  // creation-order label for forensics records
     std::vector<SessionId> members;
     std::vector<QoeReport> epoch_reports;
     explicit Group(const EngineConfig& cfg) : bandit(cfg.arms, cfg.ucb) {}
@@ -87,6 +88,8 @@ class PytheasEngine {
   std::unordered_map<SessionId, ArmId> session_arm_;
   std::shared_ptr<ReportFilter> filter_;
   std::uint64_t filtered_ = 0;
+  std::uint64_t next_group_id_ = 0;
+  std::uint64_t epochs_ended_ = 0;
 };
 
 }  // namespace intox::pytheas

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/flightrec.hpp"
+#include "obs/forensics.hpp"
 #include "obs/report.hpp"
 #include "scenario/console.hpp"
 #include "scenario/knob.hpp"
@@ -46,6 +48,8 @@ void usage(std::FILE* out) {
                "      --metrics-out FILE     write the BENCH_<family>.json "
                "report here\n"
                "      --trace-out FILE       write trace spans here\n"
+               "      --flightrec-out FILE   write the flight-recorder "
+               "crash dump here\n"
                "      --point N              run only point N of the sweep "
                "cross-product\n"
                "      --point-record FILE    with --point: write a point "
@@ -54,6 +58,11 @@ void usage(std::FILE* out) {
                "processes\n"
                "      (run + --workers N, --cache-dir DIR, --out FILE; see "
                "'intox sweep --help')\n"
+               "  forensics <dump> [--trace-out FILE]\n"
+               "                             render a flight-recorder crash "
+               "dump as a timeline\n"
+               "                             (and optionally a Chrome-trace "
+               "file)\n"
                "  validate [scenario...]     rerun with throw-mode "
                "invariants, console off\n"
                "  help                       this text\n");
@@ -256,7 +265,7 @@ int cmd_run(int argc, char** argv) {
       if (i + 1 >= argc) return fail("--point-record requires a file path");
       point_record_path = argv[++i];
     } else if (arg == "--threads" || arg == "--metrics-out" ||
-               arg == "--trace-out") {
+               arg == "--trace-out" || arg == "--flightrec-out") {
       // Value validated and consumed by BenchSession from the original
       // argv; here we only insist the value exists.
       if (i + 1 >= argc) {
@@ -283,6 +292,7 @@ int cmd_run(int argc, char** argv) {
                 (total == 1 ? " point)" : " points)"));
   }
 
+  obs::flightrec_set_scenario(sc->name.c_str());
   obs::BenchSession session{argc, argv, sc->family};
   if (point.has_value()) session.apply_point_suffix(*point);
   sim::ParallelRunner runner{session.threads()};
@@ -355,6 +365,7 @@ int cmd_validate(int argc, char** argv) {
   for (const Scenario* sc : targets) {
     KnobSet knobs;
     if (sc->declare_knobs != nullptr) sc->declare_knobs(knobs);
+    obs::flightrec_set_scenario(sc->name.c_str());
     obs::BenchSession session{0, nullptr, sc->family};
     sim::ParallelRunner runner{session.threads()};
     Console console;
@@ -378,9 +389,61 @@ int cmd_validate(int argc, char** argv) {
   return failures > 0 ? 1 : 0;
 }
 
+int cmd_forensics(int argc, char** argv) {
+  std::string dump_path;
+  std::string trace_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace-out") {
+      if (i + 1 >= argc) return fail("--trace-out requires a value");
+      trace_out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return fail("forensics: unknown argument '" + std::string(arg) +
+                  "' (usage: intox forensics <dump> [--trace-out FILE])");
+    } else if (dump_path.empty()) {
+      dump_path = arg;
+    } else {
+      return fail("forensics: multiple dump paths given");
+    }
+  }
+  if (dump_path.empty()) return fail("forensics: missing dump path");
+
+  obs::FlightrecDump dump;
+  std::string error;
+  if (!obs::load_flightrec_dump(dump_path, &dump, &error)) {
+    return fail("forensics: " + error);
+  }
+  const std::string timeline = obs::render_flightrec_timeline(dump);
+  std::fwrite(timeline.data(), 1, timeline.size(), stdout);
+  if (!trace_out.empty()) {
+    const std::string doc = obs::render_flightrec_chrome_trace(dump);
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      return fail("forensics: cannot write " + trace_out);
+    }
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok) return fail("forensics: short write to " + trace_out);
+    std::fprintf(stderr, "forensics: wrote Chrome trace to %s\n",
+                 trace_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int driver_main(int argc, char** argv) {
+  // Crash plumbing first: any command (and any scenario body it runs)
+  // dumps the flight recorder on a fatal invariant or signal. The
+  // pid-suffixed default keeps concurrent drivers from clobbering one
+  // another; --flightrec-out / INTOX_FLIGHTREC_DUMP override it.
+  obs::flightrec_init();
+  if (obs::flightrec_dump_path().empty()) {
+    obs::set_flightrec_dump_path(
+        "intox.flightrec." + std::to_string(static_cast<long>(::getpid())) +
+        ".json");
+  }
   if (argc < 2) {
     usage(stderr);
     return 2;
@@ -394,6 +457,7 @@ int driver_main(int argc, char** argv) {
   if (command == "knobs") return cmd_knobs(argc, argv);
   if (command == "run") return cmd_run(argc, argv);
   if (command == "validate") return cmd_validate(argc, argv);
+  if (command == "forensics") return cmd_forensics(argc, argv);
   return fail("unknown command '" + std::string(command) +
               "' (try 'intox help')");
 }

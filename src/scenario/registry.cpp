@@ -20,6 +20,7 @@ int scenario_anchor_nethide();
 int scenario_anchor_defense();
 int scenario_anchor_ext();
 int scenario_anchor_examples();
+int scenario_anchor_debug();
 
 namespace {
 
@@ -28,7 +29,7 @@ int touch_anchors() {
          scenario_anchor_pytheas() + scenario_anchor_sketch() +
          scenario_anchor_sppifo() + scenario_anchor_nethide() +
          scenario_anchor_defense() + scenario_anchor_ext() +
-         scenario_anchor_examples();
+         scenario_anchor_examples() + scenario_anchor_debug();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "validate/invariant.hpp"
@@ -117,6 +118,10 @@ bool Scheduler::fire_next(Time bound) {
                   static_cast<unsigned long long>(encode_id(ref).value));
   if (oracle_) oracle_->mirror_fire(encode_id(ref).value, t, pending());
   if (t > now_) now_ = t;
+  // Hottest record site in the repo: one enabled-check + five relaxed
+  // stores, guarded by the blink.e2e perf-gate baseline.
+  obs::flightrec_record(obs::FrType::kSchedFire,
+                        static_cast<std::uint64_t>(t));
   if (!have_cb) return true;  // counter-only mode: consume, skip
   cb();
   ++processed_;

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "validate/invariant.hpp"
 
 namespace intox::sim {
+
+namespace {
+
+void record_drop(obs::FrDropCause cause, const sim::Scheduler& sched,
+                 const net::Packet& pkt) {
+  obs::flightrec_record(obs::FrType::kLinkDrop,
+                        static_cast<std::uint64_t>(sched.now()),
+                        static_cast<std::uint64_t>(cause), pkt.dst.value(),
+                        pkt.size_bytes());
+}
+
+}  // namespace
 
 Link::~Link() {
   // Counter handles are resolved once per process; the destructor then
@@ -53,10 +66,12 @@ void Link::transmit(net::Packet pkt) {
 
   if (!up_) {
     ++counters_.dropped_down;
+    record_drop(obs::FrDropCause::kDown, sched_, pkt);
     return;
   }
   if (tap_ && tap_(pkt) == TapAction::kDrop) {
     ++counters_.dropped_tap;
+    record_drop(obs::FrDropCause::kTap, sched_, pkt);
     return;
   }
 
@@ -66,6 +81,7 @@ void Link::transmit(net::Packet pkt) {
   if (backlog + pkt.size_bytes() >
       static_cast<double>(config_.queue_limit_bytes)) {
     ++counters_.dropped_queue;
+    record_drop(obs::FrDropCause::kQueue, sched_, pkt);
     return;
   }
 
@@ -79,6 +95,7 @@ void Link::transmit(net::Packet pkt) {
         config_.red_max_prob * (backlog - config_.red_min_bytes) / span);
     if (red_rng_.bernoulli(p)) {
       ++counters_.dropped_red;
+      record_drop(obs::FrDropCause::kRed, sched_, pkt);
       return;
     }
   }

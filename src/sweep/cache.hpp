@@ -41,9 +41,14 @@ CacheKey point_cache_key(
     const std::vector<std::pair<std::string, std::string>>& knobs);
 
 /// Filesystem layout of one cache directory:
-///   <dir>/<key>.json   committed point records
-///   <dir>/<key>.log    the producing worker's stderr
-///   <dir>/task.*       shared task files (sweep/task_file.hpp)
+///   <dir>/<key>.json            committed point records
+///   <dir>/<key>.log             the producing worker's stderr
+///   <dir>/<key>.flightrec.json  the worker's crash dump, if it crashed
+///   <dir>/<key>.fail.json       intox.sweep_failure.v1 sidecar for a
+///                               failed point (never the record path, so
+///                               presence-of-record == completion holds)
+///   <dir>/<key>.trace.json      the worker's Chrome trace (--trace-out)
+///   <dir>/task.*                shared task files (sweep/task_file.hpp)
 class PointCache {
  public:
   explicit PointCache(std::string dir) : dir_(std::move(dir)) {}
@@ -56,6 +61,9 @@ class PointCache {
 
   [[nodiscard]] std::string record_path(const CacheKey& key) const;
   [[nodiscard]] std::string log_path(const CacheKey& key) const;
+  [[nodiscard]] std::string dump_path(const CacheKey& key) const;
+  [[nodiscard]] std::string failure_path(const CacheKey& key) const;
+  [[nodiscard]] std::string trace_path(const CacheKey& key) const;
 
   /// True when a committed record exists for `key`.
   [[nodiscard]] bool has(const CacheKey& key) const;

@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 #include "obs/json.hpp"
+#include "obs/json_parse.hpp"
 
 namespace intox::sweep {
 
@@ -23,6 +25,52 @@ bool read_file(const std::string& path, std::string* out) {
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
+}
+
+/// Running cross-point statistic for one metric. Accumulated in point
+/// order over std::map (name-sorted emission), so the rendered numbers
+/// are a pure function of the record set — resume byte-identity holds.
+struct MetricAgg {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+
+  void fold(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    sum += v;
+    ++count;
+  }
+};
+
+void fold_metric_section(const obs::JsonValue& metrics, const char* section,
+                         std::map<std::string, MetricAgg>* aggs) {
+  const obs::JsonValue* obj = metrics.find(section);
+  if (obj == nullptr || !obj->is_object()) return;
+  for (const auto& [name, value] : obj->members) {
+    if (value.is_number()) (*aggs)[name].fold(value.number);
+  }
+}
+
+void write_aggregate_section(obs::JsonWriter& w, const char* section,
+                             const std::map<std::string, MetricAgg>& aggs) {
+  w.key(section).begin_object();
+  for (const auto& [name, agg] : aggs) {
+    w.key(name).begin_object();
+    w.key("count").value(agg.count);
+    w.key("min").value(agg.min);
+    w.key("max").value(agg.max);
+    w.key("mean").value(agg.count > 0
+                            ? agg.sum / static_cast<double>(agg.count)
+                            : 0.0);
+    w.end_object();
+  }
+  w.end_object();
 }
 
 }  // namespace
@@ -44,6 +92,8 @@ std::string render_merged_report(const MergeInput& in, std::string* error) {
   }
   w.end_array();
   w.key("points").value(static_cast<std::uint64_t>(in.record_paths.size()));
+  std::map<std::string, MetricAgg> counter_aggs;
+  std::map<std::string, MetricAgg> gauge_aggs;
   w.key("records").begin_array();
   std::string record;
   for (std::size_t i = 0; i < in.record_paths.size(); ++i) {
@@ -63,8 +113,21 @@ std::string render_merged_report(const MergeInput& in, std::string* error) {
       return "";
     }
     w.raw(record);
+    // Cross-point aggregates: a record without a parseable metrics
+    // section (foreign or hand-written) simply contributes nothing.
+    obs::JsonValue parsed;
+    if (obs::json_parse(record, &parsed, nullptr)) {
+      if (const obs::JsonValue* metrics = parsed.find("metrics")) {
+        fold_metric_section(*metrics, "counters", &counter_aggs);
+        fold_metric_section(*metrics, "gauges", &gauge_aggs);
+      }
+    }
   }
   w.end_array();
+  w.key("aggregates").begin_object();
+  write_aggregate_section(w, "counters", counter_aggs);
+  write_aggregate_section(w, "gauges", gauge_aggs);
+  w.end_object();
   w.end_object();
   return w.str() + "\n";
 }

@@ -1,11 +1,17 @@
 // Merged sweep report: one deterministic document per completed sweep.
 //
 // The orchestrator concatenates the per-point records — in point order,
-// verbatim — under an intox.sweep_report.v1 envelope. Every field is a
-// pure function of (binary, scenario, knob vector), so a sweep that was
-// interrupted and resumed produces a report byte-identical to an
-// uninterrupted run; cache-hit accounting deliberately lives in the
-// obs registry / stderr summary instead, where it belongs.
+// verbatim — under an intox.sweep_report.v1.1 envelope, and folds
+// cross-point aggregates (count/min/max/mean per metric, across every
+// point whose record carries a parseable metrics section) after the
+// records array. Every field is a pure function of (binary, scenario,
+// knob vector), so a sweep that was interrupted and resumed produces a
+// report byte-identical to an uninterrupted run; cache-hit accounting
+// deliberately lives in the obs registry / stderr summary instead,
+// where it belongs.
+//
+// v1 -> v1.1: added the "aggregates" object (minor bump — consumers of
+// v1 fields are unaffected apart from the schema string).
 #pragma once
 
 #include <string>
@@ -15,7 +21,7 @@
 
 namespace intox::sweep {
 
-inline constexpr const char* kSweepReportSchema = "intox.sweep_report.v1";
+inline constexpr const char* kSweepReportSchema = "intox.sweep_report.v1.1";
 
 struct MergeInput {
   std::string scenario;

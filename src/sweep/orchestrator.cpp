@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <spawn.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -20,8 +21,11 @@
 #include <vector>
 
 #include "net/hash.hpp"
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "scenario/knob.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
@@ -55,6 +59,9 @@ void sweep_usage(std::FILE* out) {
       "                         or $INTOX_SWEEP_CACHE)\n"
       "  --out FILE             merged report path (default: stdout)\n"
       "  --metrics-out FILE     orchestrator BENCH_SWEEP.json report\n"
+      "  --trace-out FILE       merged Chrome trace: orchestrator plus\n"
+      "                         every worker, one lane per pid\n"
+      "  --flightrec-out FILE   orchestrator flight-recorder dump path\n"
       "\n"
       "Completed points are cached by (binary, scenario, knob vector);\n"
       "rerunning the same command resumes an interrupted sweep and\n"
@@ -85,6 +92,7 @@ struct SweepArgs {
   std::size_t workers = 0;               // 0 = auto
   std::string cache_dir;
   std::string out_path;                  // empty = stdout
+  std::string trace_out;                 // empty = no session trace
 };
 
 /// Applies a key=value config file (same semantics as `intox run`).
@@ -212,7 +220,14 @@ std::string parse_args(int argc, char** argv, SweepArgs* out) {
     } else if (arg == "--out") {
       if (i + 1 >= argc) return "--out requires a file path";
       out->out_path = argv[++i];
-    } else if (arg == "--metrics-out" || arg == "--trace-out") {
+    } else if (arg == "--trace-out") {
+      // Captured here rather than passed through: every process in the
+      // sweep writing the same file would clobber it, so the
+      // orchestrator and each worker get private paths that are merged
+      // into this one at the end.
+      if (i + 1 >= argc) return "--trace-out requires a value";
+      out->trace_out = argv[++i];
+    } else if (arg == "--metrics-out" || arg == "--flightrec-out") {
       // Orchestrator-side sinks, consumed by BenchSession from argv.
       if (i + 1 >= argc) return std::string(arg) + " requires a value";
       ++i;
@@ -233,7 +248,86 @@ std::string parse_args(int argc, char** argv, SweepArgs* out) {
     }
   }
   if (out->cache_dir.empty()) out->cache_dir = ".intox-sweep-cache";
+  if (out->trace_out.empty()) {
+    // INTOX_TRACE is the env spelling of --trace-out; routing it
+    // through the same capture keeps workers (which inherit the
+    // environment) from racing each other over one file.
+    if (const char* env = std::getenv("INTOX_TRACE")) {
+      if (env[0] != '\0') out->trace_out = env;
+    }
+  }
   return "";
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+/// Commits an intox.sweep_failure.v1 sidecar next to where the failed
+/// point's record would live, pointing at the worker's stderr log and —
+/// when the worker crashed hard enough to dump — its flight-recorder
+/// dump. Best-effort: a failed point already exits the sweep non-zero.
+void write_failure_sidecar(const std::string& path,
+                           const std::string& scenario, std::size_t point,
+                           const std::string& banner,
+                           const std::string& log_path,
+                           const std::string& flightrec_path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("intox.sweep_failure.v1");
+  w.key("scenario").value(scenario);
+  w.key("point").value(static_cast<std::uint64_t>(point));
+  w.key("banner").value(banner);
+  w.key("log").value(log_path);
+  w.key("flightrec");
+  if (flightrec_path.empty()) {
+    w.raw("null");
+  } else {
+    w.value(flightrec_path);
+  }
+  w.end_object();
+  const std::string doc = w.str() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+}
+
+/// Folds the orchestrator's own trace buffer plus every existing
+/// per-point worker trace into the requested --trace-out file, one
+/// process lane per pid. Runs on every exit path that follows the
+/// worker pool, including incomplete sweeps (partial traces are exactly
+/// what a postmortem wants).
+void finalize_session_trace(const SweepArgs& args, const PointCache& cache,
+                            const std::vector<CacheKey>& keys) {
+  if (args.trace_out.empty()) return;
+  const std::string tmp = args.trace_out + ".orch.tmp.json";
+  obs::trace_flush();
+  // Disable before BenchSession teardown re-flushes over the merge.
+  obs::set_trace_path("");
+  std::vector<std::string> paths;
+  std::vector<std::string> labels;
+  if (file_exists(tmp)) {
+    paths.push_back(tmp);
+    labels.push_back("orchestrator");
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string p = cache.trace_path(keys[i]);
+    if (!file_exists(p)) continue;
+    paths.push_back(p);
+    labels.push_back("point " + std::to_string(i));
+  }
+  std::string error;
+  if (paths.empty() ||
+      !obs::merge_chrome_traces(paths, labels, args.trace_out, &error)) {
+    std::fprintf(stderr, "intox sweep: trace merge failed: %s\n",
+                 error.empty() ? "no readable trace inputs" : error.c_str());
+  } else {
+    std::fprintf(stderr, "intox sweep: merged trace -> %s\n",
+                 args.trace_out.c_str());
+  }
+  std::remove(tmp.c_str());
 }
 
 /// Runs one worker child to completion, stderr redirected to
@@ -319,6 +413,11 @@ int sweep_main(int argc, char** argv) {
   }
 
   obs::BenchSession session{argc, argv, "SWEEP"};
+  if (!args.trace_out.empty()) {
+    // BenchSession pointed the trace layer at the user's file; swap in
+    // a private temp so the final merge owns the real path.
+    obs::set_trace_path(args.trace_out + ".orch.tmp.json");
+  }
   obs::Registry& reg = obs::Registry::global();
   obs::Counter& c_total = reg.counter("sweep.points_total");
   obs::Counter& c_cached = reg.counter("sweep.points_cached");
@@ -366,7 +465,16 @@ int sweep_main(int argc, char** argv) {
                      args.child_flags.end());
         child.insert(child.end(),
                      {"--point", std::to_string(idx), "--point-record",
-                      cache.record_path(keys[idx])});
+                      cache.record_path(keys[idx]), "--flightrec-out",
+                      cache.dump_path(keys[idx])});
+        if (!args.trace_out.empty()) {
+          child.insert(child.end(),
+                       {"--trace-out", cache.trace_path(keys[idx])});
+        }
+        // A crash dump or failure sidecar from an earlier attempt must
+        // not survive a clean rerun of the same point.
+        std::remove(cache.dump_path(keys[idx]).c_str());
+        std::remove(cache.failure_path(keys[idx]).c_str());
         std::string err;
         const bool spawned =
             run_child(child, cache.log_path(keys[idx]), &err);
@@ -375,10 +483,21 @@ int sweep_main(int argc, char** argv) {
           continue;
         }
         failed.fetch_add(1, std::memory_order_relaxed);
+        const std::string dump = cache.dump_path(keys[idx]);
+        const bool have_dump = file_exists(dump);
+        write_failure_sidecar(cache.failure_path(keys[idx]), args.sc->name,
+                              idx, err, cache.log_path(keys[idx]),
+                              have_dump ? dump : std::string{});
         std::lock_guard<std::mutex> lock(stderr_mu);
         std::fprintf(stderr, "intox sweep: point %zu failed%s%s (see %s)\n",
                      idx, err.empty() ? "" : ": ", err.c_str(),
                      cache.log_path(keys[idx]).c_str());
+        if (have_dump) {
+          std::fprintf(stderr,
+                       "intox sweep: point %zu flight recorder dump: %s "
+                       "(render with 'intox forensics')\n",
+                       idx, dump.c_str());
+        }
       }
     };
 
@@ -410,6 +529,7 @@ int sweep_main(int argc, char** argv) {
                args.sc->name.c_str(), total, total - pending.size(),
                executed.load(std::memory_order_relaxed),
                failed.load(std::memory_order_relaxed));
+  finalize_session_trace(args, cache, keys);
   if (missing > 0) {
     std::fprintf(stderr,
                  "intox sweep: %zu of %zu points incomplete; rerun the "

@@ -26,8 +26,14 @@ InvariantMode default_mode() {
 
 std::atomic<InvariantMode> g_mode{default_mode()};
 std::atomic<std::uint64_t> g_violations{0};
+std::atomic<InvariantObserver> g_observer{nullptr};
+std::atomic<InvariantFatalHook> g_fatal_hook{nullptr};
 std::mutex g_message_mutex;
-std::string g_last_message;  // guarded by g_message_mutex
+// Ring of the last kRecentInvariantMessages messages; g_message_seq
+// counts all stored messages, so seq % size is the next slot and the
+// newest message lives at (seq - 1) % size. Guarded by g_message_mutex.
+std::string g_messages[kRecentInvariantMessages];
+std::uint64_t g_message_seq = 0;
 
 }  // namespace
 
@@ -46,12 +52,35 @@ std::uint64_t invariant_violations() {
 void reset_invariant_violations() {
   g_violations.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(g_message_mutex);
-  g_last_message.clear();
+  for (std::string& m : g_messages) m.clear();
+  g_message_seq = 0;
 }
 
 std::string last_invariant_message() {
   std::lock_guard<std::mutex> lock(g_message_mutex);
-  return g_last_message;
+  if (g_message_seq == 0) return "";
+  return g_messages[(g_message_seq - 1) % kRecentInvariantMessages];
+}
+
+std::vector<std::string> recent_invariant_messages() {
+  std::lock_guard<std::mutex> lock(g_message_mutex);
+  const std::uint64_t count =
+      g_message_seq < kRecentInvariantMessages ? g_message_seq
+                                               : kRecentInvariantMessages;
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint64_t i = g_message_seq - count; i < g_message_seq; ++i) {
+    out.push_back(g_messages[i % kRecentInvariantMessages]);
+  }
+  return out;
+}
+
+InvariantObserver set_invariant_observer(InvariantObserver observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+InvariantFatalHook set_invariant_fatal_hook(InvariantFatalHook hook) {
+  return g_fatal_hook.exchange(hook, std::memory_order_acq_rel);
 }
 
 void invariant_failed(const char* file, int line, const char* fmt, ...) {
@@ -67,12 +96,20 @@ void invariant_failed(const char* file, int line, const char* fmt, ...) {
   g_violations.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(g_message_mutex);
-    g_last_message = message;
+    g_messages[g_message_seq % kRecentInvariantMessages] = message;
+    ++g_message_seq;
+  }
+  if (InvariantObserver obs = g_observer.load(std::memory_order_acquire)) {
+    obs(file, line, message.c_str());
   }
 
   switch (g_mode.load(std::memory_order_relaxed)) {
     case InvariantMode::kFatal:
       std::fprintf(stderr, "%s\n", message.c_str());
+      if (InvariantFatalHook hook =
+              g_fatal_hook.load(std::memory_order_acquire)) {
+        hook(message.c_str());
+      }
       std::abort();
     case InvariantMode::kThrow:
       throw InvariantError(message);

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace intox::validate {
 
@@ -60,6 +61,30 @@ void reset_invariant_violations();
 /// Human-readable "file:line: invariant violated: ..." for the most
 /// recent violation; empty if none since the last reset.
 std::string last_invariant_message();
+
+/// Bounded history depth of recent_invariant_messages().
+inline constexpr std::size_t kRecentInvariantMessages = 16;
+
+/// The last kRecentInvariantMessages violation messages, oldest first.
+/// kCount mode used to keep only the newest message, which made the
+/// degraded-path history unreadable after the first follow-on failure;
+/// run reports and flightrec dumps surface this ring instead.
+std::vector<std::string> recent_invariant_messages();
+
+/// Observer invoked on *every* violation, after the counter/ring update
+/// and before mode dispatch (so it runs even when kFatal aborts or
+/// kThrow unwinds). Used by obs/flightrec to mirror violations into the
+/// flight recorder without validate depending back on obs. Must not
+/// throw. Returns the previously installed observer (nullptr if none).
+using InvariantObserver = void (*)(const char* file, int line,
+                                   const char* message);
+InvariantObserver set_invariant_observer(InvariantObserver observer);
+
+/// Hook invoked in kFatal mode after the stderr diagnostic and before
+/// abort(). obs/flightrec installs its dump-on-failure writer here.
+/// Returns the previously installed hook (nullptr if none).
+using InvariantFatalHook = void (*)(const char* message);
+InvariantFatalHook set_invariant_fatal_hook(InvariantFatalHook hook);
 
 /// Formats and dispatches a violation per the current mode. Returns (to
 /// the caller's degraded path) only in kCount mode.

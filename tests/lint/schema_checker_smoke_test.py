@@ -81,10 +81,55 @@ def main():
             "sweeps": [],
             "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
             "invariants": {"mode": "count", "violations": 0,
-                           "last_message": ""},
+                           "last_message": "", "recent_messages": []},
         }))
         proc = run(script, str(good))
         check(proc.returncode == 0, "valid minimal report exits 0")
+
+        # Minimal flightrec dump and failure sidecar pass too.
+        dump = tmpdir / "dump.flightrec.json"
+        dump.write_text(json.dumps({
+            "schema": "intox.flightrec.v1",
+            "pid": 42,
+            "reason": "signal:SIGSEGV",
+            "detail": "",
+            "scenario": "smoke",
+            "types": ["none", "sched.fire", "link.drop", "invariant.raise",
+                      "blink.retx", "blink.reroute", "blink.veto",
+                      "pcc.decision", "pytheas.move", "attacker.action",
+                      "note"],
+            "invariants": {"violations": 0, "recent_messages": []},
+            "dropped_threads": 0,
+            "threads": [{"tid": 1, "lanes": [
+                {"lane": "hot", "capacity": 4, "recorded": 6, "dropped": 2,
+                 "records": [[1, 1, 0, 0, 0], [2, 1, 0, 0, 0],
+                             [3, 1, 0, 0, 0], [4, 1, 0, 0, 0]]},
+                {"lane": "decision", "capacity": 4, "recorded": 0,
+                 "dropped": 0, "records": []},
+            ]}],
+        }))
+        proc = run(script, str(dump))
+        check(proc.returncode == 0, "valid flightrec dump exits 0")
+
+        bad_dump = tmpdir / "bad.flightrec.json"
+        bad_dump.write_text(json.dumps({
+            "schema": "intox.flightrec.v1",
+            "pid": 42, "reason": "manual", "detail": "", "scenario": "",
+            "types": ["only-one"],
+            "invariants": {"violations": 0, "recent_messages": []},
+            "dropped_threads": 0, "threads": [],
+        }))
+        expect_one_line_fail(script, bad_dump,
+                             "flightrec dump with a bad type table")
+
+        sidecar = tmpdir / "fail.json"
+        sidecar.write_text(json.dumps({
+            "schema": "intox.sweep_failure.v1",
+            "scenario": "smoke", "point": 3, "banner": "seed=3",
+            "log": "/tmp/x.log", "flightrec": None,
+        }))
+        proc = run(script, str(sidecar))
+        check(proc.returncode == 0, "valid failure sidecar exits 0")
 
         # One bad file among good ones still fails the batch.
         proc = run(script, str(good), str(empty))

@@ -1,0 +1,309 @@
+// Flight recorder: lock-free recording, signal-safe dumps, forensics
+// rendering. The concurrency tests carry the binary's `sanitize` label,
+// so the tsan preset hammers concurrent record/dump; the death tests
+// prove the dump-on-failure path end to end (fatal invariant and a real
+// SIGSEGV each commit a schema-valid dump before the process dies).
+#include "obs/flightrec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/forensics.hpp"
+#include "obs/json_parse.hpp"
+#include "validate/invariant.hpp"
+
+namespace intox::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Finds this thread's lane object ("hot" or "decision") in a parsed
+/// dump; nullptr when absent.
+const JsonValue* find_lane(const JsonValue& doc, std::uint32_t tid,
+                           const char* lane) {
+  const JsonValue* threads = doc.find("threads");
+  if (threads == nullptr || !threads->is_array()) return nullptr;
+  for (const JsonValue& t : threads->items) {
+    const JsonValue* id = t.find("tid");
+    if (id == nullptr || id->as_u64() != tid) continue;
+    const JsonValue* lanes = t.find("lanes");
+    if (lanes == nullptr || !lanes->is_array()) return nullptr;
+    for (const JsonValue& l : lanes->items) {
+      const JsonValue* name = l.find("lane");
+      if (name != nullptr && name->text == lane) return &l;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Flightrec, RecordingBumpsTheProcessCounter) {
+  set_flightrec_enabled(true);
+  const std::uint64_t before = flightrec_records_recorded();
+  flightrec_record(FrType::kNote, 1, 2, 3, 4);
+  flightrec_record(FrType::kSchedFire, 5);
+  EXPECT_EQ(flightrec_records_recorded(), before + 2);
+  EXPECT_GE(flightrec_registered_threads(), 1u);
+}
+
+TEST(Flightrec, DisabledRecordingIsANoOp) {
+  set_flightrec_enabled(true);
+  flightrec_record(FrType::kNote, 1);  // ensure the thread is registered
+  set_flightrec_enabled(false);
+  const std::uint64_t before = flightrec_records_recorded();
+  flightrec_record(FrType::kNote, 2);
+  EXPECT_EQ(flightrec_records_recorded(), before);
+  set_flightrec_enabled(true);
+}
+
+TEST(Flightrec, TypeNamesAreStable) {
+  EXPECT_STREQ(flightrec_type_name(FrType::kSchedFire), "sched.fire");
+  EXPECT_STREQ(flightrec_type_name(FrType::kBlinkReroute), "blink.reroute");
+  EXPECT_STREQ(flightrec_type_name(FrType::kPccDecision), "pcc.decision");
+  EXPECT_STREQ(flightrec_type_name(static_cast<FrType>(999)), "none");
+}
+
+TEST(Flightrec, DumpIsSchemaValidAndAccountsForEveryRecord) {
+  set_flightrec_enabled(true);
+  flightrec_set_scenario("flightrec.unit");
+  const std::uint32_t tid = flightrec_this_thread_tid();
+  // A sentinel in each lane: kSchedFire lands hot, kNote decision.
+  flightrec_record(FrType::kSchedFire, 777001, 1, 2, 3);
+  flightrec_record(FrType::kNote, 777002, 4, 5, 6);
+
+  const std::string path = temp_path("flightrec_unit.json");
+  ASSERT_TRUE(flightrec_dump(path.c_str(), "manual", "unit test"));
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse_file(path, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("schema")->text, kFlightrecSchema);
+  EXPECT_EQ(doc.find("reason")->text, "manual");
+  EXPECT_EQ(doc.find("detail")->text, "unit test");
+  EXPECT_EQ(doc.find("scenario")->text, "flightrec.unit");
+  EXPECT_GT(doc.find("pid")->as_u64(), 0u);
+  ASSERT_EQ(doc.find("types")->items.size(), kFrTypeCount);
+  EXPECT_EQ(doc.find("types")->items[1].text, "sched.fire");
+  ASSERT_NE(doc.find("invariants"), nullptr);
+  ASSERT_NE(doc.find("invariants")->find("recent_messages"), nullptr);
+
+  for (const char* lane : {"hot", "decision"}) {
+    const JsonValue* l = find_lane(doc, tid, lane);
+    ASSERT_NE(l, nullptr) << lane;
+    // recorded == dropped + kept is the lane bookkeeping invariant.
+    EXPECT_EQ(l->find("recorded")->as_u64(),
+              l->find("dropped")->as_u64() +
+                  l->find("records")->items.size())
+        << lane;
+  }
+  // The sentinels are the newest entries of their lanes, words intact.
+  const JsonValue* hot = find_lane(doc, tid, "hot");
+  const JsonValue& last_hot = hot->find("records")->items.back();
+  ASSERT_EQ(last_hot.items.size(), 5u);
+  EXPECT_EQ(last_hot.items[0].as_u64(), 777001u);
+  EXPECT_EQ(last_hot.items[1].as_u64(),
+            static_cast<std::uint64_t>(FrType::kSchedFire));
+  EXPECT_EQ(last_hot.items[4].as_u64(), 3u);
+  const JsonValue* decision = find_lane(doc, tid, "decision");
+  const JsonValue& last_dec = decision->find("records")->items.back();
+  EXPECT_EQ(last_dec.items[0].as_u64(), 777002u);
+  EXPECT_EQ(last_dec.items[4].as_u64(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(Flightrec, RingKeepsTheLastRecordsWhenOverflowed) {
+  set_flightrec_enabled(true);
+  const std::uint32_t tid = flightrec_this_thread_tid();
+  // Well past the decision-lane capacity (1024 by default): the ring
+  // must keep the *newest* records and account for the evictions.
+  constexpr std::uint64_t kWrites = 3000;
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    flightrec_record(FrType::kNote, i, i, 0, 0);
+  }
+  const std::string path = temp_path("flightrec_overflow.json");
+  ASSERT_TRUE(flightrec_dump(path.c_str(), "manual", nullptr));
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse_file(path, &doc, &error)) << error;
+  const JsonValue* lane = find_lane(doc, tid, "decision");
+  ASSERT_NE(lane, nullptr);
+  EXPECT_GT(lane->find("dropped")->as_u64(), 0u);
+  EXPECT_EQ(lane->find("recorded")->as_u64(),
+            lane->find("dropped")->as_u64() +
+                lane->find("records")->items.size());
+  const JsonValue& newest = lane->find("records")->items.back();
+  EXPECT_EQ(newest.items[0].as_u64(), kWrites - 1);
+  std::remove(path.c_str());
+}
+
+TEST(Flightrec, ConcurrentRecordAndDumpIsRaceFree) {
+  // TSan target: four writers flooding both lanes while the main thread
+  // dumps repeatedly. Torn records are acceptable; races are not.
+  set_flightrec_enabled(true);
+  const std::string path = temp_path("flightrec_stress.json");
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        flightrec_record(FrType::kSchedFire, i, static_cast<std::uint64_t>(w));
+        if ((i & 1023) == 0) {
+          flightrec_record(FrType::kPccDecision, i, 1, i, i + 1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(flightrec_dump(path.c_str(), "manual", "stress"));
+  }
+  for (std::thread& t : writers) t.join();
+  // A final quiescent dump parses and sees every writer thread.
+  ASSERT_TRUE(flightrec_dump(path.c_str(), "manual", "stress"));
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse_file(path, &doc, &error)) << error;
+  EXPECT_GE(doc.find("threads")->items.size(),
+            static_cast<std::size_t>(kWriters));
+  std::remove(path.c_str());
+}
+
+TEST(Flightrec, ForensicsRendersTheDump) {
+  set_flightrec_enabled(true);
+  flightrec_set_scenario("flightrec.render");
+  flightrec_record(FrType::kBlinkReroute, 2500000000ull, 0x0a000000u, 8, 3);
+  flightrec_record(FrType::kPccDecision, 3000000000ull, 2, 4000000, 2000000);
+  const std::string path = temp_path("flightrec_render.json");
+  ASSERT_TRUE(flightrec_dump(path.c_str(), "manual", "render"));
+
+  FlightrecDump dump;
+  std::string error;
+  ASSERT_TRUE(load_flightrec_dump(path, &dump, &error)) << error;
+  EXPECT_EQ(dump.scenario, "flightrec.render");
+  ASSERT_FALSE(dump.records.empty());
+  // Records arrive (time, tid, seq)-sorted.
+  for (std::size_t i = 1; i < dump.records.size(); ++i) {
+    EXPECT_LE(dump.records[i - 1].time, dump.records[i].time);
+  }
+
+  const std::string timeline = render_flightrec_timeline(dump);
+  EXPECT_NE(timeline.find("flightrec.render"), std::string::npos);
+  EXPECT_NE(timeline.find("REROUTE"), std::string::npos);
+  EXPECT_NE(timeline.find("10.0.0.0/8"), std::string::npos);
+  EXPECT_NE(timeline.find("rate DOWN"), std::string::npos);
+
+  const std::string trace = render_flightrec_chrome_trace(dump);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(trace, &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->items.empty());
+  EXPECT_EQ(events->items[0].find("ph")->text, "M");
+  std::remove(path.c_str());
+}
+
+TEST(Flightrec, MergeChromeTracesFoldsLanesAndSkipsUnreadable) {
+  const std::string a = temp_path("flightrec_trace_a.json");
+  const std::string b = temp_path("flightrec_trace_b.json");
+  const std::string out = temp_path("flightrec_trace_merged.json");
+  auto write = [](const std::string& path, const char* body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(body, f);
+    std::fclose(f);
+  };
+  write(a,
+        "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\"ts\":1,"
+        "\"pid\":100,\"tid\":1,\"s\":\"t\"}]}");
+  write(b,
+        "{\"traceEvents\":[{\"name\":\"y\",\"ph\":\"i\",\"ts\":2,"
+        "\"pid\":200,\"tid\":1,\"s\":\"t\"}]}");
+  std::string error;
+  ASSERT_TRUE(merge_chrome_traces({a, "/nonexistent/trace.json", b},
+                                  {"first", "gone", "second"}, out, &error))
+      << error;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse_file(out, &doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t instants = 0;
+  std::size_t labels = 0;
+  for (const JsonValue& e : events->items) {
+    if (e.find("ph")->text == "i") ++instants;
+    if (e.find("ph")->text == "M") ++labels;
+  }
+  EXPECT_EQ(instants, 2u);
+  EXPECT_EQ(labels, 2u);  // one process_name per distinct pid
+
+  // No readable input at all is an error.
+  EXPECT_FALSE(merge_chrome_traces({"/nonexistent/only.json"}, {"x"}, out,
+                                   &error));
+  for (const std::string& p : {a, b, out}) std::remove(p.c_str());
+}
+
+using FlightrecDeathTest = ::testing::Test;
+
+TEST(FlightrecDeathTest, FatalInvariantCommitsADumpBeforeAborting) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = temp_path("flightrec_fatal_invariant.json");
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        set_flightrec_dump_path(path);
+        flightrec_init();
+        flightrec_set_scenario("flightrec.fatal");
+        flightrec_record(FrType::kNote, 42, 1, 2, 3);
+        validate::set_invariant_mode(validate::InvariantMode::kFatal);
+        INTOX_INVARIANT(false, "flight recorder death test");
+      },
+      ::testing::KilledBySignal(SIGABRT), "flight recorder death test");
+  FlightrecDump dump;
+  std::string error;
+  ASSERT_TRUE(load_flightrec_dump(path, &dump, &error)) << error;
+  EXPECT_EQ(dump.reason, "invariant");
+  EXPECT_EQ(dump.scenario, "flightrec.fatal");
+  EXPECT_NE(dump.detail.find("flight recorder death test"),
+            std::string::npos);
+  EXPECT_GE(dump.invariant_violations, 1u);
+  ASSERT_FALSE(dump.recent_messages.empty());
+  EXPECT_NE(dump.recent_messages.back().find("flight recorder death test"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightrecDeathTest, SegfaultCommitsADumpAndDiesBySignal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = temp_path("flightrec_segv.json");
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        set_flightrec_dump_path(path);
+        flightrec_init();
+        flightrec_set_scenario("flightrec.segv");
+        flightrec_record(FrType::kSchedFire, 123456789);
+        std::raise(SIGSEGV);
+      },
+      ::testing::KilledBySignal(SIGSEGV), "");
+  FlightrecDump dump;
+  std::string error;
+  ASSERT_TRUE(load_flightrec_dump(path, &dump, &error)) << error;
+  EXPECT_EQ(dump.reason, "signal:SIGSEGV");
+  EXPECT_EQ(dump.scenario, "flightrec.segv");
+  ASSERT_FALSE(dump.records.empty());
+  bool found = false;
+  for (const FlightrecRecord& r : dump.records) {
+    if (r.type == FrType::kSchedFire && r.time == 123456789) found = true;
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace intox::obs

@@ -37,7 +37,7 @@ TEST(Merge, ConcatenatesRecordsInPointOrder) {
   std::string error;
   const std::string doc = render_merged_report(in, &error);
   ASSERT_EQ(error, "");
-  EXPECT_NE(doc.find("\"schema\":\"intox.sweep_report.v1\""),
+  EXPECT_NE(doc.find("\"schema\":\"intox.sweep_report.v1.1\""),
             std::string::npos);
   EXPECT_NE(doc.find("\"points\":2"), std::string::npos);
   // Records appear verbatim, in order.
@@ -47,6 +47,54 @@ TEST(Merge, ConcatenatesRecordsInPointOrder) {
   ASSERT_NE(second, std::string::npos);
   EXPECT_LT(first, second);
   EXPECT_EQ(doc.back(), '\n');
+  for (const std::string& p : in.record_paths) std::remove(p.c_str());
+}
+
+TEST(Merge, RecordsWithoutMetricsYieldEmptyAggregates) {
+  MergeInput in;
+  in.scenario = "s";
+  in.family = "F";
+  in.record_paths = {
+      write_temp("merge_nometrics.json", "{\"schema\":\"x\",\"exit\":0}\n"),
+  };
+  std::string error;
+  const std::string doc = render_merged_report(in, &error);
+  ASSERT_EQ(error, "");
+  EXPECT_NE(
+      doc.find("\"aggregates\":{\"counters\":{},\"gauges\":{}}"),
+      std::string::npos);
+  std::remove(in.record_paths[0].c_str());
+}
+
+TEST(Merge, AggregatesFoldCountersAndGaugesAcrossPoints) {
+  MergeInput in;
+  in.scenario = "s";
+  in.family = "F";
+  in.record_paths = {
+      write_temp("merge_m0.json",
+                 "{\"exit\":0,\"metrics\":{\"counters\":{\"pkts\":10},"
+                 "\"gauges\":{\"rate\":1.5}}}\n"),
+      write_temp("merge_m1.json",
+                 "{\"exit\":0,\"metrics\":{\"counters\":{\"pkts\":30},"
+                 "\"gauges\":{\"rate\":0.5,\"loss\":2}}}\n"),
+  };
+  std::string error;
+  const std::string doc = render_merged_report(in, &error);
+  ASSERT_EQ(error, "");
+  // pkts: both points; min 10, max 30, mean 20.
+  EXPECT_NE(doc.find("\"pkts\":{\"count\":2,\"min\":10,\"max\":30,"
+                     "\"mean\":20}"),
+            std::string::npos)
+      << doc;
+  // rate: both points; loss: only one.
+  EXPECT_NE(doc.find("\"rate\":{\"count\":2,\"min\":0.5,\"max\":1.5,"
+                     "\"mean\":1}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"loss\":{\"count\":1,\"min\":2,\"max\":2,"
+                     "\"mean\":2}"),
+            std::string::npos)
+      << doc;
   for (const std::string& p : in.record_paths) std::remove(p.c_str());
 }
 

@@ -93,10 +93,13 @@ def main():
     with open(clean_out, "rb") as f:
         clean_bytes = f.read()
     clean_doc = json.loads(clean_bytes)
-    if clean_doc.get("schema") != "intox.sweep_report.v1":
+    if clean_doc.get("schema") != "intox.sweep_report.v1.1":
         fail(f"unexpected report schema {clean_doc.get('schema')!r}")
     if clean_doc.get("points") != POINTS:
         fail(f"expected {POINTS} points, got {clean_doc.get('points')}")
+    aggregates = clean_doc.get("aggregates")
+    if not isinstance(aggregates, dict) or "counters" not in aggregates:
+        fail("merged report lacks cross-point aggregates")
 
     # --- Kill a second sweep mid-run (SIGKILL: no atexit, no flush). ---
     env = dict(os.environ)

@@ -75,6 +75,64 @@ TEST(Invariant, ScopedModeRestoresPrevious) {
   EXPECT_EQ(invariant_mode(), before);
 }
 
+TEST(Invariant, RecentMessagesKeepOldestFirstOrder) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  reset_invariant_violations();
+  INTOX_INVARIANT(false, "first");
+  INTOX_INVARIANT(false, "second");
+  INTOX_INVARIANT(false, "third");
+  const std::vector<std::string> recent = recent_invariant_messages();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_NE(recent[0].find("first"), std::string::npos);
+  EXPECT_NE(recent[1].find("second"), std::string::npos);
+  EXPECT_NE(recent[2].find("third"), std::string::npos);
+}
+
+TEST(Invariant, RecentMessagesRingKeepsLastK) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  reset_invariant_violations();
+  for (int i = 0; i < static_cast<int>(kRecentInvariantMessages) + 5; ++i) {
+    INTOX_INVARIANT(false, "violation %d", i);
+  }
+  const std::vector<std::string> recent = recent_invariant_messages();
+  ASSERT_EQ(recent.size(), kRecentInvariantMessages);
+  // The 5 oldest were evicted; the ring starts at "violation 5".
+  EXPECT_NE(recent.front().find("violation 5"), std::string::npos);
+  EXPECT_NE(recent.back().find("violation 20"), std::string::npos);
+}
+
+TEST(Invariant, ResetClearsRecentMessages) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  INTOX_INVARIANT(false, "stale ring entry");
+  reset_invariant_violations();
+  EXPECT_TRUE(recent_invariant_messages().empty());
+}
+
+TEST(Invariant, ObserverSeesEveryViolationAndReturnsPrevious) {
+  ScopedInvariantMode guard{InvariantMode::kCount};
+  reset_invariant_violations();
+  static int observed = 0;
+  static std::string last_text;
+  auto observer = +[](const char* file, int line, const char* message) {
+    ++observed;
+    last_text = message;
+    EXPECT_NE(file, nullptr);
+    EXPECT_GT(line, 0);
+  };
+  InvariantObserver prev = set_invariant_observer(observer);
+  observed = 0;
+  INTOX_INVARIANT(false, "watched %d", 42);
+  INTOX_INVARIANT(false, "watched %d", 43);
+  EXPECT_EQ(set_invariant_observer(prev), observer);
+  EXPECT_EQ(observed, 2);
+  EXPECT_NE(last_text.find("watched 43"), std::string::npos);
+  // With the previous observer restored, firing again must not reach
+  // the uninstalled one.
+  INTOX_INVARIANT(false, "unwatched");
+  EXPECT_EQ(observed, 2);
+  reset_invariant_violations();
+}
+
 TEST(Invariant, FatalModeAborts) {
   ASSERT_DEATH(
       {
