@@ -9,6 +9,13 @@ Usage:
     scripts/check_metrics_schema.py BENCH_FIG2.json [more.json ...]
     scripts/check_metrics_schema.py sweep_report.json
     scripts/check_metrics_schema.py --trace out.trace.json
+    scripts/check_metrics_schema.py --names names.txt report.json [...]
+
+With --names, every metric key appearing in a report's counters /
+gauges / histograms must be listed in NAMES_FILE (one name per line —
+the output of `intox_analyze --dump-metric-names`). This cross-checks
+the reports against the registration sites the static analyzer found,
+so a renamed metric cannot silently fork the time series.
 
 Stdlib-only on purpose: CI runs it right after `python3 -m json.tool`,
 so a schema drift fails the pipeline with a pointed message instead of
@@ -28,6 +35,11 @@ FLIGHTREC_TYPE_COUNT = 11
 
 class SchemaError(Exception):
     pass
+
+
+# Set by --names: the registration-site inventory metric keys must
+# belong to. None disables the cross-check.
+KNOWN_METRIC_NAMES = None
 
 
 def expect(cond, path, msg):
@@ -93,6 +105,14 @@ def check_histogram(hist, path):
                "non-empty histogram must have numeric min/max")
 
 
+def check_known_name(name, path):
+    if KNOWN_METRIC_NAMES is None:
+        return
+    expect(name in KNOWN_METRIC_NAMES, f"{path}.{name}",
+           "metric name not found at any registration site "
+           "(stale report, or re-run intox_analyze --dump-metric-names)")
+
+
 def check_metrics(metrics, path):
     expect(isinstance(metrics, dict), path, "must be an object")
     for section, pred, what in (
@@ -105,11 +125,13 @@ def check_metrics(metrics, path):
         for name, value in block.items():
             expect(pred(value), f"{path}.{section}.{name}",
                    f"must be a {what}")
+            check_known_name(name, f"{path}.{section}")
     hists = metrics.get("histograms")
     expect(isinstance(hists, dict), f"{path}.histograms",
            "must be an object")
     for name, hist in hists.items():
         check_histogram(hist, f"{path}.histograms.{name}")
+        check_known_name(name, f"{path}.histograms")
 
 
 def check_recent_messages(inv, path):
@@ -324,11 +346,28 @@ def check_trace(doc, path):
 
 
 def main(argv):
+    global KNOWN_METRIC_NAMES
     args = argv[1:]
     trace_mode = False
     if args and args[0] == "--trace":
         trace_mode = True
         args = args[1:]
+    if args and args[0] == "--names":
+        if len(args) < 2:
+            print("--names requires a names file", file=sys.stderr)
+            return 2
+        try:
+            with open(args[1], encoding="utf-8") as f:
+                KNOWN_METRIC_NAMES = {
+                    line.strip() for line in f if line.strip()
+                }
+        except OSError as err:
+            print(f"FAIL {args[1]}: {err}", file=sys.stderr)
+            return 2
+        if not KNOWN_METRIC_NAMES:
+            print(f"FAIL {args[1]}: names file is empty", file=sys.stderr)
+            return 2
+        args = args[2:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -4,11 +4,15 @@
 #   1. intox_lint        project-specific checks (determinism, invariant
 #                        hygiene, metric naming, header hygiene); built
 #                        from tools/intox_lint via the `lint` preset
-#   2. clang-tidy        curated .clang-tidy profile over every entry in
+#   2. intox_analyze     whole-program semantic checks over the exported
+#                        compile database (async-signal-safety,
+#                        determinism taint, lock-order cycles, atomic
+#                        memory-order policy)
+#   3. clang-tidy        curated .clang-tidy profile over every entry in
 #                        the lint preset's compile_commands.json
-#   3. clang-format      --dry-run -Werror diff gate over tracked C++
+#   4. clang-format      --dry-run -Werror diff gate over tracked C++
 #
-# Tools 2 and 3 are skipped with a warning when the host lacks them
+# Tools 3 and 4 are skipped with a warning when the host lacks them
 # (the container toolchain is gcc-only); CI passes --require-tidy
 # --require-format so the gate cannot silently soften there.
 #
@@ -43,7 +47,19 @@ else
   status=1
 fi
 
-# --- 2. clang-tidy ---------------------------------------------------------
+# --- 2. intox_analyze ------------------------------------------------------
+cmake --build build-lint --target intox_analyze -j "$(nproc)" > /dev/null
+
+echo "== intox_analyze =="
+if ./build-lint/tools/intox_analyze/intox_analyze \
+    --root . --compdb build-lint/compile_commands.json \
+    --baseline tools/intox_analyze/baseline.txt; then
+  :
+else
+  status=1
+fi
+
+# --- 3. clang-tidy ---------------------------------------------------------
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null; then
   # Files from the compile database only: every TU the build compiles
@@ -52,7 +68,7 @@ if command -v clang-tidy > /dev/null; then
 import json
 for entry in json.load(open("build-lint/compile_commands.json")):
     f = entry["file"]
-    if "/tests/lint/fixtures/" in f:
+    if "/tests/lint/fixtures/" in f or "/tests/lint/analyze/fixtures/" in f:
         continue  # known-bad on purpose
     print(f)
 EOF
@@ -82,11 +98,12 @@ else
   echo "clang-tidy not installed; skipping (CI runs it with --require-tidy)"
 fi
 
-# --- 3. clang-format -------------------------------------------------------
+# --- 4. clang-format -------------------------------------------------------
 echo "== clang-format =="
 if command -v clang-format > /dev/null; then
   mapfile -t cxx_files < <(git ls-files '*.cpp' '*.hpp' \
-    | grep -v '^tests/lint/fixtures/')
+    | grep -v '^tests/lint/fixtures/' \
+    | grep -v '^tests/lint/analyze/fixtures/')
   if ! clang-format --dry-run -Werror "${cxx_files[@]}"; then
     echo "clang-format: run 'clang-format -i' on the files above" >&2
     status=1

@@ -109,6 +109,7 @@ struct Ring {
 
   void write(std::uint64_t time, std::uint64_t type, std::uint64_t a,
              std::uint64_t b, std::uint64_t c) {
+    // intox-analyze: hot-lane
     const std::uint64_t seq = head.load(std::memory_order_relaxed);
     const std::size_t base =
         static_cast<std::size_t>(seq & mask) * kWordsPerRecord;
@@ -352,6 +353,7 @@ void set_flightrec_enabled(bool enabled) {
 
 void flightrec_record(FrType type, std::uint64_t time, std::uint64_t a,
                       std::uint64_t b, std::uint64_t c) {
+  // intox-analyze: hot-lane
   if (!flightrec_enabled()) return;
   ThreadSlot* slot = t_slot;
   if (slot == nullptr) [[unlikely]] {

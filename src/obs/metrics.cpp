@@ -9,6 +9,7 @@
 namespace intox::obs {
 
 std::size_t metric_shard_index() {
+  // intox-analyze: hot-lane
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t slot =
       next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
@@ -54,6 +55,7 @@ HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
 }
 
 void HistogramMetric::observe(double x) {
+  // intox-analyze: hot-lane
   Shard& s = *shards_[metric_shard_index()];
   if (std::isnan(x)) {
     // NaN carries no bucket; count it as overflow so total stays

@@ -60,6 +60,7 @@ struct alignas(64) ShardedU64 {
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
+    // intox-analyze: hot-lane
     shards_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
@@ -81,8 +82,12 @@ class Counter {
 /// paths uses this form (high-water marks).
 class Gauge {
  public:
-  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void set(double v) {
+    // intox-analyze: hot-lane
+    value_.store(v, std::memory_order_relaxed);
+  }
   void update_max(double v) {
+    // intox-analyze: hot-lane
     double cur = value_.load(std::memory_order_relaxed);
     while (v > cur &&
            !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {

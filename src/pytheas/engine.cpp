@@ -1,5 +1,8 @@
 #include "pytheas/engine.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
@@ -100,7 +103,17 @@ void PytheasEngine::end_epoch() {
       obs::Registry::global().counter("pytheas.epochs");
   epochs.add(1);
   ++epochs_ended_;
-  for (auto& [key, group] : groups_) {
+  // groups_ is an unordered_map, so iterating it directly would feed
+  // groups to redeal() — and thus draw from the shared rng_ — in
+  // hash order, which varies across libraries and runs. Creation order
+  // (Group::id) keeps the draw sequence reproducible.
+  std::vector<Group*> ordered;
+  ordered.reserve(groups_.size());
+  // intox-analyze: allow(taint, collection pass only; sorted by id below)
+  for (auto& [key, group] : groups_) ordered.push_back(group.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) { return a->id < b->id; });
+  for (Group* group : ordered) {
     redeal(*group);
     group->bandit.decay();
     group->epoch_reports.clear();

@@ -38,7 +38,7 @@ void ParallelRunner::dispatch(std::size_t n_trials,
                               const std::function<void(std::size_t)>& body) {
   // Shard wall-clock timing is perf telemetry (stderr / run report
   // only); trial *results* depend solely on Rng::fork(i).
-  // intox-lint: allow(determinism)
+  // intox-lint: allow(determinism)  -- perf telemetry, not results
   const auto start = std::chrono::steady_clock::now();
   obs::TraceSpan span{"runner.dispatch", "runner"};
   INTOX_INVARIANT(threads_ >= 1, "runner resolved to zero workers");

@@ -1,5 +1,7 @@
 #include "sketch/flowradar.hpp"
 
+#include <algorithm>
+
 namespace intox::sketch {
 
 FlowRadar::FlowRadar(const FlowRadarConfig& config)
@@ -57,9 +59,17 @@ DecodeResult FlowRadar::decode() const {
     }
   }
 
+  // intox-analyze: allow(taint, collection pass only; flows sorted below)
   for (const auto& [flow, packets] : flow_packets) {
     result.flows.push_back({flow, packets});
   }
+  // flow_packets iterates in hash order, which is implementation- and
+  // seed-dependent; callers compare decoded sets byte-for-byte across
+  // runs, so emit flows in id order.
+  std::sort(result.flows.begin(), result.flows.end(),
+            [](const DecodedFlow& a, const DecodedFlow& b) {
+              return a.flow < b.flow;
+            });
   for (const auto& c : work) {
     if (c.flow_count != 0) ++result.stuck_cells;
   }

@@ -430,7 +430,7 @@ int sweep_main(int argc, char** argv) {
   std::atomic<std::size_t> failed{0};
   // Orchestration wall time is perf telemetry (stderr + BENCH_SWEEP
   // report); point *results* are content-addressed and deterministic.
-  // intox-lint: allow(determinism)
+  // intox-lint: allow(determinism)  -- perf telemetry, not results
   const auto start = std::chrono::steady_clock::now();
 
   std::size_t workers = 0;

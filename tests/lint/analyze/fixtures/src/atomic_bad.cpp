@@ -1,0 +1,20 @@
+// Fixture: a marked hot lane paying the defaulted seq_cst fence. Must
+// fire exactly once; the relaxed read below keeps the pairing check
+// quiet (seq_cst counts as both sides).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> g_count{0};
+
+void hot_increment() {
+  // intox-analyze: hot-lane
+  g_count.fetch_add(1);
+}
+
+std::uint64_t read_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

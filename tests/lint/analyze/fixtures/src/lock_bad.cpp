@@ -1,0 +1,20 @@
+// Fixture: classic AB/BA ordering inversion across two functions. The
+// cycle must fire exactly once, anchored at the edge that closes it.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void take_ab() {
+  std::lock_guard<std::mutex> a(mu_a);
+  std::lock_guard<std::mutex> b(mu_b);
+}
+
+void take_ba() {
+  std::lock_guard<std::mutex> b(mu_b);
+  std::lock_guard<std::mutex> a(mu_a);
+}
+
+}  // namespace fixture

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Fixture tests for intox_analyze.
+
+The corpus under tests/lint/analyze/fixtures/ holds one intentionally
+bad file per whole-program check (sigsafe, taint, lockorder, atomics);
+each must produce its exact findings, and nothing else. The real tree
+must come out clean under the checked-in baseline, and the sigsafe
+--explain output must show the real flightrec dump entry points in the
+reachable set.
+
+Usage: analyze_fixture_test.py <path-to-intox_analyze> <fixtures-dir> <repo-root>
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<check>[a-z-]+)\] (?P<msg>.+)$")
+
+# (path, line, check) triples the corpus must produce. Lines are
+# load-bearing: a finding that fires on the wrong line is a bug.
+EXPECTED = {
+    ("src/atomic_bad.cpp", 13, "atomics"),   # implicit seq_cst in hot lane
+    ("src/lock_bad.cpp", 17, "lockorder"),   # AB/BA cycle, closing edge
+    ("src/sig_bad.cpp", 14, "sigsafe"),      # std::string on handler path
+    ("src/sig_bad.cpp", 15, "sigsafe"),      # fprintf
+    ("src/sig_bad.cpp", 16, "sigsafe"),      # lock acquire
+    ("src/sig_bad.cpp", 17, "sigsafe"),      # free
+    ("src/taint_bad.cpp", 10, "taint"),      # std::random_device
+    ("src/taint_bad.cpp", 11, "taint"),      # std::rand
+    ("src/taint_bad.cpp", 18, "taint"),      # unordered iteration
+}
+
+failures = []
+
+
+def check(cond, what):
+    if cond:
+        print(f"ok   {what}")
+    else:
+        print(f"FAIL {what}")
+        failures.append(what)
+
+
+def run(binary, *args):
+    return subprocess.run([binary, *args], capture_output=True, text=True)
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary, fixtures, repo = sys.argv[1], Path(sys.argv[2]), Path(sys.argv[3])
+
+    # --- corpus: exact finding set ------------------------------------
+    proc = run(binary, "--root", str(fixtures))
+    check(proc.returncode == 1, "corpus scan exits 1 (findings present)")
+
+    got = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        check(m is not None, f"output line is file:line: [check] msg: {line!r}")
+        if m:
+            got.add((m["path"], int(m["line"]), m["check"]))
+
+    for triple in sorted(EXPECTED):
+        check(triple in got, f"expected finding fired: {triple}")
+    for triple in sorted(got - EXPECTED):
+        check(False, f"unexpected finding: {triple}")
+
+    # --- per-check isolation: each bad file trips only its own check --
+    for check_name, path in [
+        ("sigsafe", "src/sig_bad.cpp"),
+        ("taint", "src/taint_bad.cpp"),
+        ("lockorder", "src/lock_bad.cpp"),
+        ("atomics", "src/atomic_bad.cpp"),
+    ]:
+        proc = run(binary, "--root", str(fixtures), "--check", check_name)
+        lines = [l for l in proc.stdout.splitlines() if l]
+        check(lines and all(f"[{check_name}]" in l for l in lines),
+              f"--check {check_name} restricts the run")
+        check(all(l.startswith(path) for l in lines),
+              f"all {check_name} findings come from {path}")
+
+    # --- explain: the fixture handler is in the reachable set ---------
+    proc = run(binary, "--root", str(fixtures), "--check", "sigsafe",
+               "--explain", "sigsafe")
+    check("crash_handler" in proc.stdout,
+          "--explain sigsafe lists the fixture handler as reachable")
+
+    # --- real tree: clean under the checked-in baseline ---------------
+    baseline = repo / "tools" / "intox_analyze" / "baseline.txt"
+    assert baseline.is_file(), f"baseline missing: {baseline}"
+    proc = run(binary, "--root", str(repo), "--baseline", str(baseline))
+    check(proc.returncode == 0,
+          "real tree is clean under the baseline "
+          f"(stdout: {proc.stdout.strip()!r})")
+
+    # --- real tree: flightrec dump entry points are proven reachable --
+    proc = run(binary, "--root", str(repo), "--baseline", str(baseline),
+               "--check", "sigsafe", "--explain", "sigsafe")
+    for fn in ["flightrec_dump", "flightrec_dump_on_crash", "crash_handler"]:
+        check(fn in proc.stdout,
+              f"--explain sigsafe covers real dump path: {fn}")
+
+    # --- CLI surface --------------------------------------------------
+    proc = run(binary, "--list-checks")
+    check(proc.returncode == 0 and "sigsafe" in proc.stdout
+          and "lockorder" in proc.stdout, "--list-checks lists the checks")
+
+    proc = run(binary, "--root", str(fixtures / "does-not-exist"))
+    check(proc.returncode == 2, "bad --root exits 2")
+
+    print(f"\n{len(failures)} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

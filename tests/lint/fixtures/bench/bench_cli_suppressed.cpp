@@ -3,7 +3,7 @@
 // silent, and the pragma must not count as stale.
 int main(int argc, char** argv) {
   // Framework owns the CLI; nothing scenario-shaped to forward to.
-  // intox-lint: allow(cli)
+  // intox-lint: allow(cli)  -- framework owns the CLI
   const char* self = argv[0];
   (void)argc;
   return self != nullptr ? 0 : 1;

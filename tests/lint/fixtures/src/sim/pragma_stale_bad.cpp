@@ -4,11 +4,11 @@
 
 namespace intox::fixture {
 
-// intox-lint: allow(determinism)
+// intox-lint: allow(determinism)  -- justified yet stale
 inline std::uint64_t nothing_to_suppress() { return 7; }  // line 8
 
 // An unknown check name in a pragma is malformed. Fires at line 11:
-// intox-lint: allow(made-up-check)
+// intox-lint: allow(made-up-check)  -- justified yet unknown
 inline std::uint64_t also_clean() { return 8; }
 
 }  // namespace intox::fixture

@@ -41,6 +41,8 @@ EXPECTED = {
     ("src/sim/determinism_bad.cpp", 33, "determinism"),  # Rng(42)
     ("src/sim/pragma_stale_bad.cpp", 7, "pragma"),   # stale suppression
     ("src/sim/pragma_stale_bad.cpp", 11, "pragma"),  # unknown check name
+    ("src/sim/pragma_bare_bad.cpp", 9, "pragma"),    # no -- justification
+    ("src/sim/pragma_bare_bad.cpp", 10, "determinism"),  # not suppressed
     ("src/validate/invariant_bad.cpp", 10, "invariant"),  # ++
     ("src/validate/invariant_bad.cpp", 15, "invariant"),  # --
     ("src/validate/invariant_bad.cpp", 20, "invariant"),  # =

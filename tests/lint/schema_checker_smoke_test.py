@@ -135,6 +135,31 @@ def main():
         proc = run(script, str(good), str(empty))
         check(proc.returncode == 1, "bad file in a batch fails the batch")
 
+        # --names cross-check: a report naming an unregistered metric
+        # fails; the same report passes once the name is inventoried.
+        named = tmpdir / "named.json"
+        named.write_text(json.dumps({
+            "schema": "intox.bench_report.v1",
+            "family": "SMOKE",
+            "threads_requested": 1,
+            "sweeps": [],
+            "metrics": {"counters": {"smoke.trials": 3}, "gauges": {},
+                        "histograms": {}},
+            "invariants": {"mode": "count", "violations": 0,
+                           "last_message": "", "recent_messages": []},
+        }))
+        names = tmpdir / "names.txt"
+        names.write_text("other.metric\n")
+        proc = run(script, "--names", str(names), str(named))
+        check(proc.returncode == 1 and "smoke.trials" in proc.stderr,
+              "--names flags a metric missing from the inventory")
+        names.write_text("other.metric\nsmoke.trials\n")
+        proc = run(script, "--names", str(names), str(named))
+        check(proc.returncode == 0, "--names passes an inventoried metric")
+        proc = run(script, "--names", str(tmpdir / "no-names.txt"),
+                   str(named))
+        check(proc.returncode == 2, "--names with a missing file exits 2")
+
     print(f"\n{len(failures)} failures")
     return 1 if failures else 0
 

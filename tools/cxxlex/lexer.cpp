@@ -4,7 +4,7 @@
 #include <cctype>
 #include <string>
 
-namespace intox::lint {
+namespace intox::cxxlex {
 namespace {
 
 bool is_ident_start(char c) {
@@ -269,4 +269,4 @@ class Lexer {
 
 TokenStream tokenize(std::string_view source) { return Lexer(source).run(); }
 
-}  // namespace intox::lint
+}  // namespace intox::cxxlex

@@ -1,15 +1,15 @@
-// Token model for the intox-lint scanner.
+// Token model shared by the intox static-analysis tools.
 //
-// The linter does not parse C++ — it scans a token stream plus raw
-// lines, which is exactly enough for the project-specific conventions
-// it enforces (see checks.hpp) and keeps the tool dependency-free so it
-// builds everywhere CI does (no libclang).
+// The tools (intox_lint, intox_analyze) do not parse C++ — they scan
+// a token stream plus raw lines, which is exactly enough for the
+// project-specific conventions they enforce and keeps them
+// dependency-free so they build everywhere CI does (no libclang).
 #pragma once
 
 #include <string>
 #include <vector>
 
-namespace intox::lint {
+namespace intox::cxxlex {
 
 enum class TokenKind {
   kIdentifier,   // foo, std, INTOX_INVARIANT
@@ -28,4 +28,4 @@ struct Token {
 
 using TokenStream = std::vector<Token>;
 
-}  // namespace intox::lint
+}  // namespace intox::cxxlex

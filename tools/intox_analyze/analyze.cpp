@@ -1,0 +1,279 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "compdb.hpp"
+
+namespace fs = std::filesystem;
+
+namespace intox::analyze {
+namespace {
+
+const std::vector<std::string> kDefaultPaths = {"src", "tools"};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("intox_analyze: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> collect_files(const Options& opts) {
+  const std::vector<std::string>& subtrees =
+      opts.paths.empty() ? kDefaultPaths : opts.paths;
+  std::vector<std::string> files = walk_files(opts.root, subtrees);
+  if (!opts.compdb_path.empty()) {
+    // The compile DB is authoritative for translation units: keep its
+    // TU set (validating the export), plus all walked headers.
+    const std::set<std::string> tus = [&] {
+      const auto v = compdb_files(opts.compdb_path, opts.root, subtrees);
+      return std::set<std::string>(v.begin(), v.end());
+    }();
+    auto ends_with = [](const std::string& s, const std::string& suf) {
+      return s.size() >= suf.size() &&
+             s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    std::vector<std::string> merged;
+    for (const std::string& f : files) {
+      if (ends_with(f, ".hpp") || ends_with(f, ".h") || tus.count(f))
+        merged.push_back(f);
+    }
+    files = std::move(merged);
+  }
+  return files;
+}
+
+struct Suppression {
+  std::string check;
+  bool justified = false;
+};
+
+// line -> suppressions declared on that line.
+using SuppressionMap = std::map<int, std::vector<Suppression>>;
+
+SuppressionMap parse_suppressions(const std::string& source,
+                                  const std::string& rel_path,
+                                  std::vector<Finding>& malformed) {
+  static const std::regex re(R"(intox-analyze:\s*allow\(([^)]*)\))");
+  SuppressionMap out;
+  std::istringstream in(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::smatch m;
+    if (!std::regex_search(line, m, re)) continue;
+    const std::string body = m[1].str();
+    const auto comma = body.find(',');
+    std::string check = body.substr(0, comma);
+    check.erase(0, check.find_first_not_of(" \t"));
+    check.erase(check.find_last_not_of(" \t") + 1);
+    std::string why =
+        comma == std::string::npos ? "" : body.substr(comma + 1);
+    why.erase(0, why.find_first_not_of(" \t"));
+    why.erase(why.find_last_not_of(" \t") + 1);
+    const auto& known = check_names();
+    if (std::find(known.begin(), known.end(), check) == known.end()) {
+      malformed.push_back(
+          {rel_path, lineno, "pragma",
+           "unknown check '" + check +
+               "' in intox-analyze pragma (see --list-checks)"});
+      continue;
+    }
+    if (why.empty()) {
+      malformed.push_back(
+          {rel_path, lineno, "pragma",
+           "suppression for '" + check +
+               "' has no justification; write allow(" + check +
+               ", why this is safe here)"});
+      continue;
+    }
+    out[lineno].push_back({check, true});
+  }
+  return out;
+}
+
+struct BaselineEntry {
+  std::string path;
+  std::string check;
+  int allowed = 0;
+  int used = 0;
+};
+
+std::vector<BaselineEntry> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("intox_analyze: cannot read baseline: " + path);
+  }
+  std::vector<BaselineEntry> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line.erase(0, line.find_first_not_of(" \t"));
+    line.erase(line.find_last_not_of(" \t\r") + 1);
+    if (line.empty()) continue;
+    const auto last = line.rfind(':');
+    const auto mid = last == std::string::npos ? std::string::npos
+                                               : line.rfind(':', last - 1);
+    if (mid == std::string::npos) {
+      throw std::runtime_error("intox_analyze: malformed baseline line " +
+                               std::to_string(lineno) +
+                               " (want path:check:count): " + line);
+    }
+    BaselineEntry e;
+    e.path = line.substr(0, mid);
+    e.check = line.substr(mid + 1, last - mid - 1);
+    try {
+      e.allowed = std::stoi(line.substr(last + 1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("intox_analyze: bad count in baseline line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+Index build_index(const Options& opts) {
+  const fs::path root(opts.root);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("intox_analyze: root is not a directory: " +
+                             opts.root);
+  }
+  Index index;
+  for (const std::string& rel : collect_files(opts)) {
+    index_file(rel, read_file(root / rel), index);
+  }
+  finalize_index(index);
+  return index;
+}
+
+RunResult run_analyze(const Options& opts, std::ostream& explain_out) {
+  const fs::path root(opts.root);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("intox_analyze: root is not a directory: " +
+                             opts.root);
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!opts.baseline_path.empty()) baseline = load_baseline(opts.baseline_path);
+
+  RunResult result;
+  std::vector<Finding> raw;
+
+  struct FileState {
+    SuppressionMap suppressions;
+    std::set<int> used_pragma_lines;
+  };
+  std::map<std::string, FileState> files;
+
+  Index index;
+  for (const std::string& rel : collect_files(opts)) {
+    const std::string source = read_file(root / rel);
+    files[rel].suppressions = parse_suppressions(source, rel, raw);
+    index_file(rel, source, index);
+    ++result.files_scanned;
+  }
+  finalize_index(index);
+
+  const CallGraph graph(index);
+
+  auto check_enabled = [&](const std::string& check) {
+    return opts.only_checks.empty() ||
+           std::find(opts.only_checks.begin(), opts.only_checks.end(),
+                     check) != opts.only_checks.end();
+  };
+  auto explain_for = [&](const std::string& check) -> std::ostream* {
+    return opts.explain_check == check ? &explain_out : nullptr;
+  };
+
+  if (check_enabled("sigsafe") || opts.explain_check == "sigsafe")
+    check_sigsafe(graph, raw, explain_for("sigsafe"));
+  if (check_enabled("taint") || opts.explain_check == "taint")
+    check_taint(graph, raw, explain_for("taint"));
+  if (check_enabled("lockorder") || opts.explain_check == "lockorder")
+    check_lockorder(graph, raw, explain_for("lockorder"));
+  if (check_enabled("atomics") || opts.explain_check == "atomics")
+    check_atomics(graph, raw, explain_for("atomics"));
+
+  for (Finding& f : raw) {
+    if (!check_enabled(f.check)) continue;
+    if (f.check != "pragma") {
+      FileState& st = files[f.path];
+      bool suppressed = false;
+      for (int line : {f.line, f.line - 1}) {
+        const auto it = st.suppressions.find(line);
+        if (it == st.suppressions.end()) continue;
+        for (const Suppression& s : it->second) {
+          if (s.check == f.check) {
+            st.used_pragma_lines.insert(line);
+            suppressed = true;
+            break;
+          }
+        }
+        if (suppressed) break;
+      }
+      if (suppressed) {
+        ++result.suppressed;
+        continue;
+      }
+    }
+    bool baselined = false;
+    for (BaselineEntry& e : baseline) {
+      if (e.path == f.path && e.check == f.check && e.used < e.allowed) {
+        ++e.used;
+        baselined = true;
+        break;
+      }
+    }
+    (baselined ? result.baselined : result.findings).push_back(std::move(f));
+  }
+
+  // Stale pragmas rot the suppression inventory; only meaningful when
+  // every check ran.
+  if (opts.only_checks.empty()) {
+    for (auto& [path, st] : files) {
+      for (const auto& [line, supps] : st.suppressions) {
+        if (st.used_pragma_lines.count(line)) continue;
+        std::string joined;
+        for (const Suppression& s : supps)
+          joined += (joined.empty() ? "" : ", ") + s.check;
+        result.findings.push_back(
+            {path, line, "pragma",
+             "suppression for '" + joined +
+                 "' matches no finding; delete the stale pragma"});
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.check, a.message) <
+                     std::tie(b.path, b.line, b.check, b.message);
+            });
+  return result;
+}
+
+void print_findings(std::ostream& out, const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.check << "] " << f.message
+        << "\n";
+  }
+}
+
+}  // namespace intox::analyze

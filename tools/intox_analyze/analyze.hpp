@@ -1,0 +1,51 @@
+// Driver: file collection, indexing, suppression/baseline accounting.
+//
+// Suppression syntax: an "intox-analyze:" comment with an
+// allow(check, justification) clause on the finding's line or the line
+// directly above it. The justification after the first comma is
+// mandatory; a bare allow(check) is itself a finding, as is a
+// suppression that suppresses nothing (stale) or names an unknown
+// check. (The syntax is spelled indirectly here so the analyzer does
+// not parse this header comment as a pragma.)
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "index.hpp"
+
+namespace intox::analyze {
+
+struct Options {
+  std::string root = ".";
+  /// Optional compile_commands.json; when set, translation units come
+  /// from it (validating that the build actually exports them) and only
+  /// headers are discovered by directory walk.
+  std::string compdb_path;
+  /// Subtrees (relative to root) to analyze; default src/ and tools/.
+  std::vector<std::string> paths;
+  std::vector<std::string> only_checks;
+  std::string baseline_path;
+  /// When non-empty, print that check's evidence (reachable sets, lock
+  /// edges, pairing tables) to stdout before the findings.
+  std::string explain_check;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;   // fail the run
+  std::vector<Finding> baselined;  // matched a baseline allowance
+  int files_scanned = 0;
+  int suppressed = 0;
+};
+
+/// Builds the index over the configured file set (no checks run). Used
+/// by --dump-metric-names and the tests.
+Index build_index(const Options& opts);
+
+RunResult run_analyze(const Options& opts, std::ostream& explain_out);
+
+void print_findings(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace intox::analyze

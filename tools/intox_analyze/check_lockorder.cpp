@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "checks.hpp"
+
+namespace intox::analyze {
+namespace {
+
+struct Site {
+  std::string file;
+  int line = 0;
+};
+
+struct Held {
+  std::string node;
+  bool scoped = false;
+  int depth = 0;
+};
+
+// Ordered acquisition edge H -> L: L was acquired (directly or through a
+// call) while H was held. First site wins for reporting.
+using EdgeMap = std::map<std::pair<std::string, std::string>, Site>;
+
+void add_edge(EdgeMap& edges, const std::string& h, const std::string& l,
+              const std::string& file, int line) {
+  edges.emplace(std::make_pair(h, l), Site{file, line});
+}
+
+// Merges a function's lock events and call sites into seq order and
+// simulates the held-lock set.
+void simulate_function(const CallGraph& graph, int fn_idx, EdgeMap& edges,
+                       std::vector<Finding>& out) {
+  const FunctionDef& fn = graph.index().functions[fn_idx];
+  struct Ev {
+    int seq;
+    const LockEvent* lock = nullptr;
+    const CallSite* call = nullptr;
+  };
+  std::vector<Ev> evs;
+  for (const LockEvent& e : fn.lock_events) evs.push_back({e.seq, &e, nullptr});
+  for (const CallSite& c : fn.calls) evs.push_back({c.seq, nullptr, &c});
+  std::sort(evs.begin(), evs.end(),
+            [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+
+  std::vector<Held> held;
+  auto node_is_flock = [](const std::string& n) {
+    return n.size() >= 7 && n.compare(n.size() - 7, 7, "(flock)") == 0;
+  };
+
+  for (const Ev& ev : evs) {
+    if (ev.lock != nullptr) {
+      const LockEvent& e = *ev.lock;
+      switch (e.kind) {
+        case LockEvent::kScopedAcquire:
+        case LockEvent::kAcquire:
+          for (const Held& h : held) {
+            if (h.node == e.node) {
+              // flock on the same fd re-enters (the kernel converts the
+              // lock); a std::mutex does not.
+              if (!node_is_flock(e.node)) {
+                out.push_back({fn.file, e.line, "lockorder",
+                               "'" + fn.qname + "' acquires '" + e.node +
+                                   "' while already holding it "
+                                   "(self-deadlock)"});
+              }
+              continue;
+            }
+            add_edge(edges, h.node, e.node, fn.file, e.line);
+          }
+          held.push_back(
+              {e.node, e.kind == LockEvent::kScopedAcquire, e.depth});
+          break;
+        case LockEvent::kRelease: {
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->node == e.node) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+          break;
+        }
+        case LockEvent::kBlockClose: {
+          held.erase(std::remove_if(held.begin(), held.end(),
+                                    [&](const Held& h) {
+                                      return h.scoped && h.depth >= e.depth;
+                                    }),
+                     held.end());
+          break;
+        }
+      }
+      continue;
+    }
+    // A call made while holding locks: everything the callee may
+    // acquire orders after everything currently held.
+    if (held.empty()) continue;
+    const std::vector<int> callees = graph.resolve_call(fn_idx, *ev.call);
+    for (int callee : callees) {
+      for (const std::string& l : graph.may_acquire(callee)) {
+        for (const Held& h : held) {
+          if (h.node != l) add_edge(edges, h.node, l, fn.file, ev.call->line);
+        }
+      }
+    }
+    // Re-acquisition through a call is only reported when *every*
+    // candidate callee may take the held lock — with name-based
+    // resolution a single colliding candidate would otherwise flag
+    // every `x->snapshot()` made under a registry lock.
+    if (!callees.empty()) {
+      for (const Held& h : held) {
+        if (node_is_flock(h.node)) continue;
+        const bool all = std::all_of(
+            callees.begin(), callees.end(), [&](int callee) {
+              return graph.may_acquire(callee).count(h.node) > 0;
+            });
+        if (all) {
+          out.push_back(
+              {fn.file, ev.call->line, "lockorder",
+               "'" + fn.qname + "' holds '" + h.node + "' across a call to '" +
+                   ev.call->name +
+                   "', which may acquire it again (self-deadlock)"});
+        }
+      }
+    }
+  }
+}
+
+// DFS cycle detection with path reconstruction.
+struct CycleFinder {
+  const std::map<std::string, std::set<std::string>>& adj;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> cycles;
+  std::set<std::string> reported;  // canonical cycle keys
+
+  void dfs(const std::string& n) {
+    color[n] = 1;
+    stack.push_back(n);
+    const auto it = adj.find(n);
+    if (it != adj.end()) {
+      for (const std::string& m : it->second) {
+        if (color[m] == 1) {
+          // Back edge: the cycle is stack from m's position to n.
+          const auto pos = std::find(stack.begin(), stack.end(), m);
+          std::vector<std::string> cyc(pos, stack.end());
+          // Canonicalize by rotating the smallest node first.
+          const auto min_it = std::min_element(cyc.begin(), cyc.end());
+          std::rotate(cyc.begin(), min_it, cyc.end());
+          std::string key;
+          for (const std::string& c : cyc) key += c + "|";
+          if (reported.insert(key).second) cycles.push_back(std::move(cyc));
+        } else if (color[m] == 0) {
+          dfs(m);
+        }
+      }
+    }
+    stack.pop_back();
+    color[n] = 2;
+  }
+};
+
+}  // namespace
+
+void check_lockorder(const CallGraph& graph, std::vector<Finding>& out,
+                     std::ostream* explain) {
+  const Index& index = graph.index();
+
+  EdgeMap edges;
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    simulate_function(graph, static_cast<int>(f), edges, out);
+  }
+
+  if (explain != nullptr) {
+    *explain << "lock-order edges (" << edges.size() << "):\n";
+    for (const auto& [edge, site] : edges) {
+      *explain << "  " << edge.first << " -> " << edge.second << "  ("
+               << site.file << ":" << site.line << ")\n";
+    }
+  }
+
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, site] : edges) {
+    (void)site;
+    adj[edge.first].insert(edge.second);
+  }
+
+  CycleFinder finder{adj, {}, {}, {}, {}};
+  for (const auto& [node, succs] : adj) {
+    (void)succs;
+    if (finder.color[node] == 0) finder.dfs(node);
+  }
+
+  for (const std::vector<std::string>& cyc : finder.cycles) {
+    std::string path;
+    for (const std::string& n : cyc) path += n + " -> ";
+    path += cyc.front();
+    // Anchor the finding at the edge closing the cycle.
+    const auto site_it =
+        edges.find({cyc.back(), cyc.front()});
+    const Site site = site_it != edges.end() ? site_it->second : Site{};
+    out.push_back({site.file, site.line, "lockorder",
+                   "lock-order cycle: " + path +
+                       " (deadlock if threads interleave)"});
+  }
+}
+
+}  // namespace intox::analyze

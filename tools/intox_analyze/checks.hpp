@@ -1,0 +1,55 @@
+// The four whole-program checks. Each walks the call graph and appends
+// findings; when `explain` is non-null it also prints the evidence the
+// check ran on (reachable-function lists, lock-order edges, atomic
+// pairing tables) for humans and for CI assertions.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+
+namespace intox::analyze {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Functions reachable from fatal-signal handlers (auto-detected
+/// `sa_handler =` / `signal(SIG, fn)` registrations plus the
+/// flightrec_dump entry points) may only call a POSIX async-signal-safe
+/// allowlist or functions proven safe by recursion. Allocation, throw,
+/// iostreams, std::string and lock acquisition are flagged.
+void check_sigsafe(const CallGraph& graph, std::vector<Finding>& out,
+                   std::ostream* explain);
+
+/// Nothing reachable from a scenario run function (INTOX_REGISTER_SCENARIO)
+/// may draw from wall clocks, libc randomness, std::random_device, or
+/// iterate an unordered container in a way that can feed output bytes.
+/// Sanctioned randomness flows through sim::Rng, which is seeded
+/// explicitly and never hits these sources.
+void check_taint(const CallGraph& graph, std::vector<Finding>& out,
+                 std::ostream* explain);
+
+/// Builds the lock-acquisition order graph (mutexes and flock regions,
+/// interprocedural via may-acquire sets) and reports cycles and
+/// recursive self-acquisition.
+void check_lockorder(const CallGraph& graph, std::vector<Finding>& out,
+                     std::ostream* explain);
+
+/// In functions marked `// intox-analyze: hot-lane`, atomics must be
+/// relaxed or participate in a properly paired release/acquire protocol;
+/// seq_cst (explicit or defaulted) is always flagged. Pairing is checked
+/// program-wide per receiver: a release store with no acquire-side load
+/// anywhere (or vice versa) publishes nothing and is flagged.
+void check_atomics(const CallGraph& graph, std::vector<Finding>& out,
+                   std::ostream* explain);
+
+/// Names accepted by `--check` and in allow() pragmas, sorted.
+const std::vector<std::string>& check_names();
+
+}  // namespace intox::analyze

@@ -1,0 +1,26 @@
+// Minimal compile_commands.json reader: the analyzer only needs the
+// "file" entries (which translation units are part of the program), not
+// flags — it never preprocesses for real. Headers are discovered by
+// scanning the same directories, so declarations in .hpp files are
+// indexed too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace intox::analyze {
+
+/// Returns the repo-relative paths of all translation units listed in
+/// the compile database that live under one of `subtrees` (e.g. "src",
+/// "tools") relative to `root`. Throws on unreadable/garbled input.
+std::vector<std::string> compdb_files(const std::string& compdb_path,
+                                      const std::string& root,
+                                      const std::vector<std::string>& subtrees);
+
+/// Returns the repo-relative paths of all C++ sources and headers found
+/// by walking `subtrees` under `root` directly (used without a compile
+/// database, and always used to pick up headers).
+std::vector<std::string> walk_files(const std::string& root,
+                                    const std::vector<std::string>& subtrees);
+
+}  // namespace intox::analyze

@@ -1,0 +1,107 @@
+// intox_analyze — whole-program semantic checks over the intox tree.
+//
+// Usage:
+//   intox_analyze [--root DIR] [--compdb FILE] [--baseline FILE]
+//                 [--check NAME]... [--explain NAME]
+//                 [--dump-metric-names] [--list-checks] [PATH]...
+//
+// PATHs are subtrees relative to --root (default: src tools). Exit 0 on
+// a clean run, 1 when findings remain, 2 on usage/environment errors.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: intox_analyze [--root DIR] [--compdb FILE]\n"
+         "                     [--baseline FILE] [--check NAME]...\n"
+         "                     [--explain NAME] [--dump-metric-names]\n"
+         "                     [--list-checks] [PATH]...\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  intox::analyze::Options opts;
+  bool dump_metric_names = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "intox_analyze: " << what << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = next("--root");
+    } else if (arg == "--compdb") {
+      opts.compdb_path = next("--compdb");
+    } else if (arg == "--baseline") {
+      opts.baseline_path = next("--baseline");
+    } else if (arg == "--check") {
+      opts.only_checks.push_back(next("--check"));
+    } else if (arg == "--explain") {
+      opts.explain_check = next("--explain");
+    } else if (arg == "--dump-metric-names") {
+      dump_metric_names = true;
+    } else if (arg == "--list-checks") {
+      for (const std::string& c : intox::analyze::check_names())
+        std::cout << c << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "intox_analyze: unknown option: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+
+  const auto& known = intox::analyze::check_names();
+  for (const std::string& c : opts.only_checks) {
+    if (std::find(known.begin(), known.end(), c) == known.end()) {
+      std::cerr << "intox_analyze: unknown check: " << c
+                << " (see --list-checks)\n";
+      return 2;
+    }
+  }
+  if (!opts.explain_check.empty() &&
+      std::find(known.begin(), known.end(), opts.explain_check) ==
+          known.end()) {
+    std::cerr << "intox_analyze: unknown check: " << opts.explain_check
+              << " (see --list-checks)\n";
+    return 2;
+  }
+
+  try {
+    if (dump_metric_names) {
+      const intox::analyze::Index index = intox::analyze::build_index(opts);
+      std::set<std::string> names;
+      for (const intox::analyze::MetricReg& m : index.metric_regs)
+        names.insert(m.name);
+      for (const std::string& n : names) std::cout << n << "\n";
+      return 0;
+    }
+
+    const intox::analyze::RunResult result =
+        intox::analyze::run_analyze(opts, std::cout);
+    intox::analyze::print_findings(std::cout, result.findings);
+    std::cerr << "intox_analyze: " << result.files_scanned << " files, "
+              << result.findings.size() << " findings, "
+              << result.baselined.size() << " baselined, "
+              << result.suppressed << " suppressed\n";
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

@@ -8,7 +8,8 @@
 //                Rng construction in src/ (seeds must be forked or
 //                plumbed from config so `--threads` cannot perturb
 //                them). Perf-timing clocks carry a justified
-//                `// intox-lint: allow(determinism)` pragma.
+//                `// intox-lint: allow(determinism)  -- why` pragma
+//                (the trailer is mandatory; see the pragma check).
 //
 //   invariant    INTOX_INVARIANT conditions compile out under
 //                -DINTOX_INVARIANTS_DISABLED, so a side effect in the
@@ -32,6 +33,11 @@
 //                argument parsing that bypasses the driver's strict
 //                --set/--sweep validation. Forward argc/argv to
 //                intox::scenario::run_legacy_shim instead.
+//
+//   pragma       Suppressions are themselves linted: an allow(...)
+//                with no `-- justification` trailer, an unknown check
+//                name, or a pragma that suppresses nothing is a
+//                finding, so the suppression inventory cannot rot.
 #pragma once
 
 #include <map>
@@ -41,6 +47,11 @@
 #include "token.hpp"
 
 namespace intox::lint {
+
+// The token model lives in the shared tools/cxxlex library.
+using cxxlex::Token;
+using cxxlex::TokenKind;
+using cxxlex::TokenStream;
 
 struct Finding {
   std::string path;  // repo-relative, '/'-separated

@@ -92,6 +92,18 @@ SuppressionMap parse_suppressions(const std::string& source,
     ++lineno;
     std::smatch m;
     if (!std::regex_search(line, m, re)) continue;
+    // A suppression must say why: `allow(check)  -- justification`.
+    // Unexplained pragmas rot — nobody can tell later whether they are
+    // still needed or were ever sound.
+    static const std::regex why_re(R"(^\s*--\s*\S)");
+    const std::string trailer = m.suffix().str();
+    if (!std::regex_search(trailer, why_re)) {
+      malformed.push_back(
+          {rel_path, lineno, "pragma",
+           "suppression has no justification; write allow(" + m[1].str() +
+               ")  -- why this is safe here"});
+      continue;
+    }
     std::set<std::string> checks;
     std::istringstream list(m[1].str());
     std::string item;
@@ -191,7 +203,7 @@ RunResult run_lint(const Options& opts) {
     const std::string source = read_file(root / rel);
     FileState& st = files[rel];
     st.suppressions = parse_suppressions(source, rel, raw);
-    checker.scan_file(classify(rel), tokenize(source), raw);
+    checker.scan_file(classify(rel), cxxlex::tokenize(source), raw);
     ++result.files_scanned;
   }
   checker.finish(raw);

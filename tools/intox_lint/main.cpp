@@ -23,7 +23,9 @@ int usage(std::ostream& out, int status) {
          "Scans PATHs (default: src bench examples tests, relative to\n"
          "--root) for violations of the project's determinism, invariant,\n"
          "metrics, and header conventions. Suppress a finding with\n"
-         "`// intox-lint: allow(<check>)` on the same or preceding line.\n";
+         "`// intox-lint: allow(<check>)  -- justification` on the same or\n"
+         "preceding line; a suppression without the `-- justification`\n"
+         "trailer is itself a finding.\n";
   return status;
 }
 
